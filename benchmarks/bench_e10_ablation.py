@@ -1,0 +1,38 @@
+"""E10 — ablation of the design choices on the elimination workload.
+
+Regenerates the E10 table (per-configuration compile time and evaluation
+work) and benchmarks the two compile pipelines.
+"""
+
+import pytest
+
+from repro import SemanticOptimizer
+from repro.bench.experiments import experiment_e10
+from repro.core.minimize import minimize_program
+from repro.workloads import example_3_2
+
+
+def test_e10_table(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: experiment_e10(size=30, repeats=1),
+        rounds=1, iterations=1)
+    record_table(table)
+    by_name = {row[0]: row for row in table.rows}
+    plain = by_name["plain (no optimization)"]
+    default = by_name["periodic + chase guard (default)"]
+    # The default configuration must actually reduce the work.
+    assert float(default[3].rstrip("%")) < float(plain[3].rstrip("%"))
+
+
+def test_e10_bench_compile_guarded(benchmark):
+    example = example_3_2()
+    report = benchmark(lambda: SemanticOptimizer(
+        example.program, [example.ic("ic1")], pred="eval").optimize())
+    assert report.changed
+
+
+def test_e10_bench_minimize(benchmark):
+    example = example_3_2()
+    report = benchmark(lambda: minimize_program(
+        example.program, [example.ic("ic1")]))
+    assert not report.changed  # the redundancy is cross-instance

@@ -1,0 +1,44 @@
+"""E1 — atom elimination (Example 3.2's redundant expert join).
+
+Regenerates the E1 table (plain vs pushed vs automaton ablation vs
+rule-level baseline over EDB size) and benchmarks the pushed program's
+evaluation against plain.
+"""
+
+import random
+
+import pytest
+
+from repro import SemanticOptimizer, evaluate
+from repro.bench.experiments import _e1_params, experiment_e1
+from repro.workloads import example_3_2, generate_university
+
+
+@pytest.fixture(scope="module")
+def workload():
+    example = example_3_2()
+    ic1 = example.ic("ic1")
+    optimized = SemanticOptimizer(
+        example.program, [ic1], pred="eval").optimize().optimized
+    db = generate_university(_e1_params(30), random.Random(11))
+    return example.program, optimized, db
+
+
+def test_e1_table(benchmark, record_table):
+    # pedantic with a single round: the experiment sweeps sizes itself.
+    table = benchmark.pedantic(
+        lambda: experiment_e1(sizes=(20, 40), repeats=2),
+        rounds=1, iterations=1)
+    record_table(table)
+
+
+def test_e1_bench_plain(benchmark, workload):
+    plain, _, db = workload
+    result = benchmark(lambda: evaluate(plain, db))
+    assert result.count("eval") > 0
+
+
+def test_e1_bench_pushed(benchmark, workload):
+    plain, optimized, db = workload
+    result = benchmark(lambda: evaluate(optimized, db))
+    assert result.facts("eval") == evaluate(plain, db).facts("eval")

@@ -1,0 +1,51 @@
+"""E2 — atom introduction (Example 4.2's doctoral semijoin reducer).
+
+Regenerates the E2 table (source-order vs greedy planner) and benchmarks
+the introduced program under the fixed source join order, where the
+reducer pays off.
+"""
+
+import random
+
+import pytest
+
+from repro import SemanticOptimizer, evaluate, ics_from_text
+from repro.bench.experiments import experiment_e2
+from repro.constraints import repair
+from repro.workloads import (UniversityParams, example_3_2,
+                             generate_university)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    example = example_3_2()
+    ic2u = ics_from_text("ic2u: pays(M, G, S, T) -> doctoral(S).")[0]
+    optimized = SemanticOptimizer(
+        example.program, [ic2u], pred="eval",
+        small_relations={"doctoral"}).optimize().optimized
+    params = UniversityParams(professors=30, students=15, theses=15,
+                              supervisions=30, payments=15,
+                              doctoral_fraction=0.05)
+    db = generate_university(params, random.Random(13))
+    repair(db, ic2u)
+    return example.program, optimized, db
+
+
+def test_e2_table(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: experiment_e2(sizes=(20, 40), repeats=2),
+        rounds=1, iterations=1)
+    record_table(table)
+
+
+def test_e2_bench_plain_source_order(benchmark, workload):
+    plain, _, db = workload
+    result = benchmark(lambda: evaluate(plain, db, planner="source"))
+    assert result.count("eval_support") > 0
+
+
+def test_e2_bench_introduced_source_order(benchmark, workload):
+    plain, optimized, db = workload
+    result = benchmark(lambda: evaluate(optimized, db, planner="source"))
+    assert result.facts("eval_support") == \
+        evaluate(plain, db).facts("eval_support")

@@ -1,0 +1,53 @@
+"""E3 — subtree pruning (Example 4.3's genealogy).
+
+Regenerates the E3 table (plain vs pushed vs residue-guided over
+recursion depth) and benchmarks the three engines.
+"""
+
+import random
+
+import pytest
+
+from repro import ResidueGuidedEngine, SemanticOptimizer, evaluate
+from repro.bench.experiments import experiment_e3
+from repro.workloads import (GenealogyParams, example_4_3,
+                             generate_genealogy)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    example = example_4_3()
+    ic1 = example.ic("ic1")
+    optimized = SemanticOptimizer(
+        example.program, [ic1], pred="anc").optimize().optimized
+    guided = ResidueGuidedEngine(example.program, [ic1], pred="anc")
+    db = generate_genealogy(GenealogyParams(generations=7, width=12),
+                            random.Random(17))
+    return example.program, optimized, guided, db
+
+
+def test_e3_table(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: experiment_e3(generations=(5, 7), repeats=2),
+        rounds=1, iterations=1)
+    record_table(table)
+
+
+def test_e3_bench_plain(benchmark, workload):
+    plain, _, _, db = workload
+    result = benchmark(lambda: evaluate(plain, db))
+    assert result.count("anc") > 0
+
+
+def test_e3_bench_pushed(benchmark, workload):
+    plain, optimized, _, db = workload
+    result = benchmark(lambda: evaluate(optimized, db))
+    assert result.facts("anc") == evaluate(plain, db).facts("anc")
+    assert result.stats.residue_checks == 0
+
+
+def test_e3_bench_guided(benchmark, workload):
+    plain, _, guided, db = workload
+    result = benchmark(lambda: guided.evaluate(db))
+    assert result.facts("anc") == evaluate(plain, db).facts("anc")
+    assert result.stats.residue_checks > 0

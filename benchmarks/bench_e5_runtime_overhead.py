@@ -1,0 +1,34 @@
+"""E5 — run-time overhead: compile once vs check every query.
+
+Regenerates the E5 amortization table and benchmarks the compile step
+itself (the one-off cost the transformation approach pays).
+"""
+
+import pytest
+
+from repro import ResidueGuidedEngine, SemanticOptimizer
+from repro.bench.experiments import experiment_e5
+from repro.workloads import example_3_2, example_4_3
+
+
+def test_e5_table(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: experiment_e5(query_counts=(1, 5, 10)),
+        rounds=1, iterations=1)
+    record_table(table)
+
+
+def test_e5_bench_compile_elimination(benchmark):
+    example = example_3_2()
+    ic1 = example.ic("ic1")
+    report = benchmark(lambda: SemanticOptimizer(
+        example.program, [ic1], pred="eval").optimize())
+    assert report.changed
+
+
+def test_e5_bench_attach_guided(benchmark):
+    example = example_4_3()
+    ic1 = example.ic("ic1")
+    engine = benchmark(lambda: ResidueGuidedEngine(
+        example.program, [ic1], pred="anc"))
+    assert engine.attached_guards > 0

@@ -1,0 +1,31 @@
+"""E8 — intelligent query answering (Section 5, Example 5.1).
+
+Regenerates the E8 table (per-proof-tree residues for the honors query)
+and benchmarks the describe() pipeline.
+"""
+
+import pytest
+
+from repro import describe, parse_describe
+from repro.bench.experiments import experiment_e8
+from repro.workloads import example_5_1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    example = example_5_1()
+    query = parse_describe(
+        "describe honors(Stud) where major(Stud, cs), "
+        "graduated(Stud, College), topten(College), hobby(Stud, chess)")
+    return example.program, query
+
+
+def test_e8_table(benchmark, record_table):
+    table = benchmark.pedantic(experiment_e8, rounds=1, iterations=1)
+    record_table(table)
+
+
+def test_e8_bench_describe(benchmark, workload):
+    program, query = workload
+    result = benchmark(lambda: describe(program, query))
+    assert result.context_suffices

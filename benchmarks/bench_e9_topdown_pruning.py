@@ -1,0 +1,52 @@
+"""E9 — pruning under tabled top-down evaluation.
+
+Regenerates the E9 table (bound young/old ancestor queries, plain vs
+pruned) and benchmarks both programs on a young-ancestor query — the
+setting where the pushed guard refutes the deep recursion before its
+subgoals are ever called.
+"""
+
+import random
+
+import pytest
+
+from repro import SemanticOptimizer, topdown_query
+from repro.bench.experiments import experiment_e9
+from repro.datalog import atom
+from repro.workloads import (GenealogyParams, example_4_3,
+                             generate_genealogy)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    example = example_4_3()
+    ic1 = example.ic("ic1")
+    optimized = SemanticOptimizer(
+        example.program, [ic1], pred="anc").optimize().optimized
+    db = generate_genealogy(
+        GenealogyParams(generations=7, width=12, young_fraction=0.7),
+        random.Random(31))
+    young = sorted({(y, ya) for (_, _, y, ya) in db.facts("par")
+                    if ya <= 50})[0]
+    goal = atom("anc", "X", "Xa", young[0], young[1])
+    return example.program, optimized, db, goal
+
+
+def test_e9_table(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: experiment_e9(generations=(6,), queries_per_db=4),
+        rounds=1, iterations=1)
+    record_table(table)
+
+
+def test_e9_bench_plain_topdown(benchmark, workload):
+    plain, _, db, goal = workload
+    result = benchmark(lambda: topdown_query(plain, db, goal))
+    assert result.stats.rows_matched > 0
+
+
+def test_e9_bench_pruned_topdown(benchmark, workload):
+    plain, optimized, db, goal = workload
+    pruned = benchmark(lambda: topdown_query(optimized, db, goal))
+    assert pruned.project(goal) == \
+        topdown_query(plain, db, goal).project(goal)

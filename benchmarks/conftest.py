@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_e*.py`` runs one reproduction experiment (see DESIGN.md
+section 4): it times the key operation with pytest-benchmark and records
+the experiment's result table, which is printed in the terminal summary
+so ``pytest benchmarks/ --benchmark-only`` leaves the reproduced tables
+in the log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_TABLES: list = []
+
+
+@pytest.fixture
+def record_table():
+    """Record an experiment table for the terminal summary."""
+
+    def _record(table) -> None:
+        _TABLES.append(table)
+        # Fail loudly if any engine disagreed on answers.
+        for row in table.rows:
+            assert "NO" not in [str(c) for c in row], \
+                f"answer mismatch in {table.title}: {row}"
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduction experiment tables")
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.render().splitlines():
+            terminalreporter.write_line(line)
+    _TABLES.clear()

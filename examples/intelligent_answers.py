@@ -1,0 +1,55 @@
+"""Intelligent query answering (Section 5, Example 5.1).
+
+``describe honors(Stud) where ...`` does not ask for tuples: it asks
+what can be *said* about honors students given a context.  The pipeline
+reuses the semantic-optimization machinery: reachability analysis drops
+the irrelevant context (the chess hobby), and subsuming the rest against
+the query's proof trees turns residues into descriptions — an empty
+residue means the context alone guarantees membership.
+"""
+
+from repro import describe, parse_describe
+from repro.iqa import proof_trees, reachable_predicates
+from repro.workloads import example_5_1
+
+
+def main() -> None:
+    example = example_5_1()
+    program = example.program
+    print("deductive database")
+    print("-" * 60)
+    print(program)
+    print()
+
+    query = parse_describe(
+        "describe honors(Stud) where major(Stud, cs), "
+        "graduated(Stud, College), topten(College), hobby(Stud, chess)")
+    print("knowledge query:", query)
+    print()
+
+    reachable = reachable_predicates(program, "honors")
+    print("predicates reachable from honors:", ", ".join(sorted(reachable)))
+    print()
+
+    print("proof trees of honors(Stud)")
+    print("-" * 60)
+    for tree in proof_trees(program, query.target):
+        print(" ", tree)
+    print()
+
+    result = describe(program, query)
+    print("intelligent answer")
+    print("-" * 60)
+    print(result.summary())
+    print()
+
+    # A second query whose context does NOT suffice.
+    partial = parse_describe(
+        "describe honors(Stud) where transcript(Stud, Major, Cred, Gpa), "
+        "Gpa >= 3.8")
+    print("second knowledge query:", partial)
+    print(describe(program, partial).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""The organizational-hierarchy walkthrough (Example 4.1).
+
+This example exercises the hardest push in the paper: the conditional
+fact residue ``R = executive -> experienced(U)`` whose *condition* (the
+rank test) lives three recursion levels below the *eliminable atom*.
+The usefulness search extends the sequence to ``r2 r2 r2 r2`` — the
+detection the paper defers to its tech report — and the push threads the
+condition's verdict through the rule chain so the elimination only fires
+when the deep rank test succeeded.
+"""
+
+import random
+
+from repro import SemanticOptimizer, evaluate, format_program
+from repro.core import generate_residues
+from repro.workloads import (OrganizationParams, example_4_1,
+                             generate_organization)
+
+
+def main() -> None:
+    example = example_4_1()
+    program = example.program
+    ic1 = example.ic("ic1")
+
+    print("program")
+    print("-" * 60)
+    print(format_program(program))
+    print()
+    print("integrity constraint:", ic1)
+    print()
+
+    print("Algorithm 3.1 + usefulness-driven sequence extension")
+    print("-" * 60)
+    for item in generate_residues(program, "triple", ic1):
+        print(" ", item)
+    print()
+
+    report = SemanticOptimizer(program, [ic1], pred="triple",
+                               compilation="automaton").optimize()
+    print("optimization report (automaton form, threaded condition)")
+    print("-" * 60)
+    print(report.summary())
+    print()
+    print("optimized program")
+    print("-" * 60)
+    print(format_program(report.optimized, group_by_head=True))
+    print()
+
+    db = generate_organization(
+        OrganizationParams(levels=6, width=10, executive_fraction=0.5),
+        random.Random(2))
+    plain = evaluate(program, db)
+    pushed = evaluate(report.optimized, db)
+    assert plain.facts("triple") == pushed.facts("triple")
+    print(f"identical answers: {plain.count('triple')} triples on "
+          f"{db.total_facts()} EDB facts")
+    print(f"plain rows matched:  {plain.stats.rows_matched}")
+    print(f"pushed rows matched: {pushed.stats.rows_matched}")
+
+
+if __name__ == "__main__":
+    main()

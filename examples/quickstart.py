@@ -1,0 +1,73 @@
+"""Quickstart: optimize a recursive query with an integrity constraint.
+
+Run with::
+
+    python examples/quickstart.py
+
+The program computes ancestors with ages; the integrity constraint says
+nobody of 50 or younger has three generations of descendants.  The
+optimizer detects that the constraint maximally subsumes the expansion
+sequence ``r1 r1 r1``, derives the null residue ``Ya <= 50 ->`` and
+pushes it inside the recursion as a guard — at compile time, with no
+run-time residue checking.
+"""
+
+import random
+
+from repro import (Database, SemanticOptimizer, evaluate, format_program,
+                   ics_from_text, parse_program)
+from repro.workloads import GenealogyParams, generate_genealogy
+
+PROGRAM = """
+r0: anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+r1: anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+"""
+
+CONSTRAINTS = """
+ic1: Ya <= 50, par(Z, Za, Y, Ya), par(Z2, Z2a, Z, Za),
+     par(Z3, Z3a, Z2, Z2a) -> .
+"""
+
+
+def main() -> None:
+    program = parse_program(PROGRAM)
+    ics = ics_from_text(CONSTRAINTS)
+
+    print("original program")
+    print("-" * 40)
+    print(format_program(program))
+    print()
+
+    optimizer = SemanticOptimizer(program, ics)
+    report = optimizer.optimize()
+    print("optimization report")
+    print("-" * 40)
+    print(report.summary())
+    print()
+    print("optimized program")
+    print("-" * 40)
+    print(format_program(report.optimized, group_by_head=True))
+    print()
+
+    # Evaluate both on a generated family tree and compare.
+    db = generate_genealogy(GenealogyParams(generations=6, width=10),
+                            random.Random(0))
+    plain = evaluate(program, db)
+    pushed = evaluate(report.optimized, db)
+    assert plain.facts("anc") == pushed.facts("anc"), \
+        "semantic optimization must preserve answers"
+    print(f"both programs derive {plain.count('anc')} anc tuples "
+          f"on {db.total_facts()} EDB facts")
+    print(f"plain:  {plain.stats.atom_lookups} lookups, "
+          f"{plain.stats.rows_matched} rows matched")
+    print(f"pushed: {pushed.stats.atom_lookups} lookups, "
+          f"{pushed.stats.rows_matched} rows matched")
+
+    # Conjunctive queries work over the result.
+    young = plain.query("anc(X, Xa, Y, Ya), Ya <= 50")
+    print(f"{len(young)} ancestor pairs have a young ancestor "
+          "(depth <= 2, as the constraint demands)")
+
+
+if __name__ == "__main__":
+    main()

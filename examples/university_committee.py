@@ -1,0 +1,81 @@
+"""The university evaluation-committee walkthrough (Examples 3.2 / 4.2).
+
+Shows the full pipeline on the paper's flagship example:
+
+1. Algorithm 3.1 finds that ``ic1`` (expertise propagates along
+   collaboration) maximally subsumes the expansion sequence ``r1 r1``
+   and yields the unconditional fact residue ``-> expert(P, F)``;
+2. the residue is pushed as *atom elimination* — the redundant
+   ``expert`` join disappears from every recursion level past the
+   first;
+3. ``ic2`` (only doctoral students get > 10,000) attaches to the
+   non-recursive ``r2`` and is pushed as *atom introduction* of the
+   small ``doctoral`` reducer;
+4. both programs are evaluated and compared on a generated university.
+"""
+
+import random
+
+from repro import SemanticOptimizer, evaluate, format_program
+from repro.core import generate_residues, rule_level_residues
+from repro.workloads import (UniversityParams, example_3_2,
+                             generate_university)
+
+
+def main() -> None:
+    example = example_3_2()
+    program, ics = example.program, list(example.ics)
+    ic1, ic2 = example.ic("ic1"), example.ic("ic2")
+
+    print("program")
+    print("-" * 60)
+    print(format_program(program))
+    print()
+    print("integrity constraints")
+    print("-" * 60)
+    for ic in ics:
+        print(ic)
+    print()
+
+    print("Algorithm 3.1: residues of ic1 w.r.t. the program")
+    print("-" * 60)
+    for item in generate_residues(program, "eval", ic1):
+        print(" ", item)
+    print()
+    print("rule-level residues of ic2 (attaches to the non-recursive r2)")
+    print("-" * 60)
+    for item in rule_level_residues(program, ic2):
+        print(" ", item)
+    print()
+
+    optimizer = SemanticOptimizer(program, ics, pred="eval",
+                                  small_relations={"doctoral"})
+    report = optimizer.optimize()
+    print("optimization report")
+    print("-" * 60)
+    print(report.summary())
+    print()
+    print("optimized program")
+    print("-" * 60)
+    print(format_program(report.optimized, group_by_head=True))
+    print()
+
+    params = UniversityParams(professors=40, students=10, theses=10,
+                              fields=12, fields_per_thesis=6,
+                              expert_seed_fraction=0.7,
+                              works_with_density=0.04)
+    db = generate_university(params, random.Random(1))
+    plain = evaluate(program, db)
+    pushed = evaluate(report.optimized, db)
+    for pred in ("eval", "eval_support"):
+        assert plain.facts(pred) == pushed.facts(pred), pred
+    print(f"identical answers: {plain.count('eval')} eval tuples, "
+          f"{plain.count('eval_support')} eval_support tuples")
+    saving = 1 - pushed.stats.rows_matched / plain.stats.rows_matched
+    print(f"matched rows: {plain.stats.rows_matched} -> "
+          f"{pushed.stats.rows_matched}  ({saving:.1%} saved by "
+          "eliminating the redundant expert join)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Benchmark harness: timed engine comparisons with work counters.
+
+Wall time in a pure-Python engine is noisy; every measurement therefore
+also reports the instrumentation counters (atom lookups, rows matched,
+derivations, residue checks), which deterministically quantify the work
+an optimization saves — the quantity the paper's claims are about.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..datalog.pretty import format_table
+from ..engine.engine import EvaluationResult
+
+
+@dataclass
+class Measurement:
+    """One engine run: wall times over repeats plus the counters."""
+
+    label: str
+    seconds: list[float] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    rule_rows: dict[str, int] = field(default_factory=dict)
+    answers: int = 0
+
+    def rows_for_rules(self, prefix: str) -> int:
+        """Matched rows attributed to rules labelled ``prefix*``."""
+        return sum(rows for label, rows in self.rule_rows.items()
+                   if label.startswith(prefix))
+
+    @property
+    def median_seconds(self) -> float:
+        return statistics.median(self.seconds) if self.seconds else 0.0
+
+    def speedup_over(self, baseline: "Measurement") -> float:
+        if self.median_seconds == 0:
+            return float("inf")
+        return baseline.median_seconds / self.median_seconds
+
+
+def measure(label: str, run: Callable[[], EvaluationResult],
+            answer_pred: str, repeats: int = 3) -> Measurement:
+    """Run an evaluation ``repeats`` times; keep counters from the last."""
+    measurement = Measurement(label)
+    result: EvaluationResult | None = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run()
+        measurement.seconds.append(time.perf_counter() - start)
+    assert result is not None
+    measurement.counters = result.stats.as_dict()
+    measurement.rule_rows = dict(result.stats.rule_rows)
+    measurement.answers = result.count(answer_pred) \
+        if answer_pred in result.program.idb_predicates else 0
+    return measurement
+
+
+@dataclass
+class Table:
+    """An experiment's printable result table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        lines = [self.title, "=" * len(self.title),
+                 format_table(self.headers, self.rows)]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+        print()
+
+    def to_csv(self, path) -> None:
+        """Write the table as CSV (headers + rows; notes as comments)."""
+        import csv
+
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            for note in [self.title] + self.notes:
+                handle.write(f"# {note}\n")
+            writer = csv.writer(handle)
+            writer.writerow(self.headers)
+            for row in self.rows:
+                writer.writerow([str(cell) for cell in row])
+
+
+def comparison_row(size_label: object,
+                   measurements: Sequence[Measurement],
+                   counter: str = "atom_lookups") -> list[object]:
+    """A standard row: size, then per-engine time/counter/answers."""
+    row: list[object] = [size_label]
+    baseline = measurements[0]
+    for measurement in measurements:
+        row.append(f"{measurement.median_seconds * 1000:.1f}ms")
+        row.append(measurement.counters.get(counter, 0))
+    row.append(f"{baseline.median_seconds / max(measurements[-1].median_seconds, 1e-9):.2f}x")
+    answers = {m.answers for m in measurements}
+    row.append("yes" if len(answers) == 1 else f"MISMATCH {answers}")
+    return row
+
+
+def check_same_answers(measurements: Iterable[Measurement]) -> bool:
+    """All engines must agree — semantic optimization preserves answers."""
+    answers = {m.answers for m in measurements}
+    return len(answers) == 1

@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+- ``evaluate PROGRAM DB [--query Q]`` — run a program over a database.
+- ``optimize PROGRAM --ics ICS`` — print the optimization report and the
+  transformed program.
+- ``residues PROGRAM --ics ICS`` — print the residues of Algorithm 3.1.
+- ``describe PROGRAM "describe ... where ..."`` — intelligent answering.
+- ``experiments [IDS ...]`` — run the reproduction experiments.
+- ``shell`` — interactive Datalog shell (rules, facts, ICs, queries).
+- ``examples [NAME]`` — list or show the paper's worked examples.
+
+Programs, databases and ICs are read from files in the library's
+Prolog-like syntax (``-`` reads stdin).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .baselines import optimize_rule_level
+from .bench.experiments import ALL_EXPERIMENTS
+from .constraints import ics_from_text
+from .core import SemanticOptimizer, generate_residues, rule_level_residues
+from .datalog import format_program, parse_program, validate_program
+from .errors import ReproError
+from .engine import evaluate
+from .facts import Database
+from .iqa import describe as iqa_describe
+from .iqa import parse_describe
+from .workloads import ALL_EXAMPLES, load
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_program(args: argparse.Namespace):
+    program = parse_program(_read(args.program))
+    report = validate_program(program)
+    if not report.ok:
+        raise ReproError(f"invalid program: {report.summary()}")
+    return program
+
+
+def _load_ics(args: argparse.Namespace):
+    return ics_from_text(_read(args.ics))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    db = Database.from_text(_read(args.database))
+    result = evaluate(program, db, method=args.method,
+                      planner=args.planner)
+    if args.query:
+        for row in sorted(result.query(args.query), key=str):
+            print("\t".join(str(v) for v in row))
+    else:
+        for pred in sorted(program.idb_predicates):
+            for row in sorted(result.facts(pred), key=str):
+                args_text = ", ".join(repr(v) if isinstance(v, str)
+                                      and not v.isidentifier() else str(v)
+                                      for v in row)
+                print(f"{pred}({args_text}).")
+    if args.stats:
+        for key, value in result.stats.as_dict().items():
+            print(f"# {key}: {value}", file=sys.stderr)
+        print(f"# elapsed: {result.elapsed_seconds * 1000:.2f}ms",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    ics = _load_ics(args)
+    optimizer_cls = SemanticOptimizer
+    if args.rule_level:
+        report = optimize_rule_level(
+            program, ics, pred=args.pred,
+            small_relations=set(args.small or ()))
+    else:
+        report = optimizer_cls(
+            program, ics, pred=args.pred, guard=args.guard,
+            compilation=args.compilation,
+            small_relations=set(args.small or ())).optimize()
+    print(report.summary())
+    print()
+    print(format_program(report.optimized, group_by_head=True))
+    return 0 if report.changed or args.allow_unchanged else 1
+
+
+def cmd_residues(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    ics = _load_ics(args)
+    optimizer = SemanticOptimizer(program, ics, pred=args.pred)
+    for ic in ics:
+        print(f"{ic}")
+        printed = False
+        if ic.is_chain() and ic.is_edb_only(program):
+            for item in generate_residues(program, optimizer.pred, ic):
+                print(f"  {item}")
+                printed = True
+        for item in rule_level_residues(program, ic):
+            if len(item.sequence) == 1:
+                print(f"  {item}")
+                printed = True
+        if not printed:
+            print("  (no residues)")
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    query = parse_describe(args.query)
+    result = iqa_describe(program, query)
+    print(result.summary())
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    wanted = [name.upper() for name in (args.ids or ALL_EXPERIMENTS)]
+    unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ReproError(
+            f"unknown experiments {unknown}; choose from "
+            f"{sorted(ALL_EXPERIMENTS)}")
+    for name in wanted:
+        table = ALL_EXPERIMENTS[name]()
+        table.show()
+        if args.csv_dir:
+            import pathlib
+
+            directory = pathlib.Path(args.csv_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            table.to_csv(directory / f"{name}.csv")
+    return 0
+
+
+def cmd_examples(args: argparse.Namespace) -> int:
+    if args.name:
+        example = load(args.name)
+        print(f"# {example.name}: {example.notes}")
+        print(format_program(example.program))
+        for ic in example.ics:
+            print(ic)
+        return 0
+    for factory in ALL_EXAMPLES:
+        example = factory()
+        print(f"{example.name:14} pred={example.pred:8} {example.notes}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic optimization of recursive queries "
+                    "(Lakshmanan & Missaoui, ICDE 1995)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a program")
+    p_eval.add_argument("program")
+    p_eval.add_argument("database")
+    p_eval.add_argument("--query", help="conjunctive query to answer")
+    p_eval.add_argument("--method", default="seminaive",
+                        choices=["seminaive", "naive"])
+    p_eval.add_argument("--planner", default="greedy",
+                        choices=["greedy", "source"])
+    p_eval.add_argument("--stats", action="store_true",
+                        help="print counters to stderr")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_opt = sub.add_parser("optimize", help="push IC residues")
+    p_opt.add_argument("program")
+    p_opt.add_argument("--ics", required=True)
+    p_opt.add_argument("--pred", help="recursive predicate (inferred "
+                                      "when unique)")
+    p_opt.add_argument("--guard", default="chase",
+                       choices=["chase", "none"])
+    p_opt.add_argument("--compilation", default="periodic",
+                       choices=["periodic", "automaton"])
+    p_opt.add_argument("--small", nargs="*",
+                       help="relations worth introducing as reducers")
+    p_opt.add_argument("--rule-level", action="store_true",
+                       help="use the rule-level baseline instead")
+    p_opt.add_argument("--allow-unchanged", action="store_true",
+                       help="exit 0 even when nothing was pushed")
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_res = sub.add_parser("residues", help="show Algorithm 3.1 residues")
+    p_res.add_argument("program")
+    p_res.add_argument("--ics", required=True)
+    p_res.add_argument("--pred")
+    p_res.set_defaults(func=cmd_residues)
+
+    p_desc = sub.add_parser("describe", help="intelligent query answering")
+    p_desc.add_argument("program")
+    p_desc.add_argument("query",
+                        help='e.g. "describe honors(S) where ..."')
+    p_desc.set_defaults(func=cmd_describe)
+
+    p_exp = sub.add_parser("experiments",
+                           help="run the reproduction experiments")
+    p_exp.add_argument("ids", nargs="*",
+                       help="E1..E10 (default: all)")
+    p_exp.add_argument("--csv-dir",
+                       help="also write each table as CSV here")
+    p_exp.set_defaults(func=cmd_experiments)
+
+    p_shell = sub.add_parser("shell", help="interactive Datalog shell")
+    p_shell.set_defaults(func=lambda args: __import__(
+        "repro.shell", fromlist=["interactive"]).interactive())
+
+    p_ex = sub.add_parser("examples", help="the paper's worked examples")
+    p_ex.add_argument("name", nargs="?",
+                      help="e.g. example_4_3 (default: list)")
+    p_ex.set_defaults(func=cmd_examples)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

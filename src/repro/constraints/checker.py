@@ -1,0 +1,116 @@
+"""Checking integrity constraints against a database.
+
+Workload generators must produce EDBs that *satisfy* their ICs (otherwise
+semantic optimization would change answers); this module provides the
+check, plus a repair helper that completes a database so a fact-style IC
+holds (used by generators and property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..datalog.atoms import Atom, Comparison
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable
+from ..engine import builtins
+from ..engine.bindings import Binding, EvalStats, solve_body
+from ..errors import ConstraintError
+from ..facts.database import Database
+from ..facts.relation import Relation
+from .ic import IntegrityConstraint
+
+
+def _fetch_edb(edb: Database):
+    def fetch(atom: Atom, index: int) -> Relation:
+        return edb.relation_or_empty(atom.pred, atom.arity)
+    return fetch
+
+
+def violations(ic: IntegrityConstraint, edb: Database,
+               limit: int | None = None) -> Iterator[Binding]:
+    """Yield body bindings that violate ``ic`` (up to ``limit``)."""
+    probe = Rule(Atom("__ic__", ()), ic.body)
+    stats = EvalStats()
+    produced = 0
+    for binding in solve_body(probe, _fetch_edb(edb), stats):
+        if _head_holds(ic, binding, edb):
+            continue
+        yield binding
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def _head_holds(ic: IntegrityConstraint, binding: Binding,
+                edb: Database) -> bool:
+    head = ic.head
+    if head is None:
+        return False
+    if isinstance(head, Comparison):
+        return builtins.holds(head, binding)
+    if isinstance(head, Atom):
+        row = []
+        for arg in head.args:
+            if isinstance(arg, Constant):
+                row.append(arg.value)
+            elif isinstance(arg, Variable) and arg in binding:
+                row.append(binding[arg])
+            else:
+                # Existential head variable: satisfied when some row
+                # matches the bound prefix.
+                return _exists_match(head, binding, edb)
+        return tuple(row) in edb.relation_or_empty(head.pred, head.arity)
+    raise ConstraintError(f"unsupported IC head: {head}")
+
+
+def _exists_match(head: Atom, binding: Binding, edb: Database) -> bool:
+    relation = edb.relation_or_empty(head.pred, head.arity)
+    pattern = []
+    for column, arg in enumerate(head.args):
+        if isinstance(arg, Constant):
+            pattern.append((column, arg.value))
+        elif isinstance(arg, Variable) and arg in binding:
+            pattern.append((column, binding[arg]))
+    return next(relation.lookup(tuple(pattern)), None) is not None
+
+
+def satisfies(edb: Database, *ics: IntegrityConstraint) -> bool:
+    """True when the database satisfies every given IC."""
+    return all(next(violations(ic, edb, limit=1), None) is None
+               for ic in ics)
+
+
+def repair(edb: Database, ic: IntegrityConstraint,
+           max_rounds: int = 50) -> int:
+    """Add facts until a fact-style IC (database-atom head) holds.
+
+    Returns the number of facts added.  Denials and evaluable-headed ICs
+    cannot be repaired by adding facts; they raise
+    :class:`ConstraintError`.
+    """
+    head = ic.head
+    if not isinstance(head, Atom):
+        raise ConstraintError(
+            "can only repair ICs whose head is a database atom")
+    added = 0
+    for _ in range(max_rounds):
+        batch = []
+        for binding in violations(ic, edb):
+            row = []
+            for arg in head.args:
+                if isinstance(arg, Constant):
+                    row.append(arg.value)
+                elif isinstance(arg, Variable) and arg in binding:
+                    row.append(binding[arg])
+                else:
+                    raise ConstraintError(
+                        f"cannot repair {ic}: head variable {arg} is "
+                        "existential")
+            batch.append(tuple(row))
+        if not batch:
+            return added
+        for row in batch:
+            if edb.add_fact(head.pred, *row):
+                added += 1
+    raise ConstraintError(f"repair of {ic} did not converge")

@@ -1,0 +1,77 @@
+"""Chakravarthy et al.'s *expanded form* of an integrity constraint.
+
+An IC is in expanded form when no constant appears among the arguments of
+any database predicate in its body and each argument is a distinct
+variable; the constraints thereby hidden are made explicit as equality
+atoms (Section 2 and Example 2.1 of the paper).
+
+Only the occurrences *after the first* of a repeated variable are renamed
+(matching the paper's ``ic_e`` in Example 2.1); constants always are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom, Comparison, Literal
+from ..datalog.terms import (Constant, FreshVariableSupply, Term, Variable)
+from .ic import IntegrityConstraint
+
+
+@dataclass(frozen=True)
+class ExpandedIC:
+    """An IC in expanded form.
+
+    Attributes:
+        original: the IC this was derived from.
+        database_atoms: the rewritten database atoms (distinct variables).
+        equalities: the equality atoms introduced by the rewriting.
+        evaluable_atoms: the IC's original evaluable body atoms.
+        head: the IC's (unchanged) head.
+    """
+
+    original: IntegrityConstraint
+    database_atoms: tuple[Atom, ...]
+    equalities: tuple[Comparison, ...]
+    evaluable_atoms: tuple[Comparison, ...]
+    head: Literal | None
+
+    @property
+    def body(self) -> tuple[Literal, ...]:
+        return (self.database_atoms + self.equalities
+                + self.evaluable_atoms)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(lit) for lit in self.body)
+        head = str(self.head) if self.head is not None else ""
+        return f"{body} -> {head}".rstrip() + "."
+
+
+def expand(ic: IntegrityConstraint,
+           prefix: str = "V") -> ExpandedIC:
+    """Convert ``ic`` to expanded form."""
+    supply = FreshVariableSupply({v.name for v in ic.variables()},
+                                 prefix=prefix)
+    seen: set[Variable] = set()
+    equalities: list[Comparison] = []
+    new_atoms: list[Atom] = []
+    for atom in ic.database_atoms():
+        new_args: list[Term] = []
+        for arg in atom.args:
+            if isinstance(arg, Variable) and arg not in seen:
+                seen.add(arg)
+                new_args.append(arg)
+                continue
+            fresh = supply.fresh(prefix)
+            new_args.append(fresh)
+            if isinstance(arg, (Variable, Constant)):
+                equalities.append(Comparison("=", fresh, arg))
+            else:  # pragma: no cover - db atoms never hold arithmetic
+                equalities.append(Comparison("=", fresh, arg))
+        new_atoms.append(Atom(atom.pred, tuple(new_args)))
+    return ExpandedIC(
+        original=ic,
+        database_atoms=tuple(new_atoms),
+        equalities=tuple(equalities),
+        evaluable_atoms=ic.evaluable_atoms(),
+        head=ic.head)

@@ -1,0 +1,152 @@
+"""Integrity constraints.
+
+An IC is an implication ``D1, ..., Dk, E1, ..., Em -> A`` (Section 3):
+``Di`` are database atoms over EDB predicates, ``Ej`` evaluable atoms, and
+the head ``A`` — possibly absent — is either kind of atom.  The paper
+notes the reversal of head and body relative to rule notation.
+
+A *denial* has no head: its body must never be satisfiable.  Semantically
+a database satisfies an IC when every binding that satisfies the body also
+satisfies the head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..datalog.atoms import Atom, Comparison, Literal, literal_variables
+from ..datalog.parser import ParsedIC, parse_ic
+from ..datalog.program import Program
+from ..datalog.rules import is_connected
+from ..datalog.terms import Variable
+from ..datalog.unify import Substitution
+from ..errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class IntegrityConstraint:
+    """An integrity constraint ``body -> head`` (head may be None)."""
+
+    body: tuple[Literal, ...]
+    head: Literal | None = None
+    label: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ConstraintError("an IC needs a non-empty body")
+        if not self.database_atoms():
+            raise ConstraintError(
+                "an IC needs at least one database atom in its body (k >= 1)")
+
+    def __str__(self) -> str:
+        body = ", ".join(str(lit) for lit in self.body)
+        head = str(self.head) if self.head is not None else ""
+        text = f"{body} -> {head}".rstrip()
+        if self.label:
+            return f"{self.label}: {text}."
+        return f"{text}."
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def is_denial(self) -> bool:
+        return self.head is None
+
+    def database_atoms(self) -> tuple[Atom, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, Atom))
+
+    def evaluable_atoms(self) -> tuple[Comparison, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, Comparison))
+
+    def variables(self) -> frozenset[Variable]:
+        out = set(literal_variables(self.body))
+        if self.head is not None:
+            out.update(self.head.variables())
+        return frozenset(out)
+
+    def all_literals(self) -> tuple[Literal, ...]:
+        if self.head is None:
+            return self.body
+        return self.body + (self.head,)
+
+    def apply(self, subst: Substitution) -> "IntegrityConstraint":
+        head = subst.apply_literal(self.head) if self.head is not None \
+            else None
+        return IntegrityConstraint(subst.apply_literals(self.body), head,
+                                   label=self.label)
+
+    # -- the paper's well-formedness conditions ---------------------------------
+    def is_connected(self) -> bool:
+        """Assumption (2): the IC's literals form a connected conjunction."""
+        return is_connected(self.all_literals())
+
+    def is_edb_only(self, program: Program) -> bool:
+        """Assumption (4): database atoms (body and head) are over EDB."""
+        atoms = list(self.database_atoms())
+        if isinstance(self.head, Atom):
+            atoms.append(self.head)
+        return all(program.is_edb(a.pred) for a in atoms)
+
+    def is_chain(self) -> bool:
+        """Section 3's shape: ``Di`` shares variables with exactly its
+        chain neighbours ``D(i-1)`` and ``D(i+1)`` among the database
+        atoms (evaluable atoms may attach anywhere).
+
+        A single database atom is trivially a chain.
+        """
+        atoms = self.database_atoms()
+        if len(atoms) <= 1:
+            return True
+        var_sets = [a.variable_set() for a in atoms]
+        for i, left in enumerate(var_sets):
+            for j in range(i + 1, len(var_sets)):
+                shared = left & var_sets[j]
+                adjacent = j == i + 1
+                if shared and not adjacent:
+                    return False
+                if adjacent and not shared:
+                    return False
+        return True
+
+    def require_chain(self) -> None:
+        if not self.is_chain():
+            raise ConstraintError(
+                f"IC {self.label or self} is not chain-shaped; "
+                "Algorithm 3.1 requires each Di to share variables "
+                "exactly with its neighbours")
+
+
+def from_parsed(parsed: ParsedIC) -> IntegrityConstraint:
+    """Convert a :class:`repro.datalog.parser.ParsedIC`."""
+    return IntegrityConstraint(parsed.body, parsed.head, label=parsed.label)
+
+
+def ic_from_text(text: str) -> IntegrityConstraint:
+    """Parse an IC from text, e.g. ``"a(X, Y), X > 5 -> b(Y)."``"""
+    return from_parsed(parse_ic(text))
+
+
+def ics_from_text(text: str) -> list[IntegrityConstraint]:
+    """Parse several ICs from a block of text."""
+    from ..datalog.parser import parse_statements
+
+    out = []
+    for statement in parse_statements(text):
+        if not isinstance(statement, ParsedIC):
+            raise ConstraintError(
+                f"expected only integrity constraints, found {statement}")
+        out.append(from_parsed(statement))
+    return out
+
+
+def validate_ics(ics: Iterable[IntegrityConstraint],
+                 program: Program) -> list[str]:
+    """Return human-readable problems for ICs violating the assumptions."""
+    problems = []
+    for ic in ics:
+        name = ic.label or str(ic)
+        if not ic.is_connected():
+            problems.append(f"{name}: not connected")
+        if not ic.is_edb_only(program):
+            problems.append(f"{name}: mentions IDB predicates")
+    return problems

@@ -1,0 +1,99 @@
+"""Residues and their classification.
+
+A residue (Section 2; classified in Definition 4.1) is the part of an IC
+left over after (partially) subsuming it against a clause: a condition
+``body -> head`` that is guaranteed to hold whenever the clause produces a
+tuple.
+
+Definition 4.1 classifies residues arising from *free* subsumption, whose
+bodies contain only evaluable atoms:
+
+- **fact residue** ``E1,...,Em -> A`` (m >= 0): *conditional* when m > 0,
+  *unconditional* otherwise;
+- **null residue** ``E1,...,Em ->``: the clause can produce nothing when
+  the ``Ei`` hold (conditional/unconditional as above).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..datalog.atoms import Atom, Comparison, Literal
+from ..datalog.unify import Substitution
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ic import IntegrityConstraint
+
+
+@dataclass(frozen=True)
+class Residue:
+    """The leftover of a subsumption: ``body -> head`` plus provenance.
+
+    Attributes:
+        body: leftover body literals (with the subsuming substitution
+            applied).  Free residues contain only evaluable atoms here.
+        head: leftover head (None for denials).
+        subst: the subsuming substitution theta.
+        ic: the integrity constraint the residue came from.
+    """
+
+    body: tuple[Literal, ...]
+    head: Literal | None
+    subst: Substitution = field(compare=False)
+    ic: "IntegrityConstraint | None" = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(lit) for lit in self.body)
+        head = str(self.head) if self.head is not None else ""
+        return f"{body} -> {head}".strip()
+
+    # -- Definition 4.1 ------------------------------------------------------
+    @property
+    def is_free(self) -> bool:
+        """True when the body contains only evaluable atoms."""
+        return all(isinstance(lit, Comparison) for lit in self.body)
+
+    @property
+    def is_fact(self) -> bool:
+        """Fact residue: has a head (and, for Def 4.1, a free body)."""
+        return self.head is not None and self.is_free
+
+    @property
+    def is_null(self) -> bool:
+        """Null residue: no head (the clause is unsatisfiable under body)."""
+        return self.head is None and self.is_free
+
+    @property
+    def is_conditional(self) -> bool:
+        return bool(self.body)
+
+    @property
+    def kind(self) -> str:
+        """A human-readable classification string."""
+        if not self.is_free:
+            return "non-free"
+        shape = "null" if self.head is None else "fact"
+        mode = "conditional" if self.is_conditional else "unconditional"
+        return f"{mode} {shape}"
+
+    # -- simplification --------------------------------------------------------
+    def simplified(self) -> "Residue":
+        """Drop trivially-true equalities and duplicate body literals."""
+        seen: list[Literal] = []
+        for lit in self.body:
+            if (isinstance(lit, Comparison) and lit.op == "="
+                    and lit.lhs == lit.rhs):
+                continue
+            if lit not in seen:
+                seen.append(lit)
+        return Residue(tuple(seen), self.head, self.subst, self.ic)
+
+    @property
+    def is_tautology(self) -> bool:
+        """True when the head also occurs in the body (nothing to enforce)."""
+        return self.head is not None and self.head in self.body
+
+    def head_atom(self) -> Atom | None:
+        """The head as a database atom, when it is one."""
+        return self.head if isinstance(self.head, Atom) else None

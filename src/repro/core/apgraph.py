@@ -1,0 +1,184 @@
+"""The argument/predicate graph (AP-graph) of Definition 3.2.
+
+Vertices:
+
+- one vertex per EDB subgoal occurrence, identified by
+  ``(rule_label, body_index)``;
+- one vertex ``p_i`` per argument position ``i`` (1-based) of the
+  recursive predicate *in rule bodies*;
+- dummy-subgoal positions ``d_i`` linking subgoals that share a variable
+  not shared with the recursive predicate.
+
+Edges:
+
+- undirected ``(a, p_k)`` labelled ``(None, j)`` when the j-th argument
+  of subgoal ``a`` is the variable at position ``k`` of the recursive
+  call in the same rule;
+- directed ``(p_i, a)`` labelled ``(r, j)`` when subgoal ``a`` of rule
+  ``r`` has the output variable ``X_i`` (the rule's i-th head variable)
+  at position ``j``;
+- directed ``(p_i, p_j)`` labelled ``(r, None)`` when rule ``r``'s output
+  variable ``X_i`` sits at position ``j`` of the recursive call;
+- undirected ``(a, d_m)``, ``(b, d_m)`` for same-rule sharing away from
+  the recursive call.
+
+The composition of one undirected hop with a chain of directed hops is
+how a variable's journey across recursion levels is read off; the
+SD-graph (:mod:`repro.core.sdgraph`) materializes those journeys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..datalog.atoms import Atom
+from ..datalog.program import Program
+from ..datalog.terms import Variable
+from ..errors import ProgramError
+
+#: Vertex encodings.
+SubgoalNode = tuple[str, str, int]       # ("subgoal", rule_label, body_index)
+PositionNode = tuple[str, int]           # ("pos", i)
+DummyNode = tuple[str, int]              # ("dummy", m)
+
+
+def subgoal_node(rule_label: str, body_index: int) -> SubgoalNode:
+    return ("subgoal", rule_label, body_index)
+
+
+def position_node(index: int) -> PositionNode:
+    return ("pos", index)
+
+
+@dataclass(frozen=True)
+class UndirectedEdge:
+    """``(subgoal, p_k)`` edge: subgoal arg ``arg_pos`` feeds position k."""
+
+    subgoal: SubgoalNode
+    position: int
+    arg_pos: int  # 1-based position within the subgoal
+
+
+@dataclass(frozen=True)
+class DirectedEdge:
+    """``(p_i, target)`` edge carrying the rule it crosses.
+
+    ``target`` is a subgoal node (then ``arg_pos`` is set) or a position
+    node (then ``arg_pos`` is None): the output variable ``X_i`` of
+    ``rule`` appears at ``arg_pos`` of the subgoal / at position ``j`` of
+    the recursive call.
+    """
+
+    position: int
+    rule: str
+    target: SubgoalNode | PositionNode
+    arg_pos: int | None
+
+
+@dataclass
+class APGraph:
+    """The AP-graph of a program w.r.t. its recursive predicate ``pred``."""
+
+    pred: str
+    arity: int
+    subgoals: dict[SubgoalNode, Atom] = field(default_factory=dict)
+    undirected: list[UndirectedEdge] = field(default_factory=list)
+    directed: list[DirectedEdge] = field(default_factory=list)
+    dummies: list[tuple[SubgoalNode, SubgoalNode, int, int]] = \
+        field(default_factory=list)  # (a, b, arg_pos_a, arg_pos_b)
+
+    def undirected_from(self, node: SubgoalNode) -> Iterator[UndirectedEdge]:
+        for edge in self.undirected:
+            if edge.subgoal == node:
+                yield edge
+
+    def directed_from(self, position: int) -> Iterator[DirectedEdge]:
+        for edge in self.directed:
+            if edge.position == position:
+                yield edge
+
+
+def build_ap_graph(program: Program, pred: str) -> APGraph:
+    """Construct the AP-graph of ``program`` w.r.t. predicate ``pred``."""
+    program.require_linear(pred)
+    arity = program.predicate_arities().get(pred)
+    if arity is None:
+        raise ProgramError(f"unknown predicate {pred!r}")
+    graph = APGraph(pred=pred, arity=arity)
+    dummy_counter = 0
+
+    for rule in program.rules_for(pred):
+        rec_atom: Atom | None = None
+        for _, occurrence in rule.occurrences_of(pred):
+            rec_atom = occurrence
+        edb_subgoals: list[tuple[SubgoalNode, Atom]] = []
+        for body_index, literal in enumerate(rule.body):
+            if not isinstance(literal, Atom) or literal.pred == pred:
+                continue
+            if not program.is_edb(literal.pred):
+                continue
+            node = subgoal_node(rule.label, body_index)
+            graph.subgoals[node] = literal
+            edb_subgoals.append((node, literal))
+
+        rec_positions: dict[Variable, list[int]] = {}
+        if rec_atom is not None:
+            for k, arg in enumerate(rec_atom.args, start=1):
+                if isinstance(arg, Variable):
+                    rec_positions.setdefault(arg, []).append(k)
+
+        # Undirected (a, p_k) edges.
+        for node, atom in edb_subgoals:
+            for j, arg in enumerate(atom.args, start=1):
+                if isinstance(arg, Variable):
+                    for k in rec_positions.get(arg, ()):
+                        graph.undirected.append(
+                            UndirectedEdge(node, k, j))
+
+        # Directed (p_i, a) and (p_i, p_j) edges.
+        for i, head_arg in enumerate(rule.head.args, start=1):
+            if not isinstance(head_arg, Variable):
+                continue
+            for node, atom in edb_subgoals:
+                for j, arg in enumerate(atom.args, start=1):
+                    if arg == head_arg:
+                        graph.directed.append(
+                            DirectedEdge(i, rule.label, node, j))
+            for j in rec_positions.get(head_arg, ()):
+                graph.directed.append(
+                    DirectedEdge(i, rule.label, position_node(j), None))
+
+        # Dummy links for same-rule sharing away from the recursive call.
+        for index_a in range(len(edb_subgoals)):
+            node_a, atom_a = edb_subgoals[index_a]
+            for index_b in range(index_a + 1, len(edb_subgoals)):
+                node_b, atom_b = edb_subgoals[index_b]
+                shared = (atom_a.variable_set() & atom_b.variable_set()) \
+                    - set(rec_positions)
+                for variable in shared:
+                    pos_a = _position_of(atom_a, variable)
+                    pos_b = _position_of(atom_b, variable)
+                    graph.dummies.append((node_a, node_b, pos_a, pos_b))
+                    dummy_counter += 1
+    return graph
+
+
+def _position_of(atom: Atom, variable: Variable) -> int:
+    for index, arg in enumerate(atom.args, start=1):
+        if arg == variable:
+            return index
+    raise ValueError(f"{variable} not in {atom}")  # pragma: no cover
+
+
+def same_rule_shared_positions(atom_a: Atom, atom_b: Atom
+                               ) -> frozenset[tuple[int, int]]:
+    """All ``(pos_in_a, pos_in_b)`` pairs of shared variables."""
+    pairs = set()
+    for i, arg_a in enumerate(atom_a.args, start=1):
+        if not isinstance(arg_a, Variable):
+            continue
+        for j, arg_b in enumerate(atom_b.args, start=1):
+            if arg_a == arg_b:
+                pairs.add((i, j))
+    return frozenset(pairs)

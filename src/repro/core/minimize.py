@@ -1,0 +1,262 @@
+"""Rule-body minimization under integrity constraints.
+
+The paper's related work (Section 1) credits Sagiv [13] with eliminating
+redundant atoms and rules in Datalog programs under dependencies.  The
+chase machinery built for the push guard gives that optimization almost
+for free, so this module exposes it as a standalone pass:
+
+- an atom of a rule body is *redundant* when deleting it provably
+  preserves the rule's answers on every IC-satisfying database
+  (:func:`repro.core.containment.elimination_is_sound` — classical
+  conjunctive-query minimization when the IC set is empty, chase-based
+  minimization under the ICs otherwise);
+- a rule is *subsumed* when another rule for the same predicate provably
+  produces every answer it produces.
+
+This complements the recursion-aware pushing: minimization works one
+rule at a time and needs no expansion sequences, but conversely it can
+never see multi-instance redundancies like Example 3.2's expert join —
+experiment E10 quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..constraints.ic import IntegrityConstraint
+from ..datalog.analysis import is_safe
+from ..datalog.atoms import Atom, Comparison
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, FreshVariableSupply, Variable
+from ..datalog.unify import Substitution
+from .containment import contained_under, elimination_is_sound
+
+
+@dataclass
+class MinimizationReport:
+    """What the pass removed."""
+
+    original: Program
+    minimized: Program
+    removed_atoms: list[tuple[str, str]] = field(default_factory=list)
+    removed_rules: list[str] = field(default_factory=list)
+    fd_notes: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.removed_atoms or self.removed_rules
+                    or self.fd_notes)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.removed_atoms)} atom(s), "
+                 f"{len(self.removed_rules)} rule(s) removed"]
+        for label, atom_text in self.removed_atoms:
+            lines.append(f"  {label}: dropped {atom_text}")
+        for label, note in self.fd_notes:
+            lines.append(f"  {label}: {note}")
+        for label in self.removed_rules:
+            lines.append(f"  dropped rule {label}")
+        return "\n".join(lines)
+
+
+def as_functional_dependency(
+        ic: IntegrityConstraint
+) -> tuple[str, tuple[int, ...], int] | None:
+    """Recognize an FD-shaped IC: ``p(..), p(..) -> X = Y``.
+
+    Returns ``(pred, key_positions, dependent_position)`` when the IC's
+    body is two atoms of the same predicate sharing variables exactly at
+    the key positions, and the head equates the two variables sitting at
+    the dependent position.  This is the constraint class of
+    Lakshmanan & Hernandez [6] (the paper's related work) and the fuel
+    for optimization kind (iv), "only one answer".
+    """
+    atoms = ic.database_atoms()
+    if len(atoms) != 2 or ic.evaluable_atoms():
+        return None
+    first, second = atoms
+    if first.pred != second.pred or first.arity != second.arity:
+        return None
+    head = ic.head
+    if not isinstance(head, Comparison) or head.op != "=":
+        return None
+    if not isinstance(head.lhs, Variable) or \
+            not isinstance(head.rhs, Variable):
+        return None
+    keys: list[int] = []
+    dependent: int | None = None
+    for position, (a, b) in enumerate(zip(first.args, second.args)):
+        if a == b and isinstance(a, Variable):
+            keys.append(position)
+        elif {a, b} == {head.lhs, head.rhs}:
+            if dependent is not None:
+                return None  # only single-column dependents supported
+            dependent = position
+        else:
+            return None
+    if dependent is None or not keys:
+        return None
+    return (first.pred, tuple(keys), dependent)
+
+
+def apply_functional_dependencies(
+        rule: Rule, ics: Sequence[IntegrityConstraint]
+) -> tuple[Rule | None, list[str]]:
+    """Merge body atoms that an FD forces to agree.
+
+    Two body atoms of the FD's predicate with syntactically equal key
+    arguments must agree on the dependent argument on every consistent
+    database: their dependent terms are unified (the duplicate atom then
+    folds away), or — when they carry distinct constants — the whole rule
+    is unsatisfiable and ``None`` is returned.
+
+    Returns the rewritten rule (or None) and human-readable notes.
+    """
+    fds = [fd for fd in (as_functional_dependency(ic) for ic in ics)
+           if fd is not None]
+    if not fds:
+        return rule, []
+    notes: list[str] = []
+    current = rule
+    progress = True
+    while progress:
+        progress = False
+        atoms = [(i, lit) for i, lit in enumerate(current.body)
+                 if isinstance(lit, Atom)]
+        for pred, keys, dependent in fds:
+            same = [(i, a) for i, a in atoms if a.pred == pred]
+            for (i, a), (j, b) in (
+                    ((x, y) for x in same for y in same if x[0] < y[0])):
+                if any(a.args[k] != b.args[k] for k in keys):
+                    continue
+                left, right = a.args[dependent], b.args[dependent]
+                if left == right:
+                    # Literal duplicate at the dependent position too:
+                    # drop the second atom outright.
+                    current = current.remove_body_index(j)
+                    notes.append(f"folded duplicate {b}")
+                    progress = True
+                    break
+                if isinstance(left, Constant) and \
+                        isinstance(right, Constant):
+                    notes.append(
+                        f"rule unsatisfiable: {a} and {b} violate the "
+                        f"functional dependency on {pred}")
+                    return None, notes
+                # Substitute one variable by the other term, preferring
+                # to keep head variables as representatives.
+                if isinstance(right, Variable) and \
+                        right not in current.head_variables():
+                    victim, replacement = right, left
+                elif isinstance(left, Variable) and \
+                        left not in current.head_variables():
+                    victim, replacement = left, right
+                elif isinstance(right, Variable):
+                    victim, replacement = right, left
+                else:
+                    victim, replacement = left, right  # left is Variable
+                merged = current.apply(
+                    Substitution({victim: replacement}))
+                notes.append(f"merged {victim} := {replacement} "
+                             f"(FD on {pred})")
+                current = merged
+                progress = True
+                break
+            if progress:
+                break
+    return current, notes
+
+
+def minimize_rule(rule: Rule, ics: Sequence[IntegrityConstraint] = ()
+                  ) -> tuple[Rule, list[Atom]]:
+    """Drop redundant body atoms of one rule.
+
+    Tries each database atom in turn (greedy, re-checking after each
+    drop); an atom goes when the chase proves the smaller body contained
+    in the larger and the result stays safe.  With no ICs this is
+    classical CQ minimization (folding duplicate-join homomorphisms).
+    Returns the minimized rule and the dropped atoms.
+    """
+    current = rule
+    dropped: list[Atom] = []
+    progress = True
+    while progress:
+        progress = False
+        for index, literal in enumerate(current.body):
+            if not isinstance(literal, Atom):
+                continue
+            if literal.pred == current.head.pred:
+                continue  # never touch the recursive call
+            smaller = current.remove_body_index(index)
+            if not is_safe(smaller):
+                continue
+            if elimination_is_sound(current.head, current.body, index,
+                                    ics):
+                dropped.append(literal)
+                current = smaller
+                progress = True
+                break
+    return current, dropped
+
+
+def rule_subsumed_by(candidate: Rule, other: Rule,
+                     ics: Sequence[IntegrityConstraint] = ()) -> bool:
+    """Does ``other`` produce every answer ``candidate`` produces?
+
+    Checked as containment of ``candidate``'s body in ``other``'s (with
+    ``other`` renamed apart and its head unified onto ``candidate``'s),
+    under the ICs.
+    """
+    if candidate.head.pred != other.head.pred:
+        return False
+    if candidate.label == other.label:
+        return False
+    supply = FreshVariableSupply(
+        {v.name for v in candidate.variables()}
+        | {v.name for v in other.variables()})
+    renaming = Substitution({
+        v: supply.fresh(v.name)
+        for v in sorted(other.variables(), key=lambda v: v.name)})
+    renamed = other.apply(renaming)
+    from ..datalog.unify import unify
+
+    unifier = unify(renamed.head, candidate.head)
+    if unifier is None:
+        return False
+    aligned = renamed.apply(unifier)
+    return contained_under(candidate.head, candidate.body, aligned.body,
+                           list(ics))
+
+
+def minimize_program(program: Program,
+                     ics: Iterable[IntegrityConstraint] = ()
+                     ) -> MinimizationReport:
+    """Minimize every rule body, then drop subsumed rules."""
+    ics = list(ics)
+    report = MinimizationReport(program, program)
+    new_rules: list[Rule] = []
+    for rule in program:
+        merged, notes = apply_functional_dependencies(rule, ics)
+        for note in notes:
+            report.fd_notes.append((rule.label or "?", note))
+        if merged is None:
+            report.removed_rules.append(rule.label or "?")
+            continue
+        minimized, dropped = minimize_rule(merged, ics)
+        for atom in dropped:
+            report.removed_atoms.append((rule.label or "?", str(atom)))
+        new_rules.append(minimized)
+
+    survivors: list[Rule] = []
+    for index, rule in enumerate(new_rules):
+        others = [r for j, r in enumerate(new_rules)
+                  if j != index and r.label not in report.removed_rules]
+        if any(rule_subsumed_by(rule, other, ics) for other in others):
+            report.removed_rules.append(rule.label or "?")
+            continue
+        survivors.append(rule)
+    report.minimized = Program(
+        survivors, edb_hint=tuple(program.edb_predicates))
+    return report

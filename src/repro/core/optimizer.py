@@ -1,0 +1,429 @@
+"""End-to-end semantic optimizer.
+
+:class:`SemanticOptimizer` wires the pipeline together: residue
+generation (Algorithm 3.1), sequence isolation (Algorithm 4.1) and
+residue pushing (Section 4), with reporting of what was and was not
+applied and why.
+
+Composition policy (see DESIGN.md): Algorithm 3.1's assumptions — linear
+recursion, no mutual recursion — do not hold for an already-transformed
+program, so multi-level passes do not compose arbitrarily.
+:meth:`SemanticOptimizer.optimize` therefore works in two phases:
+
+1. all multi-level residues that are *periodic* (uniform ``r^k``
+   sequences over the same recursive rule) compose into ONE depth-class
+   compilation, each edit applying from its own depth threshold — so
+   several ICs on one recursion do not block each other;
+2. the remaining residues are pushed per (predicate, sequence) group:
+   rule-level groups greedily (they preserve linearity), plus at most
+   one further multi-level isolation, ordered by a benefit policy
+   (pruning > elimination > introduction, strict usefulness first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..constraints.ic import IntegrityConstraint
+from ..datalog.program import Program
+from ..errors import ProgramError
+from .collapse import inline_auxiliaries
+from .isolate import Isolation, isolate
+from .periodic import (periodic_applicable, periodic_eliminate,
+                       periodic_introduce, periodic_prune,
+                       push_periodic_group_best_effort)
+from .push import (GuardMode, PushOutcome, apply_elimination,
+                   apply_introduction, apply_pruning)
+from .residues import (SequenceResidue, generate_residues,
+                       generate_residues_exhaustive,
+                       rule_level_residues)
+from .sdgraph import DEFAULT_MAX_HOPS
+
+#: Push-action priority (lower sorts first).
+_ACTION_RANK = {"prune": 0, "eliminate": 1, "introduce": 2, "skip": 3}
+
+
+@dataclass(frozen=True)
+class OptimizationStep:
+    """One residue push attempt, applied or not."""
+
+    ic_label: str
+    sequence: tuple[str, ...]
+    residue: str
+    outcome: PushOutcome
+
+    def __str__(self) -> str:
+        status = "applied" if self.outcome.applied else \
+            f"skipped ({self.outcome.reason})"
+        return (f"[{self.outcome.action}] ic={self.ic_label} "
+                f"seq={' '.join(self.sequence)} residue='{self.residue}' "
+                f"-> {status}")
+
+
+@dataclass
+class OptimizationReport:
+    """The result of :meth:`SemanticOptimizer.optimize`."""
+
+    original: Program
+    optimized: Program
+    steps: list[OptimizationStep] = field(default_factory=list)
+
+    @property
+    def applied_steps(self) -> list[OptimizationStep]:
+        return [s for s in self.steps if s.outcome.applied]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied_steps)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.applied_steps)}/{len(self.steps)} residue "
+                 "pushes applied"]
+        lines.extend(f"  {step}" for step in self.steps)
+        return "\n".join(lines)
+
+
+def _preferred_action(item: SequenceResidue,
+                      small_relations: frozenset[str]) -> str:
+    """Choose the optimization a residue suggests (Section 4)."""
+    residue = item.residue
+    if residue.is_null:
+        return "prune"
+    head = residue.head_atom()
+    occurs = head is not None and \
+        item.clause.provenance_of(head) is not None
+    if occurs:
+        return "eliminate"
+    if head is not None:
+        # Introduction of a database atom only pays off for small
+        # relations (the paper's criterion); otherwise do nothing.
+        return "introduce" if head.pred in small_relations else "skip"
+    return "introduce"  # evaluable head: scan reduction
+
+
+class SemanticOptimizer:
+    """Pushes the semantics of integrity constraints inside recursion.
+
+    Args:
+        program: a (rectified) linear recursive program.
+        ics: the integrity constraints (EDB-only).
+        pred: the recursive predicate to optimize; defaults to the single
+            recursive predicate of the program.
+        guard: ``"chase"`` (default) validates every edit with the
+            containment test; ``"none"`` reproduces the paper verbatim.
+        small_relations: EDB predicates worth *introducing* as semijoin
+            reducers (the paper's "small relation" criterion is a
+            physical-design judgement the optimizer cannot make alone).
+        max_hops: SD-graph depth bound for Algorithm 3.1.
+    """
+
+    def __init__(self, program: Program,
+                 ics: Iterable[IntegrityConstraint],
+                 pred: str | None = None,
+                 guard: GuardMode = "chase",
+                 small_relations: Iterable[str] = (),
+                 max_hops: int = DEFAULT_MAX_HOPS,
+                 collapse: bool = True,
+                 compilation: str = "periodic") -> None:
+        if compilation not in ("periodic", "automaton"):
+            raise ValueError(
+                f"compilation must be 'periodic' or 'automaton', "
+                f"got {compilation!r}")
+        self.program = program
+        self.ics = list(ics)
+        self.guard: GuardMode = guard
+        self.small_relations = frozenset(small_relations)
+        self.max_hops = max_hops
+        self.collapse = collapse
+        self.compilation = compilation
+        self.pred = pred or self._single_recursive_pred(program)
+
+    @staticmethod
+    def _single_recursive_pred(program: Program) -> str | None:
+        """The unique recursive predicate; None for non-recursive
+        programs (rule-level residues still apply); ambiguity raises."""
+        info = program.recursion_info()
+        recursive = sorted(info.recursive_predicates)
+        if not recursive:
+            return None
+        if len(recursive) > 1:
+            raise ProgramError(
+                f"cannot infer the recursive predicate (found "
+                f"{recursive}); pass pred= explicitly or use "
+                "optimize_all_predicates")
+        return recursive[0]
+
+    # -- residue generation ----------------------------------------------------
+    def sequence_residues(self) -> list[SequenceResidue]:
+        """Sequence residues of every IC (useful ones only).
+
+        Chain-shaped ICs go through Algorithm 3.1's graph detection;
+        non-chain ICs (outside the algorithm's stated class) fall back
+        to the bounded exhaustive enumerator, so the optimizer is not
+        limited to the paper's syntactic class.
+        """
+        out: list[SequenceResidue] = []
+        if self.pred is None:
+            return out
+        for ic in self.ics:
+            if not ic.is_edb_only(self.program):
+                continue
+            if ic.is_chain():
+                out.extend(generate_residues(
+                    self.program, self.pred, ic, max_hops=self.max_hops))
+            else:
+                out.extend(generate_residues_exhaustive(
+                    self.program, self.pred, ic,
+                    max_length=len(ic.database_atoms()) + 2))
+        return out
+
+    def rule_residues(self) -> list[SequenceResidue]:
+        """Rule-level residues (any predicate, any IC shape)."""
+        out: list[SequenceResidue] = []
+        for ic in self.ics:
+            out.extend(rule_level_residues(self.program, ic))
+        return out
+
+    def all_residues(self) -> list[SequenceResidue]:
+        """Sequence residues plus rule-level residues, deduplicated."""
+        residues = self.sequence_residues()
+        seen = {(r.sequence, str(r.residue)) for r in residues}
+        for item in self.rule_residues():
+            key = (item.sequence, str(item.residue))
+            if key not in seen:
+                seen.add(key)
+                residues.append(item)
+        return residues
+
+    # -- pushing ------------------------------------------------------------------
+    def push(self, program: Program, item: SequenceResidue) -> PushOutcome:
+        """Isolate the residue's sequence in ``program`` and push it."""
+        isolation = isolate(program, item.clause.pred, item.sequence)
+        return self.push_into(isolation, item)
+
+    def push_periodic_item(self, program: Program,
+                           item: SequenceResidue) -> PushOutcome:
+        """Push via the overlap-aware depth-class compilation.
+
+        Callers must have checked :func:`periodic_applicable` against
+        ``program`` first.
+        """
+        action = _preferred_action(item, self.small_relations)
+        pred = item.clause.pred
+        if action == "prune":
+            return periodic_prune(program, pred, item, self.ics,
+                                  self.guard)
+        if action == "eliminate":
+            return periodic_eliminate(program, pred, item, self.ics,
+                                      self.guard)
+        if action == "introduce":
+            return periodic_introduce(program, pred, item, self.ics,
+                                      self.guard)
+        return PushOutcome("skip", False,
+                           "nothing beneficial to push")
+
+    def push_into(self, isolation: Isolation,
+                  item: SequenceResidue) -> PushOutcome:
+        action = _preferred_action(item, self.small_relations)
+        if action == "skip":
+            return PushOutcome(
+                "skip", False,
+                "fact residue names a relation not declared small; "
+                "nothing beneficial to push")
+        if action == "prune":
+            return apply_pruning(isolation, item, self.ics, self.guard)
+        if action == "eliminate":
+            outcome = apply_elimination(isolation, item, self.ics,
+                                        self.guard)
+            if outcome.applied:
+                return outcome
+            if (item.residue.head_atom() is not None
+                    and item.residue.head_atom().pred
+                    in self.small_relations):
+                return apply_introduction(isolation, item, self.ics,
+                                          self.guard)
+            return outcome
+        return apply_introduction(isolation, item, self.ics, self.guard)
+
+    def optimize(self) -> OptimizationReport:
+        """Run the full pipeline (see module docstring for the policy)."""
+        report = OptimizationReport(self.program, self.program)
+        current = self.program
+        multi_level_done = False
+        preserved: set[str] = set()
+
+        # Group residues by (pred, sequence); push each group in one
+        # isolation so the sequence is only isolated once.  Preference
+        # order: pruning > elimination > introduction; strict usefulness
+        # over loose; all-recursive sequences (which cover arbitrarily
+        # deep trees) over exit-terminated ones; shorter over longer.
+        def sort_key(item: SequenceResidue):
+            exit_terminated = any(
+                self.program.rule(label).count_occurrences(
+                    item.clause.pred) == 0
+                for label in item.sequence)
+            return (_ACTION_RANK[_preferred_action(
+                        item, self.small_relations)],
+                    0 if item.strictly_useful or item.residue.is_null
+                    else 1,
+                    1 if exit_terminated else 0,
+                    len(item.sequence))
+
+        residues = sorted(self.all_residues(), key=sort_key)
+
+        # Phase 1 — periodic super-groups: all multi-level residues over
+        # the same recursive rule compose into ONE depth-class
+        # compilation (each edit applies from its own depth threshold),
+        # so several ICs on one recursion no longer block each other.
+        handled: set[int] = set()
+        if self.compilation == "periodic":
+            by_rule: dict[tuple[str, str],
+                          list[tuple[SequenceResidue, str]]] = {}
+            for item in residues:
+                if len(item.sequence) <= 1:
+                    continue
+                action = _preferred_action(item, self.small_relations)
+                if action == "skip":
+                    continue
+                if not periodic_applicable(current, item.clause.pred,
+                                           item):
+                    continue
+                key = (item.clause.pred, item.sequence[0])
+                by_rule.setdefault(key, []).append((item, action))
+            for (pred, _rule_label), entries in by_rule.items():
+                if multi_level_done:
+                    break
+                items = [entry[0] for entry in entries]
+                actions = [entry[1] for entry in entries]
+                outcome, per_item = push_periodic_group_best_effort(
+                    current, pred, items, actions, self.ics, self.guard)
+                if not outcome.applied:
+                    # Compilation-level failure (e.g. a second recursive
+                    # rule): leave the items to phase 2's automaton path.
+                    continue
+                for item, item_outcome in zip(items, per_item):
+                    handled.add(id(item))
+                    report.steps.append(OptimizationStep(
+                        _ic_label(item), item.sequence,
+                        str(item.residue), item_outcome))
+                current = outcome.program
+                preserved |= outcome.preserved_preds
+                multi_level_done = True
+
+        # Phase 2 — the remaining residues, per (pred, sequence) group.
+        groups: dict[tuple[str, tuple[str, ...]],
+                     list[SequenceResidue]] = {}
+        for item in residues:
+            if id(item) in handled:
+                continue
+            groups.setdefault((item.clause.pred, item.sequence),
+                              []).append(item)
+
+        for (pred, sequence), items in groups.items():
+            multi_level = len(sequence) > 1
+            if multi_level and multi_level_done:
+                for item in items:
+                    report.steps.append(OptimizationStep(
+                        _ic_label(item), sequence, str(item.residue),
+                        PushOutcome(
+                            _preferred_action(item, self.small_relations),
+                            False,
+                            "another multi-level sequence was already "
+                            "isolated this pass")))
+                continue
+            isolation: Isolation | None = None
+            group_changed = False
+            for item in items:
+                try:
+                    if (self.compilation == "periodic"
+                            and periodic_applicable(current, pred, item)):
+                        outcome = self.push_periodic_item(current, item)
+                    else:
+                        if isolation is None:
+                            isolation = isolate(current, pred, sequence)
+                        outcome = self.push_into(isolation, item)
+                except ProgramError as error:
+                    outcome = PushOutcome(
+                        _preferred_action(item, self.small_relations),
+                        False, f"earlier edit superseded the target rule: "
+                        f"{error}")
+                report.steps.append(OptimizationStep(
+                    _ic_label(item), sequence, str(item.residue), outcome))
+                if outcome.applied and outcome.program is not None:
+                    current = outcome.program
+                    group_changed = True
+                    preserved |= outcome.preserved_preds
+                    if isolation is not None:
+                        # Re-anchor the isolation on the updated program
+                        # so later residues of the group see earlier
+                        # edits.
+                        isolation = Isolation(
+                            current, isolation.pred, isolation.sequence,
+                            isolation.clause, isolation.alpha_labels,
+                            isolation.p_names, isolation.q_names)
+            if multi_level and group_changed:
+                multi_level_done = True
+        if self.collapse:
+            auxiliaries = (current.idb_predicates
+                           - self.program.idb_predicates - preserved)
+            current = inline_auxiliaries(current, auxiliaries)
+        report.optimized = current
+        return report
+
+
+def _ic_label(item: SequenceResidue) -> str:
+    ic = item.residue.ic
+    return (ic.label or str(ic)) if ic is not None else "?"
+
+
+def optimize(program: Program, ics: Sequence[IntegrityConstraint],
+             pred: str | None = None, guard: GuardMode = "chase",
+             small_relations: Iterable[str] = ()) -> OptimizationReport:
+    """One-call convenience wrapper around :class:`SemanticOptimizer`."""
+    return SemanticOptimizer(
+        program, ics, pred=pred, guard=guard,
+        small_relations=small_relations).optimize()
+
+
+def optimize_all_predicates(program: Program,
+                            ics: Sequence[IntegrityConstraint],
+                            guard: GuardMode = "chase",
+                            small_relations: Iterable[str] = (),
+                            compilation: str = "periodic"
+                            ) -> OptimizationReport:
+    """Optimize every linear recursive predicate of the program in turn.
+
+    Each predicate gets its own :class:`SemanticOptimizer` pass over the
+    program produced by the previous pass — sound because a pass only
+    rewrites its own predicate's rules (other predicates' rules, and
+    hence their linearity, are untouched).  Non-linear or mutually
+    recursive predicates are skipped with a report entry.
+    """
+    combined = OptimizationReport(program, program)
+    current = program
+    info = program.recursion_info()
+    for pred in sorted(info.recursive_predicates):
+        if not info.is_linear(pred) or any(
+                pred in group for group in info.mutual_groups):
+            combined.steps.append(OptimizationStep(
+                "-", (pred,), "-",
+                PushOutcome("skip", False,
+                            f"{pred} is not linear recursion")))
+            continue
+        report = SemanticOptimizer(
+            current, ics, pred=pred, guard=guard,
+            small_relations=small_relations,
+            compilation=compilation).optimize()
+        combined.steps.extend(report.steps)
+        current = report.optimized
+    # A non-recursive program still gets its rule-level residues.
+    if not info.recursive_predicates:
+        report = SemanticOptimizer(
+            current, ics, guard=guard,
+            small_relations=small_relations,
+            compilation=compilation).optimize()
+        combined.steps.extend(report.steps)
+        current = report.optimized
+    combined.optimized = current
+    return combined

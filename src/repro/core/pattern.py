@@ -1,0 +1,62 @@
+"""Pattern graphs of chain-shaped ICs (Section 3).
+
+The pattern graph of ``D1, ..., Dk, E1, ..., Em -> A`` is the undirected
+path over the database subgoals with each edge ``(Di, D(i+1))`` labelled
+by the argument-position pairs of their shared variables.  Lemma 3.1
+matches this path against the SD-graph in both orientations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constraints.ic import IntegrityConstraint
+from ..datalog.atoms import Atom
+from ..errors import ConstraintError
+from .apgraph import same_rule_shared_positions
+
+
+@dataclass(frozen=True)
+class PatternGraph:
+    """The undirected path graph of a chain IC.
+
+    Attributes:
+        ic: the constraint.
+        atoms: the chain ``D1..Dk`` in body order.
+        edge_pairs: for each ``i``, the label of edge ``(Di, D(i+1))`` —
+            position pairs ``(pos in Di, pos in D(i+1))`` of shared
+            variables.
+    """
+
+    ic: IntegrityConstraint
+    atoms: tuple[Atom, ...]
+    edge_pairs: tuple[frozenset[tuple[int, int]], ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.atoms)
+
+    def reversed(self) -> "PatternGraph":
+        """The same path walked ``Dk .. D1`` (labels flipped)."""
+        atoms = tuple(reversed(self.atoms))
+        pairs = tuple(
+            frozenset((j, i) for i, j in label)
+            for label in reversed(self.edge_pairs))
+        return PatternGraph(self.ic, atoms, pairs)
+
+
+def build_pattern_graph(ic: IntegrityConstraint) -> PatternGraph:
+    """Build the pattern graph; the IC must be chain-shaped."""
+    ic.require_chain()
+    atoms = ic.database_atoms()
+    if not atoms:
+        raise ConstraintError("an IC needs at least one database atom")
+    pairs = []
+    for left, right in zip(atoms, atoms[1:]):
+        label = same_rule_shared_positions(left, right)
+        if not label:  # pragma: no cover - require_chain already checks
+            raise ConstraintError(
+                f"consecutive IC atoms {left} and {right} share no "
+                "variable")
+        pairs.append(label)
+    return PatternGraph(ic, atoms, tuple(pairs))

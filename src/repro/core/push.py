@@ -1,0 +1,450 @@
+"""Pushing residues inside recursion (Section 4, stage 2).
+
+Given an :class:`repro.core.isolate.Isolation` and a residue attached to
+the isolated sequence, apply one of the three optimizations:
+
+- **atom elimination** (fact residue whose head lands on a sequence
+  atom): delete that atom from the corresponding alpha-rule; for a
+  conditional residue ``E -> A``, split the rule into an ``E``-guarded
+  copy without ``A`` and ``not E``-guarded copies with it;
+- **atom introduction** (fact residue naming an evaluable atom or a
+  small relation): add the implied atom to the alpha-rule it shares
+  variables with, with the complementary ``not E`` copies;
+- **subtree pruning** (null residue): guard the alpha-rule carrying the
+  residue's variables with ``not E``; an unconditional null residue
+  deletes the pattern-completing alpha-rule outright, followed by
+  dead-rule cleanup.
+
+``not E`` for a conjunction ``E1, ..., Em`` is realized as ``m`` rule
+copies each carrying one complemented comparison (free residue bodies are
+evaluable, so complements are comparisons again — no negation needed).
+
+Unless ``guard="none"`` (paper-fidelity mode), every edit is first
+validated with the chase-based containment test of
+:mod:`repro.core.containment`; edits that cannot be proven
+answer-preserving are skipped and reported rather than applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal as TypingLiteral
+
+from ..datalog.analysis import is_safe
+from ..datalog.atoms import Atom, Comparison
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..errors import TransformError
+from .containment import chase, contained_under, freeze
+from .isolate import Isolation
+from .residues import SequenceResidue
+from .sequences import ProvenancedLiteral
+
+GuardMode = TypingLiteral["chase", "none"]
+
+
+@dataclass(frozen=True)
+class PushOutcome:
+    """What happened to one residue push attempt."""
+
+    action: str                      # eliminate | introduce | prune
+    applied: bool
+    reason: str = ""
+    edited_rule: str | None = None   # label of the alpha-rule edited
+    program: Program | None = field(default=None, repr=False)
+    #: Auxiliary predicates the collapse pass must leave alone (used by
+    #: the periodic depth-class compilation, whose classes are
+    #: load-bearing).
+    preserved_preds: frozenset[str] = frozenset()
+
+
+def _complement_copies(rule: Rule, condition: tuple[Comparison, ...],
+                       label_stem: str) -> list[Rule]:
+    """The ``not E`` side of a conditional split (one copy per literal)."""
+    copies = []
+    for index, comparison in enumerate(condition):
+        label = f"{label_stem}_n{index}" if len(condition) > 1 \
+            else f"{label_stem}_n"
+        copies.append(rule.add_literals(
+            comparison.complement()).with_label(label))
+    return copies
+
+
+def _find_level_for_condition(isolation: Isolation,
+                              condition: tuple[Comparison, ...],
+                              prefer: int | None = None) -> int | None:
+    """A level whose alpha-rule binds every condition variable.
+
+    Prefers ``prefer`` when it qualifies (same-rule split is cheapest),
+    otherwise the qualifying level nearest to it.
+    """
+    needed = set()
+    for comparison in condition:
+        needed.update(comparison.variable_set())
+    qualifying = [
+        level for level in range(len(isolation.alpha_labels))
+        if needed <= isolation.alpha_rule(level).body_variables()]
+    if not qualifying:
+        return None
+    if prefer is None:
+        return qualifying[0]
+    if prefer in qualifying:
+        return prefer
+    return min(qualifying, key=lambda level: abs(level - prefer))
+
+
+def _chain_pred_name(isolation: Isolation, level: int) -> str:
+    """The predicate defined by the alpha-rule at ``level``."""
+    if level == 0:
+        return isolation.pred
+    return isolation.p_names[level - 1]
+
+
+def _rename_head(rule: Rule, new_pred: str) -> Rule:
+    return rule.with_head(Atom(new_pred, rule.head.args))
+
+
+def _rename_call(rule: Rule, old_pred: str, new_pred: str) -> Rule:
+    body = list(rule.body)
+    for index, literal in enumerate(body):
+        if isinstance(literal, Atom) and literal.pred == old_pred:
+            body[index] = Atom(new_pred, literal.args)
+            return rule.with_body(tuple(body))
+    raise TransformError(  # pragma: no cover - callers know the call exists
+        f"{rule.label} has no call to {old_pred}")
+
+
+def _split_with_condition(isolation: Isolation, edit_level: int,
+                          edited: Rule,
+                          condition: tuple[Comparison, ...],
+                          tag: str) -> tuple[Program | None, str]:
+    """Install ``edited`` (built from the alpha-rule at ``edit_level``)
+    guarded by ``condition``.
+
+    When the condition's variables are bound in the same alpha-rule, this
+    is the paper's split: the edited copy gets ``E``, the original gets
+    the ``not E`` copies.  When the condition lives in a *different*
+    alpha-rule, the guard decision is threaded through duplicated chain
+    predicates so the decision taken deep in the pattern reaches the rule
+    being edited (Example 4.1 needs this: the rank test sits three
+    recursion levels below the eliminable atom).
+
+    Returns ``(program, "")`` on success or ``(None, reason)``.
+    """
+    original = isolation.alpha_rule(edit_level)
+    if not condition:
+        if not is_safe(edited):
+            return None, f"edit would make {original.label} unsafe"
+        return isolation.program.replace_rule(original.label, edited), ""
+
+    cond_level = _find_level_for_condition(isolation, condition,
+                                           prefer=edit_level)
+    if cond_level is None:
+        return None, ("no single alpha-rule binds every residue-"
+                      "condition variable")
+
+    if cond_level == edit_level:
+        optimized = edited.add_literals(*condition).with_label(
+            f"{original.label}_{tag}")
+        replacements = [optimized] + _complement_copies(
+            original, condition, original.label)
+        unsafe = [r.label for r in replacements if not is_safe(r)]
+        if unsafe:
+            return None, f"conditional split produces unsafe rules: {unsafe}"
+        return isolation.program.replace_rule(
+            original.label, *replacements), ""
+
+    # Threaded split: duplicate the chain predicates between the two
+    # levels so the condition's outcome selects which copy of the edited
+    # rule consumes the sub-derivation.
+    program = isolation.program
+    existing = set(program.predicates)
+
+    def dup_name(level: int) -> str:
+        name = f"{_chain_pred_name(isolation, level)}_{tag}"
+        while name in existing:
+            name += "_"
+        existing.add(name)
+        return name
+
+    dup_names: dict[int, str] = {}
+    cond_rule = isolation.alpha_rule(cond_level)
+
+    if cond_level > edit_level:
+        # The condition is decided deeper; its verdict climbs up through
+        # duplicated predicates pred_{edit_level+1} .. pred_{cond_level}.
+        for level in range(edit_level + 1, cond_level + 1):
+            dup_names[level] = dup_name(level)
+        new_rules: list[tuple[str, list[Rule]]] = []
+        # cond rule: E-copy feeds the duplicated chain, not-E copies the
+        # normal one.
+        sat_copy = _rename_head(
+            cond_rule.add_literals(*condition), dup_names[cond_level]
+            ).with_label(f"{cond_rule.label}_{tag}")
+        new_rules.append((cond_rule.label,
+                          [sat_copy] + _complement_copies(
+                              cond_rule, condition, cond_rule.label)))
+        # intermediate rules: duplicated head and call.
+        for level in range(edit_level + 1, cond_level):
+            rule = isolation.alpha_rule(level)
+            copy = _rename_call(
+                _rename_head(rule, dup_names[level]),
+                _chain_pred_name(isolation, level + 1),
+                dup_names[level + 1]).with_label(f"{rule.label}_{tag}")
+            new_rules.append((rule.label, [rule, copy]))
+        # edited rule consumes the duplicated chain.
+        optimized = _rename_call(
+            edited, _chain_pred_name(isolation, edit_level + 1),
+            dup_names[edit_level + 1]).with_label(
+                f"{original.label}_{tag}")
+        new_rules.append((original.label, [original, optimized]))
+    else:
+        # The condition is decided shallower; the edited rule offers an
+        # alternative chain that only the E-guarded copy consumes.
+        for level in range(cond_level + 1, edit_level + 1):
+            dup_names[level] = dup_name(level)
+        new_rules = []
+        optimized = _rename_head(edited, dup_names[edit_level]) \
+            .with_label(f"{original.label}_{tag}")
+        new_rules.append((original.label, [original, optimized]))
+        for level in range(cond_level + 1, edit_level):
+            rule = isolation.alpha_rule(level)
+            copy = _rename_call(
+                _rename_head(rule, dup_names[level]),
+                _chain_pred_name(isolation, level + 1),
+                dup_names[level + 1]).with_label(f"{rule.label}_{tag}")
+            new_rules.append((rule.label, [rule, copy]))
+        guarded = _rename_call(
+            cond_rule.add_literals(*condition),
+            _chain_pred_name(isolation, cond_level + 1),
+            dup_names[cond_level + 1]).with_label(
+                f"{cond_rule.label}_{tag}")
+        new_rules.append((cond_rule.label,
+                          [guarded] + _complement_copies(
+                              cond_rule, condition, cond_rule.label)))
+
+    all_new = [r for _, rules in new_rules for r in rules]
+    unsafe = [r.label for r in all_new if not is_safe(r)]
+    if unsafe:
+        return None, f"threaded split produces unsafe rules: {unsafe}"
+    for old_label, replacements in new_rules:
+        program = program.replace_rule(old_label, *replacements)
+    return program, ""
+
+
+def _locate_atom(isolation: Isolation, atom: Atom
+                 ) -> ProvenancedLiteral | None:
+    """Find ``atom``'s provenance within the isolated clause."""
+    return isolation.clause.provenance_of(atom)
+
+
+def _residue_condition(residue) -> tuple[Comparison, ...]:
+    condition = tuple(lit for lit in residue.body
+                      if isinstance(lit, Comparison))
+    if len(condition) != len(residue.body):
+        raise TransformError(
+            f"residue {residue} has database atoms in its body; only "
+            "free residues can be pushed")
+    return condition
+
+
+# ---------------------------------------------------------------------------
+# (1) Atom elimination
+# ---------------------------------------------------------------------------
+
+def apply_elimination(isolation: Isolation, item: SequenceResidue,
+                      ics, guard: GuardMode = "chase") -> PushOutcome:
+    """Delete the residue-implied atom from its alpha-rule."""
+    residue = item.residue
+    head = residue.head_atom()
+    if head is None:
+        return PushOutcome("eliminate", False,
+                           "residue has no database-atom head")
+    condition = _residue_condition(residue)
+    provenance = _locate_atom(isolation, head)
+    if provenance is None:
+        return PushOutcome(
+            "eliminate", False,
+            f"residue head {head} does not occur in the sequence "
+            "(not useful for elimination)")
+
+    if guard == "chase":
+        literals = isolation.clause.literals()
+        index = literals.index(head)
+        smaller = literals[:index] + literals[index + 1:]
+        if not contained_under(isolation.clause.head, smaller, literals,
+                               ics, assumptions=condition):
+            return PushOutcome(
+                "eliminate", False,
+                f"chase guard could not prove deleting {head} is "
+                "answer-preserving")
+
+    rule = isolation.alpha_rule(provenance.level)
+    body_index = _alpha_body_index(rule, provenance, head)
+    if body_index is None:
+        return PushOutcome("eliminate", False,
+                           f"{head} not found in alpha-rule {rule.label}")
+
+    edited = rule.remove_body_index(body_index).with_label(
+        f"{rule.label}_e")
+    program, reason = _split_with_condition(
+        isolation, provenance.level, edited, condition, tag="e")
+    if program is None:
+        return PushOutcome("eliminate", False, reason)
+    return PushOutcome("eliminate", True, edited_rule=rule.label,
+                       program=program)
+
+
+def _alpha_body_index(rule: Rule, provenance: ProvenancedLiteral,
+                      atom: Atom) -> int | None:
+    """Map clause provenance back to the alpha-rule body position."""
+    if (0 <= provenance.body_index < len(rule.body)
+            and rule.body[provenance.body_index] == atom):
+        return provenance.body_index
+    for index, literal in enumerate(rule.body):  # pragma: no cover
+        if literal == atom:
+            return index
+    return None
+
+
+# ---------------------------------------------------------------------------
+# (2) Atom introduction
+# ---------------------------------------------------------------------------
+
+def apply_introduction(isolation: Isolation, item: SequenceResidue,
+                       ics, guard: GuardMode = "chase") -> PushOutcome:
+    """Add the residue-implied atom to the alpha-rule sharing its vars.
+
+    Unbound residue-head variables (existential witnesses) would make the
+    introduced atom a cartesian blow-up; they are kept — they bind
+    themselves during the semijoin — but at least one variable must be
+    shared with the sequence (the paper's criterion (ii))."""
+    residue = item.subsumption.residue  # unextended: head vars faithful
+    condition = _residue_condition(residue)
+    head = residue.head
+    if head is None:
+        return PushOutcome("introduce", False, "null residues cannot "
+                           "introduce atoms")
+    if isinstance(head, Comparison):
+        introduced: Atom | Comparison = head
+        shared = head.variable_set()
+    else:
+        introduced = head
+        shared = head.variable_set()
+
+    level = None
+    best_overlap = 0
+    for candidate in range(len(isolation.alpha_labels)):
+        rule = isolation.alpha_rule(candidate)
+        overlap = len(shared & rule.body_variables())
+        if overlap > best_overlap:
+            best_overlap = overlap
+            level = candidate
+    if level is None:
+        return PushOutcome(
+            "introduce", False,
+            "the residue head shares no variable with the sequence")
+
+    if guard == "chase":
+        literals = isolation.clause.literals()
+        larger = literals + (introduced,)
+        if not contained_under(isolation.clause.head, literals, larger,
+                               ics, assumptions=condition):
+            return PushOutcome(
+                "introduce", False,
+                f"chase guard could not prove adding {introduced} is "
+                "answer-preserving")
+
+    rule = isolation.alpha_rule(level)
+    # Prepend the reducer: the paper reorders so "the selection is first
+    # performed on the small relation and the bindings passed on".
+    edited = rule.with_body((introduced,) + rule.body).with_label(
+        f"{rule.label}_i")
+    program, reason = _split_with_condition(
+        isolation, level, edited, condition, tag="i")
+    if program is None:
+        return PushOutcome("introduce", False, reason)
+    return PushOutcome("introduce", True, edited_rule=rule.label,
+                       program=program)
+
+
+# ---------------------------------------------------------------------------
+# (3) Subtree pruning
+# ---------------------------------------------------------------------------
+
+def apply_pruning(isolation: Isolation, item: SequenceResidue,
+                  ics, guard: GuardMode = "chase") -> PushOutcome:
+    """Guard (or delete) the alpha-chain so pruned subtrees never fire."""
+    residue = item.residue
+    if residue.head is not None:
+        return PushOutcome("prune", False,
+                           "only null residues prune subtrees")
+    condition = _residue_condition(residue)
+
+    if guard == "chase":
+        instance, supply = freeze(isolation.clause.literals(), condition)
+        chase(instance, list(ics), supply)
+        if not instance.inconsistent:
+            return PushOutcome(
+                "prune", False,
+                "chase guard could not derive a contradiction from the "
+                "sequence plus the residue condition")
+
+    if not condition:
+        # Unconditional: the pattern-completing alpha-rule goes away.
+        label = isolation.alpha_labels[-1]
+        edb = isolation.program.edb_predicates  # before deletion
+        program = isolation.program.replace_rule(label)
+        program = remove_dead_rules(program, edb)
+        return PushOutcome("prune", True, edited_rule=label,
+                           program=program)
+
+    level = _find_level_for_condition(isolation, condition)
+    if level is None:
+        return PushOutcome(
+            "prune", False,
+            "no single alpha-rule binds every residue-condition variable")
+    rule = isolation.alpha_rule(level)
+    replacements = _complement_copies(rule, condition, rule.label)
+    for replacement in replacements:
+        if not is_safe(replacement):
+            return PushOutcome(
+                "prune", False,
+                f"guarding {rule.label} with the complement of "
+                f"{condition} would make it unsafe")
+    program = isolation.program.replace_rule(rule.label, *replacements)
+    return PushOutcome("prune", True, edited_rule=rule.label,
+                       program=program)
+
+
+# ---------------------------------------------------------------------------
+# Cleanup
+# ---------------------------------------------------------------------------
+
+def remove_dead_rules(program: Program,
+                      edb: frozenset[str] | None = None) -> Program:
+    """Drop rules referencing IDB predicates that have no rules left.
+
+    Applied after unconditional pruning deletes a rule: callers of the
+    now-empty auxiliary predicate can never fire.  ``edb`` must be the
+    *true* EDB set (a predicate whose rules were all deleted would
+    otherwise be mistaken for an extensional relation); it defaults to
+    the program's own classification, which only works when no rules
+    were deleted yet.
+    """
+    if edb is None:
+        edb = program.edb_predicates
+    rules = list(program)
+    while True:
+        defined = {rule.head.pred for rule in rules}
+        alive = []
+        for rule in rules:
+            dead = any(
+                isinstance(lit, Atom) and lit.pred not in defined
+                and lit.pred not in edb
+                for lit in rule.body)
+            if not dead:
+                alive.append(rule)
+        if len(alive) == len(rules):
+            return Program(alive, edb_hint=tuple(edb))
+        rules = alive

@@ -1,0 +1,209 @@
+"""Expansion sequences and their unfolding into conjunctive clauses.
+
+An *expansion sequence* is a sequence of program rules applied top-down
+(Section 2): ``r0 r1 r0`` denotes the proof-tree spine where the recursive
+predicate is expanded with ``r0``, then ``r1``, then ``r0``.  For linear
+programs, expansion sequences are in 1-1 correspondence with proof trees.
+
+Unfolding composes the rules into a single clause.  Every body literal of
+the unfolded clause carries *provenance* — which rule instance (level) and
+which body position it came from — because the push transformations of
+Section 4 must edit the alpha-rule corresponding to a specific atom
+occurrence.  The per-level variable renamings are exposed so Algorithm 4.1
+can emit alpha-rules in exactly the unfolding's variable space (the
+paper's step 5 "head unification").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import FreshVariableSupply, Variable
+from ..datalog.unify import Substitution, unify
+from ..errors import TransformError
+
+
+@dataclass(frozen=True)
+class ProvenancedLiteral:
+    """A literal of an unfolded clause with its origin.
+
+    Attributes:
+        literal: the (renamed) literal.
+        level: 0-based index of the rule instance in the sequence.
+        body_index: the literal's position in that rule's original body.
+    """
+
+    literal: Literal
+    level: int
+    body_index: int
+
+
+@dataclass(frozen=True)
+class SequenceClause:
+    """The unfolding of an expansion sequence.
+
+    Attributes:
+        pred: the recursive predicate the sequence expands.
+        labels: the rule labels of the sequence, top-down.
+        head: the clause head (the first rule's head).
+        body: all body literals with provenance, level-major order.  When
+            the last rule is recursive this includes the trailing
+            recursive atom (its provenance points at that occurrence).
+        instances: the renamed rule instances, one per level; instance
+            ``i``'s head is the recursive call emitted by instance
+            ``i-1`` (instance 0 keeps the original head).
+        level_substitutions: per level, the renaming from the original
+            rule's variables into the unfolding's variable space.
+        recursive_tail: index into ``body`` of the trailing recursive
+            atom, or None when the sequence ends with an exit rule.
+    """
+
+    pred: str
+    labels: tuple[str, ...]
+    head: Atom
+    body: tuple[ProvenancedLiteral, ...]
+    instances: tuple[Rule, ...]
+    level_substitutions: tuple[Substitution, ...]
+    recursive_tail: int | None
+
+    def literals(self, include_tail: bool = True) -> tuple[Literal, ...]:
+        """The bare body literals (optionally without the recursive tail)."""
+        out = []
+        for index, item in enumerate(self.body):
+            if not include_tail and index == self.recursive_tail:
+                continue
+            out.append(item.literal)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(item.literal) for item in self.body)
+        return f"{self.head} :- {body}."
+
+    def provenance_of(self, literal: Literal) -> ProvenancedLiteral | None:
+        """First provenance entry whose literal equals ``literal``."""
+        for item in self.body:
+            if item.literal == literal:
+                return item
+        return None
+
+    def variables(self) -> frozenset[Variable]:
+        out = set(self.head.variables())
+        for item in self.body:
+            out.update(item.literal.variables())
+        return frozenset(out)
+
+
+def _sequence_rules(program: Program, pred: str,
+                    labels: Sequence[str]) -> list[Rule]:
+    rules = []
+    for position, label in enumerate(labels):
+        rule = program.rule(label)
+        if rule.head.pred != pred:
+            raise TransformError(
+                f"rule {label} defines {rule.head.pred}, not {pred}")
+        occurrences = rule.count_occurrences(pred)
+        if occurrences > 1:
+            raise TransformError(
+                f"rule {label} is not linear in {pred}")
+        if occurrences == 0 and position != len(labels) - 1:
+            raise TransformError(
+                f"exit rule {label} can only terminate a sequence")
+        rules.append(rule)
+    if not rules:
+        raise TransformError("an expansion sequence needs at least one rule")
+    return rules
+
+
+def unfold(program: Program, pred: str,
+           labels: Sequence[str]) -> SequenceClause:
+    """Unfold an expansion sequence into a :class:`SequenceClause`."""
+    labels = tuple(labels)
+    rules = _sequence_rules(program, pred, labels)
+    supply = FreshVariableSupply(
+        {v.name for rule in program for v in rule.variables()})
+
+    instances: list[Rule] = []
+    substitutions: list[Substitution] = []
+    body: list[ProvenancedLiteral] = []
+    recursive_tail: int | None = None
+
+    call_atom: Atom | None = None  # the pending recursive call to expand
+    for level, rule in enumerate(rules):
+        if level == 0:
+            renaming = Substitution()
+            instance = rule
+        else:
+            assert call_atom is not None
+            fresh_map = {v: supply.fresh(v.name) for v in sorted(
+                rule.variables(), key=lambda v: v.name)}
+            renaming = Substitution(fresh_map)
+            renamed = rule.apply(renaming)
+            unifier = unify(renamed.head, call_atom)
+            if unifier is None:
+                raise TransformError(
+                    f"cannot unfold {labels}: head of {rule.label} does "
+                    f"not unify with the recursive call {call_atom}")
+            foreign = set(unifier) - set(renamed.variables())
+            if foreign:
+                # Binding call-site variables would have to propagate to
+                # earlier levels; rectified heads never trigger this.
+                raise TransformError(
+                    f"cannot unfold {labels}: rule {rule.label} has a "
+                    "non-rectified head that constrains the call site; "
+                    "rectify the program first")
+            instance = renamed.apply(unifier)
+            renaming = renaming.compose(unifier)
+        instances.append(instance)
+        substitutions.append(renaming)
+
+        call_atom = None
+        for body_index, literal in enumerate(instance.body):
+            original = rule.body[body_index]
+            is_recursive_call = (isinstance(original, Atom)
+                                 and original.pred == pred)
+            if is_recursive_call and level < len(rules) - 1:
+                # Expanded by the next rule: not part of the clause body.
+                call_atom = literal  # type: ignore[assignment]
+                continue
+            body.append(ProvenancedLiteral(literal, level, body_index))
+            if is_recursive_call:
+                recursive_tail = len(body) - 1
+                call_atom = literal  # type: ignore[assignment]
+
+    return SequenceClause(
+        pred=pred,
+        labels=labels,
+        head=instances[0].head,
+        body=tuple(body),
+        instances=tuple(instances),
+        level_substitutions=tuple(substitutions),
+        recursive_tail=recursive_tail)
+
+
+def enumerate_sequences(program: Program, pred: str, max_length: int,
+                        include_exit: bool = True
+                        ) -> Iterator[tuple[str, ...]]:
+    """Enumerate expansion-sequence label tuples up to ``max_length``.
+
+    All prefixes consist of recursive rules; when ``include_exit`` is set,
+    sequences may additionally end with an exit rule.  Lengths from 1 to
+    ``max_length`` are produced in breadth-first order.
+    """
+    recursive = [r.label for r in program.recursive_rules(pred)]
+    exits = [r.label for r in program.exit_rules(pred)] if include_exit \
+        else []
+    frontier: list[tuple[str, ...]] = [()]
+    for _ in range(max_length):
+        next_frontier: list[tuple[str, ...]] = []
+        for prefix in frontier:
+            for label in recursive:
+                sequence = prefix + (label,)
+                yield sequence
+                next_frontier.append(sequence)
+            for label in exits:
+                yield prefix + (label,)
+        frontier = next_frontier

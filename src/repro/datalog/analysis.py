@@ -1,0 +1,137 @@
+"""Structural checks: range restriction, connectivity, safety.
+
+The paper's standing assumptions (Section 1) are:
+
+1. all rules are range restricted;
+2. all rules and ICs are connected;
+3. only linear recursion without mutual recursion;
+4. ICs involve EDB relations (and evaluable predicates) only.
+
+This module implements the checks for (1), (2) and the engine-level safety
+condition; (3) is :meth:`repro.datalog.program.Program.require_linear` and
+(4) lives with :class:`repro.constraints.ic.IntegrityConstraint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .atoms import Atom, Comparison, Negation
+from .program import Program
+from .rules import Rule, is_connected
+from .terms import Variable, variables_of
+
+
+def is_range_restricted(rule: Rule) -> bool:
+    """True when every head variable appears in the body (Section 1)."""
+    return rule.head_variables() <= rule.body_variables()
+
+
+def bound_variables(rule: Rule) -> frozenset[Variable]:
+    """Variables guaranteed bound when the body is evaluated left-to-right
+    in any order: those in positive database atoms, closed under propagation
+    through ``=`` comparisons with one side computable.
+    """
+    bound: set[Variable] = set()
+    for lit in rule.body:
+        if isinstance(lit, Atom):
+            bound.update(lit.variables())
+    equalities = [lit for lit in rule.body
+                  if isinstance(lit, Comparison) and lit.op == "="]
+    changed = True
+    while changed:
+        changed = False
+        for eq in equalities:
+            lhs_vars = set(variables_of(eq.lhs))
+            rhs_vars = set(variables_of(eq.rhs))
+            if lhs_vars <= bound and not rhs_vars <= bound:
+                if isinstance(eq.rhs, Variable):
+                    bound.add(eq.rhs)
+                    changed = True
+            elif rhs_vars <= bound and not lhs_vars <= bound:
+                if isinstance(eq.lhs, Variable):
+                    bound.add(eq.lhs)
+                    changed = True
+    return frozenset(bound)
+
+
+def is_safe(rule: Rule) -> bool:
+    """Engine-level safety: every variable of the rule is bound.
+
+    Head variables, variables under negation and variables in comparisons
+    must all be bound by positive database atoms (possibly via ``=``
+    chains), so that bottom-up evaluation always works with ground values.
+    """
+    bound = bound_variables(rule)
+    if not rule.head_variables() <= bound:
+        return False
+    for lit in rule.body:
+        if isinstance(lit, Negation):
+            if not lit.variable_set() <= bound:
+                return False
+        elif isinstance(lit, Comparison):
+            if not lit.variable_set() <= bound:
+                return False
+    return True
+
+
+def rule_is_connected(rule: Rule) -> bool:
+    """Connectivity of a rule's body in the paper's sense."""
+    return is_connected(rule.body)
+
+
+@dataclass
+class ProgramReport:
+    """Outcome of validating a program against the paper's assumptions."""
+
+    unsafe_rules: list[str] = field(default_factory=list)
+    unrestricted_rules: list[str] = field(default_factory=list)
+    disconnected_rules: list[str] = field(default_factory=list)
+    mutual_groups: list[frozenset[str]] = field(default_factory=list)
+    nonlinear_predicates: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.unsafe_rules or self.unrestricted_rules
+                    or self.mutual_groups or self.nonlinear_predicates)
+
+    @property
+    def ok_for_paper(self) -> bool:
+        """Also requires connectivity, assumption (2)."""
+        return self.ok and not self.disconnected_rules
+
+    def summary(self) -> str:
+        if self.ok_for_paper:
+            return "program satisfies all assumptions"
+        issues = []
+        if self.unsafe_rules:
+            issues.append(f"unsafe rules: {self.unsafe_rules}")
+        if self.unrestricted_rules:
+            issues.append(
+                f"not range restricted: {self.unrestricted_rules}")
+        if self.disconnected_rules:
+            issues.append(f"disconnected rules: {self.disconnected_rules}")
+        if self.mutual_groups:
+            issues.append(
+                f"mutual recursion: {[sorted(g) for g in self.mutual_groups]}")
+        if self.nonlinear_predicates:
+            issues.append(
+                f"non-linear recursion: {sorted(self.nonlinear_predicates)}")
+        return "; ".join(issues)
+
+
+def validate_program(program: Program) -> ProgramReport:
+    """Check a program against the engine's and the paper's assumptions."""
+    report = ProgramReport()
+    for rule in program:
+        label = rule.label or str(rule)
+        if not is_range_restricted(rule):
+            report.unrestricted_rules.append(label)
+        if not is_safe(rule):
+            report.unsafe_rules.append(label)
+        if rule.body and not rule_is_connected(rule):
+            report.disconnected_rules.append(label)
+    info = program.recursion_info()
+    report.mutual_groups = list(info.mutual_groups)
+    report.nonlinear_predicates = sorted(info.nonlinear_predicates)
+    return report

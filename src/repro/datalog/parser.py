@@ -1,0 +1,392 @@
+"""A recursive-descent parser for the Prolog-like notation of the paper.
+
+Grammar (informal)::
+
+    unit      := statement*
+    statement := [label ':'] (rule | ic | fact | query)
+    rule      := atom ':-' literals '.'
+    fact      := atom '.'
+    ic        := literals '->' [literal] '.'
+    query     := '?-' literals '.'
+    literals  := literal (',' literal)*
+    literal   := 'not' atom | atom | comparison
+    atom      := ident ['(' term (',' term)* ')']
+    comparison:= expr op expr        with op in  = != < <= > >=
+    expr      := product (('+'|'-') product)*
+    product   := unary (('*'|'/') unary)*
+    unary     := ['-'] (var | number | string | ident | '(' expr ')')
+
+Identifiers starting with a lowercase letter are predicate/constant
+symbols; identifiers starting with an uppercase letter or ``_`` are
+variables.  ``%`` starts a comment to end of line.  An IC may have an empty
+head (a denial): ``a(X), X > 5 -> .`` or equivalently ``... -> false.``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from ..errors import ParseError
+from .atoms import Atom, Comparison, Literal, Negation
+from .rules import Rule
+from .program import Program
+from .terms import ArithExpr, Constant, Term, Variable
+
+_PUNCT = (":-", "?-", "->", "<=", ">=", "!=", "=<", "=>",
+          "(", ")", ",", ".", "<", ">", "=", "+", "-", "*", "/", ":")
+_OP_NORMALIZE = {"=<": "<=", "=>": ">="}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT VAR NUMBER STRING PUNCT EOF
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`ParseError` on unknown characters."""
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if ch == "%":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if ch.isdigit():
+            start = index
+            while index < length and (text[index].isdigit()
+                                      or text[index] == "."):
+                # A '.' is part of the number only when followed by a digit;
+                # otherwise it terminates the statement.
+                if text[index] == ".":
+                    if index + 1 < length and text[index + 1].isdigit():
+                        index += 1
+                    else:
+                        break
+                index += 1
+            lexeme = text[start:index]
+            yield Token("NUMBER", lexeme, line, column)
+            column += index - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (text[index].isalnum()
+                                      or text[index] == "_"):
+                index += 1
+            lexeme = text[start:index]
+            kind = "VAR" if (lexeme[0].isupper() or lexeme[0] == "_") \
+                else "IDENT"
+            yield Token(kind, lexeme, line, column)
+            column += index - start
+            continue
+        if ch in "'\"":
+            quote = ch
+            start_line, start_col = line, column
+            index += 1
+            column += 1
+            chars: list[str] = []
+            while index < length and text[index] != quote:
+                if text[index] == "\\" and index + 1 < length:
+                    chars.append(text[index + 1])
+                    index += 2
+                    column += 2
+                    continue
+                if text[index] == "\n":
+                    raise ParseError("unterminated string",
+                                     start_line, start_col)
+                chars.append(text[index])
+                index += 1
+                column += 1
+            if index >= length:
+                raise ParseError("unterminated string",
+                                 start_line, start_col)
+            index += 1
+            column += 1
+            yield Token("STRING", "".join(chars), start_line, start_col)
+            continue
+        for punct in _PUNCT:
+            if text.startswith(punct, index):
+                yield Token("PUNCT", _OP_NORMALIZE.get(punct, punct),
+                            line, column)
+                index += len(punct)
+                column += len(punct)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, column)
+    yield Token("EOF", "", line, column)
+
+
+@dataclass(frozen=True)
+class ParsedIC:
+    """A parsed integrity constraint ``body -> head`` (head may be None)."""
+
+    body: tuple[Literal, ...]
+    head: Literal | None
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed query ``?- literals.``"""
+
+    literals: tuple[Literal, ...]
+
+
+Statement = Union[Rule, ParsedIC, ParsedQuery]
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line, token.column)
+        return self._next()
+
+    def _at_punct(self, text: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.kind == "PUNCT" and token.text == text
+
+    # -- grammar -------------------------------------------------------------
+    def parse_unit(self) -> list[Statement]:
+        statements: list[Statement] = []
+        while self._peek().kind != "EOF":
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> Statement:
+        label = None
+        if (self._peek().kind == "IDENT" and self._at_punct(":", 1)
+                and not self._at_punct(":-", 1)):
+            label = self._next().text
+            self._next()  # ':'
+        if self._at_punct("?-"):
+            self._next()
+            literals = self._parse_literals()
+            self._expect("PUNCT", ".")
+            return ParsedQuery(tuple(literals))
+        literals = self._parse_literals()
+        if self._at_punct(":-"):
+            self._next()
+            if len(literals) != 1 or not isinstance(literals[0], Atom):
+                token = self._peek()
+                raise ParseError("rule head must be a single database atom",
+                                 token.line, token.column)
+            body = self._parse_literals()
+            self._expect("PUNCT", ".")
+            return Rule(literals[0], tuple(body), label=label)
+        if self._at_punct("->"):
+            self._next()
+            head: Literal | None = None
+            if not self._at_punct("."):
+                if (self._peek().kind == "IDENT"
+                        and self._peek().text == "false"
+                        and self._at_punct(".", 1)):
+                    self._next()
+                else:
+                    head = self._parse_literal()
+            self._expect("PUNCT", ".")
+            return ParsedIC(tuple(literals), head, label=label)
+        # A bare atom followed by '.' is a fact.
+        self._expect("PUNCT", ".")
+        if len(literals) != 1 or not isinstance(literals[0], Atom):
+            token = self._peek()
+            raise ParseError("a fact must be a single database atom",
+                             token.line, token.column)
+        return Rule(literals[0], (), label=label)
+
+    def _parse_literals(self) -> list[Literal]:
+        literals = [self._parse_literal()]
+        while self._at_punct(","):
+            self._next()
+            literals.append(self._parse_literal())
+        return literals
+
+    def _parse_literal(self) -> Literal:
+        token = self._peek()
+        if token.kind == "IDENT" and token.text == "not":
+            self._next()
+            inner = self._parse_literal()
+            if not isinstance(inner, Atom):
+                raise ParseError("'not' applies to database atoms only",
+                                 token.line, token.column)
+            return Negation(inner)
+        # An identifier followed by '(' is a database atom...
+        if token.kind == "IDENT" and self._at_punct("(", 1):
+            return self._parse_atom()
+        # ... a zero-arity atom when followed by a literal separator ...
+        if token.kind == "IDENT" and (
+                self._at_punct(",", 1) or self._at_punct(".", 1)
+                or self._at_punct(":-", 1) or self._at_punct("->", 1)):
+            self._next()
+            return Atom(token.text, ())
+        # ... otherwise we are looking at a comparison.
+        lhs = self._parse_expr()
+        op_token = self._peek()
+        if op_token.kind != "PUNCT" or op_token.text not in _COMPARISON_OPS:
+            raise ParseError(
+                f"expected comparison operator, found "
+                f"{op_token.text or op_token.kind!r}",
+                op_token.line, op_token.column)
+        self._next()
+        rhs = self._parse_expr()
+        return Comparison(op_token.text, lhs, rhs)
+
+    def _parse_atom(self) -> Atom:
+        name = self._expect("IDENT").text
+        args: list[Term] = []
+        if self._at_punct("("):
+            self._next()
+            if not self._at_punct(")"):
+                args.append(self._parse_expr())
+                while self._at_punct(","):
+                    self._next()
+                    args.append(self._parse_expr())
+            self._expect("PUNCT", ")")
+        return Atom(name, tuple(args))
+
+    def _parse_expr(self) -> Term:
+        left = self._parse_product()
+        while self._at_punct("+") or self._at_punct("-"):
+            op = self._next().text
+            right = self._parse_product()
+            left = ArithExpr(op, left, right)
+        return left
+
+    def _parse_product(self) -> Term:
+        left = self._parse_unary()
+        while self._at_punct("*") or self._at_punct("/"):
+            op = self._next().text
+            right = self._parse_unary()
+            left = ArithExpr(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Term:
+        token = self._peek()
+        if self._at_punct("-"):
+            self._next()
+            number = self._expect("NUMBER")
+            return Constant(-_to_number(number.text))
+        if self._at_punct("("):
+            self._next()
+            inner = self._parse_expr()
+            self._expect("PUNCT", ")")
+            return inner
+        if token.kind == "NUMBER":
+            self._next()
+            return Constant(_to_number(token.text))
+        if token.kind == "STRING":
+            self._next()
+            return Constant(token.text)
+        if token.kind == "VAR":
+            self._next()
+            return Variable(token.text)
+        if token.kind == "IDENT":
+            self._next()
+            return Constant(token.text)
+        raise ParseError(f"expected a term, found {token.text or token.kind!r}",
+                         token.line, token.column)
+
+
+def _to_number(text: str) -> int | float:
+    return float(text) if "." in text else int(text)
+
+
+def parse_statements(text: str) -> list[Statement]:
+    """Parse a mixed unit of rules, facts, ICs and queries."""
+    return _Parser(text).parse_unit()
+
+
+def parse_program(text: str, edb_hint: tuple[str, ...] = ()) -> Program:
+    """Parse rules/facts only; any IC or query in the text is an error."""
+    rules: list[Rule] = []
+    for statement in parse_statements(text):
+        if not isinstance(statement, Rule):
+            raise ParseError(
+                f"expected only rules, found {type(statement).__name__}")
+        rules.append(statement)
+    return Program(rules, edb_hint=edb_hint)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse exactly one rule (or fact)."""
+    statements = parse_statements(text)
+    if len(statements) != 1 or not isinstance(statements[0], Rule):
+        raise ParseError("expected exactly one rule")
+    return statements[0]
+
+
+def parse_ic(text: str) -> ParsedIC:
+    """Parse exactly one integrity constraint."""
+    statements = parse_statements(text)
+    if len(statements) != 1 or not isinstance(statements[0], ParsedIC):
+        raise ParseError("expected exactly one integrity constraint")
+    return statements[0]
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse exactly one query, with or without the leading ``?-``."""
+    stripped = text.strip()
+    if not stripped.startswith("?-"):
+        stripped = "?- " + stripped
+    if not stripped.rstrip().endswith("."):
+        stripped = stripped.rstrip() + "."
+    statements = parse_statements(stripped)
+    if len(statements) != 1 or not isinstance(statements[0], ParsedQuery):
+        raise ParseError("expected exactly one query")
+    return statements[0]
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single database atom such as ``par(X, Y)``."""
+    parser = _Parser(text)
+    result = parser._parse_atom()
+    if parser._peek().kind != "EOF":
+        token = parser._peek()
+        raise ParseError(f"trailing input after atom: {token.text!r}",
+                         token.line, token.column)
+    return result
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a single literal (atom, comparison, or negated atom)."""
+    parser = _Parser(text)
+    result = parser._parse_literal()
+    if parser._peek().kind != "EOF":
+        token = parser._peek()
+        raise ParseError(f"trailing input after literal: {token.text!r}",
+                         token.line, token.column)
+    return result

@@ -1,0 +1,85 @@
+"""Rule rectification.
+
+The paper assumes (Section 2) that programs are *rectified* [Ullman 14]:
+all rules defining the same predicate have an identical head
+``p(X1, ..., Xn)`` where the ``Xi`` are distinct variables, with ``Xi`` in
+column ``i``.  Rectifying a rule whose head contains constants or repeated
+variables moves those constraints into the body as equality comparisons.
+
+Example::
+
+    p(X, X, a) :- e(X).       ==>    p(X1, X2, X3) :- e(X1),
+                                                       X2 = X1, X3 = a.
+"""
+
+from __future__ import annotations
+
+from .atoms import Atom, Comparison, Literal
+from .program import Program
+from .rules import Rule
+from .terms import Constant, FreshVariableSupply, Variable
+
+
+def head_variable(index: int) -> Variable:
+    """The canonical head variable for column ``index`` (0-based)."""
+    return Variable(f"X{index + 1}")
+
+
+def is_rectified(rule: Rule) -> bool:
+    """True when the head is a tuple of distinct variables."""
+    seen: set[Variable] = set()
+    for arg in rule.head.args:
+        if not isinstance(arg, Variable) or arg in seen:
+            return False
+        seen.add(arg)
+    return True
+
+
+def rectify_rule(rule: Rule, canonical: bool = False) -> Rule:
+    """Rectify one rule.
+
+    When ``canonical`` is True the head variables are renamed to the
+    canonical ``X1..Xn`` so that all rules for a predicate share an
+    identical head, as the paper assumes; body variables are renamed
+    consistently and clashes are avoided with fresh names.
+    """
+    supply = FreshVariableSupply({v.name for v in rule.variables()})
+    extra: list[Literal] = []
+    new_args: list[Variable] = []
+    seen: set[Variable] = set()
+    for arg in rule.head.args:
+        if isinstance(arg, Variable) and arg not in seen:
+            seen.add(arg)
+            new_args.append(arg)
+            continue
+        fresh = supply.fresh("X")
+        new_args.append(fresh)
+        if isinstance(arg, (Variable, Constant)):
+            extra.append(Comparison("=", fresh, arg))
+        else:
+            extra.append(Comparison("=", fresh, arg))
+    rectified = Rule(Atom(rule.head.pred, tuple(new_args)),
+                     rule.body + tuple(extra), label=rule.label)
+    if not canonical:
+        return rectified
+    # Rename head variables to the canonical X1..Xn, avoiding collisions
+    # with variables already used elsewhere in the rule.
+    from .unify import Substitution  # local import to avoid a cycle
+    target = [head_variable(i) for i in range(len(new_args))]
+    clash = ({v for v in rectified.variables()} - set(new_args)) \
+        & set(target)
+    mapping: dict[Variable, Variable] = {}
+    if clash:
+        clash_supply = FreshVariableSupply(
+            {v.name for v in rectified.variables()} | {t.name for t in target})
+        for var in clash:
+            mapping[var] = clash_supply.fresh(var.name)
+    for current, wanted in zip(new_args, target):
+        mapping[current] = wanted
+    return rectified.apply(Substitution(mapping))
+
+
+def rectify_program(program: Program, canonical: bool = True) -> Program:
+    """Rectify every rule of a program."""
+    return program.with_rules(
+        rectify_rule(r, canonical=canonical) for r in program)

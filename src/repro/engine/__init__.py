@@ -1,0 +1,24 @@
+"""Bottom-up evaluation: naive, semi-naive, stratification, magic sets."""
+
+from .bindings import EvalStats
+from .builtins import holds
+from .engine import (EvaluationResult, consistent_answers, evaluate,
+                     evaluate_with_magic, magic_answers, query_answers)
+from .magic import MagicProgram, adornment_of, magic_rewrite
+from .naive import naive_evaluate
+from .seminaive import seminaive_evaluate
+from .stratify import stratify
+from .topdown import TabledEvaluator, TopDownResult, topdown_query
+from .explain import Derivation, Explainer, explain
+from .plan import PlanStep, RulePlan, explain_plan, plan_rule
+
+__all__ = [
+    "EvalStats", "holds",
+    "EvaluationResult", "consistent_answers", "evaluate",
+    "evaluate_with_magic", "magic_answers", "query_answers",
+    "MagicProgram", "adornment_of", "magic_rewrite",
+    "naive_evaluate", "seminaive_evaluate", "stratify",
+    "TabledEvaluator", "TopDownResult", "topdown_query",
+    "Derivation", "Explainer", "explain",
+    "PlanStep", "RulePlan", "explain_plan", "plan_rule",
+]

@@ -1,0 +1,151 @@
+"""Semantics of evaluable (built-in) predicates.
+
+Evaluable atoms are comparisons over arithmetic expressions.  During
+bottom-up evaluation, variables are bound to ground Python values; this
+module evaluates expressions under such bindings and decides comparisons.
+
+``=`` doubles as a *binding* builtin: when exactly one side is an unbound
+variable and the other side is fully evaluable, it binds instead of
+testing, which is what makes rectified rules (whose head constraints moved
+into ``=`` body atoms) safe to evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..datalog.atoms import Comparison
+from ..datalog.terms import ArithExpr, Constant, ConstValue, Term, Variable
+from ..errors import EvaluationError
+
+Binding = Mapping[Variable, ConstValue]
+
+_UNBOUND = object()
+
+
+def eval_term(term: Term, binding: Binding) -> ConstValue:
+    """Evaluate a term to a ground value; raises when a variable is unbound."""
+    value = try_eval_term(term, binding)
+    if value is _UNBOUND:
+        raise EvaluationError(f"unbound variable in evaluable atom: {term}")
+    return value  # type: ignore[return-value]
+
+
+def try_eval_term(term: Term, binding: Binding) -> object:
+    """Like :func:`eval_term` but returns a sentinel instead of raising."""
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Variable):
+        return binding.get(term, _UNBOUND)
+    left = try_eval_term(term.left, binding)
+    right = try_eval_term(term.right, binding)
+    if left is _UNBOUND or right is _UNBOUND:
+        return _UNBOUND
+    return _apply_arith(term.op, left, right)
+
+
+def _apply_arith(op: str, left: object, right: object) -> ConstValue:
+    if not isinstance(left, (int, float)) or not isinstance(right,
+                                                            (int, float)):
+        raise EvaluationError(
+            f"arithmetic on non-numeric values: {left!r} {op} {right!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise EvaluationError("division by zero")
+        return left / right
+    raise EvaluationError(f"unknown arithmetic operator {op!r}")
+
+
+def _compare(op: str, left: ConstValue, right: ConstValue) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    # Ordering comparisons require compatible types.
+    numeric = isinstance(left, (int, float)) and isinstance(right,
+                                                            (int, float))
+    textual = isinstance(left, str) and isinstance(right, str)
+    if not numeric and not textual:
+        raise EvaluationError(
+            f"cannot order {left!r} and {right!r} with {op!r}")
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise EvaluationError(f"unknown comparison operator {op!r}")
+
+
+def holds(comparison: Comparison, binding: Binding) -> bool:
+    """Decide a comparison under a ground binding."""
+    left = eval_term(comparison.lhs, binding)
+    right = eval_term(comparison.rhs, binding)
+    return _compare(comparison.op, left, right)
+
+
+def solve(comparison: Comparison,
+          binding: dict[Variable, ConstValue]) -> Optional[
+              dict[Variable, ConstValue]]:
+    """Decide or *bind* a comparison.
+
+    Returns the (possibly extended) binding when the comparison holds or
+    could be satisfied by binding one unbound variable through ``=``;
+    returns None when it fails.  Raises :class:`EvaluationError` when the
+    comparison cannot be decided (unbound variables in a non-binding
+    position), which indicates an unsafe rule slipped past validation.
+    """
+    left = try_eval_term(comparison.lhs, binding)
+    right = try_eval_term(comparison.rhs, binding)
+    if left is not _UNBOUND and right is not _UNBOUND:
+        if _compare(comparison.op, left, right):  # type: ignore[arg-type]
+            return binding
+        return None
+    if comparison.op == "=":
+        if (left is _UNBOUND and isinstance(comparison.lhs, Variable)
+                and right is not _UNBOUND):
+            extended = dict(binding)
+            extended[comparison.lhs] = right  # type: ignore[assignment]
+            return extended
+        if (right is _UNBOUND and isinstance(comparison.rhs, Variable)
+                and left is not _UNBOUND):
+            extended = dict(binding)
+            extended[comparison.rhs] = left  # type: ignore[assignment]
+            return extended
+    raise EvaluationError(
+        f"cannot decide {comparison} with unbound variables")
+
+
+def can_check(comparison: Comparison, bound: set[Variable]) -> bool:
+    """True when all variables of the comparison are in ``bound``."""
+    return comparison.variable_set() <= bound
+
+
+def can_bind(comparison: Comparison, bound: set[Variable]) -> bool:
+    """True when ``=`` could bind exactly one new variable given ``bound``."""
+    if comparison.op != "=":
+        return False
+    lhs_free = comparison.lhs if isinstance(comparison.lhs, Variable) \
+        and comparison.lhs not in bound else None
+    rhs_free = comparison.rhs if isinstance(comparison.rhs, Variable) \
+        and comparison.rhs not in bound else None
+    lhs_ok = set(v for v in _vars(comparison.lhs)) <= bound
+    rhs_ok = set(v for v in _vars(comparison.rhs)) <= bound
+    return (lhs_free is not None and rhs_ok) or (rhs_free is not None
+                                                 and lhs_ok)
+
+
+def _vars(term: Term):
+    if isinstance(term, Variable):
+        yield term
+    elif isinstance(term, ArithExpr):
+        yield from _vars(term.left)
+        yield from _vars(term.right)

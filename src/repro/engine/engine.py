@@ -1,0 +1,169 @@
+"""High-level evaluation facade.
+
+:func:`evaluate` runs a program over an EDB with the chosen fixpoint
+method and returns an :class:`EvaluationResult` bundling the IDB, the
+instrumentation counters and query helpers.  This is the public entry
+point used by examples, tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..datalog.atoms import Atom
+from ..datalog.parser import parse_query
+from ..datalog.program import Program
+from ..datalog.terms import Constant, Variable
+from ..errors import EvaluationError
+from ..facts.database import Database
+from .bindings import EvalStats
+from .magic import MagicProgram, adornment_of, magic_rewrite
+from .naive import naive_evaluate
+from .seminaive import DerivationHook, answers, seminaive_evaluate
+
+#: Known fixpoint methods.
+METHODS = ("seminaive", "naive")
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of evaluating a program over a database."""
+
+    program: Program
+    edb: Database
+    idb: Database
+    stats: EvalStats
+    elapsed_seconds: float
+    method: str = "seminaive"
+    magic: Optional[MagicProgram] = field(default=None, repr=False)
+
+    def facts(self, pred: str) -> frozenset[tuple]:
+        """All derived tuples of an IDB predicate."""
+        return frozenset(self.idb.facts(pred))
+
+    def count(self, pred: str) -> int:
+        return len(self.idb.facts(pred))
+
+    def query(self, text_or_literals) -> set[tuple]:
+        """Evaluate a conjunctive query over EDB + IDB.
+
+        Accepts query text (``"p(X, 3), X > 2"``) or parsed literals.
+        Returns tuples over the query variables in order of appearance.
+        """
+        if isinstance(text_or_literals, str):
+            literals = parse_query(text_or_literals).literals
+        else:
+            literals = tuple(text_or_literals)
+        return answers(literals, self.program, self.edb, self.idb,
+                       self.stats)
+
+
+def evaluate(program: Program, edb: Database, method: str = "seminaive",
+             hook: Optional[DerivationHook] = None,
+             planner: str = "greedy") -> EvaluationResult:
+    """Evaluate ``program`` bottom-up over ``edb``.
+
+    Args:
+        program: the Datalog program.
+        edb: the extensional database (never mutated).
+        method: ``"seminaive"`` (default) or ``"naive"``.
+        hook: optional per-derivation veto hook (semi-naive only); used by
+            the residue-guided baseline.
+        planner: ``"greedy"`` reorders joins by boundness and size;
+            ``"source"`` keeps database atoms in rule order (the fixed
+            join orders the paper's era assumed; used by experiment E2).
+    """
+    stats = EvalStats()
+    start = time.perf_counter()
+    if method == "seminaive":
+        idb = seminaive_evaluate(program, edb, stats, hook=hook,
+                                 planner=planner)
+    elif method == "naive":
+        if hook is not None:
+            raise EvaluationError("hooks require the semi-naive method")
+        idb = naive_evaluate(program, edb, stats)
+    else:
+        raise EvaluationError(
+            f"unknown method {method!r}; expected one of {METHODS}")
+    elapsed = time.perf_counter() - start
+    return EvaluationResult(program, edb, idb, stats, elapsed, method)
+
+
+def evaluate_with_magic(program: Program, edb: Database,
+                        query: Atom) -> EvaluationResult:
+    """Magic-rewrite ``program`` for ``query`` and evaluate the result.
+
+    The returned result's :meth:`EvaluationResult.facts` must be asked for
+    the *adorned* query predicate; use :attr:`EvaluationResult.magic` or
+    the convenience :func:`magic_answers`.
+    """
+    rewritten = magic_rewrite(program, query)
+    stats = EvalStats()
+    start = time.perf_counter()
+    idb = seminaive_evaluate(rewritten.program, edb, stats)
+    elapsed = time.perf_counter() - start
+    return EvaluationResult(rewritten.program, edb, idb, stats, elapsed,
+                            method="seminaive+magic", magic=rewritten)
+
+
+def magic_answers(program: Program, edb: Database,
+                  query: Atom) -> frozenset[tuple]:
+    """Answers to ``query`` (full tuples) computed via magic sets."""
+    result = evaluate_with_magic(program, edb, query)
+    assert result.magic is not None
+    rows = result.magic.answers(result.idb)
+    # Filter on the query's constant positions (magic guarantees relevance
+    # but adorned relations may contain tuples for every seed binding).
+    wanted = []
+    for row in rows:
+        keep = True
+        for value, arg in zip(row, query.args):
+            if isinstance(arg, Constant) and arg.value != value:
+                keep = False
+                break
+        if keep:
+            wanted.append(row)
+    return frozenset(wanted)
+
+
+def query_answers(program: Program, edb: Database, query: Atom,
+                  method: str = "seminaive") -> frozenset[tuple]:
+    """Answers to a single-atom query without magic rewriting."""
+    result = evaluate(program, edb, method=method)
+    rows = result.facts(query.pred) if query.pred in \
+        program.idb_predicates else edb.facts(query.pred)
+    wanted = []
+    for row in rows:
+        binding: dict[Variable, object] = {}
+        keep = True
+        for value, arg in zip(row, query.args):
+            if isinstance(arg, Constant):
+                if arg.value != value:
+                    keep = False
+                    break
+            elif isinstance(arg, Variable):
+                if binding.setdefault(arg, value) != value:
+                    keep = False
+                    break
+        if keep:
+            wanted.append(row)
+    return frozenset(wanted)
+
+
+def consistent_answers(programs: Iterable[Program], edb: Database,
+                       pred: str) -> bool:
+    """True when every program computes the same relation for ``pred``.
+
+    Convenience used by equivalence tests and examples.
+    """
+    baseline: frozenset[tuple] | None = None
+    for program in programs:
+        result = evaluate(program, edb)
+        current = result.facts(pred)
+        if baseline is None:
+            baseline = current
+        elif current != baseline:
+            return False
+    return True

@@ -1,0 +1,151 @@
+"""Magic-sets rewriting.
+
+Section 6 of the paper frames its contribution as the semantic analogue of
+magic sets: "just as the magic sets method pushes the goal selectivity of
+queries inside recursion, our approach tries to push the semantics (in
+ICs) inside the recursion."  We implement the classic supplementary-free
+magic-sets transformation (left-to-right sideways information passing)
+both as a substrate feature and for experiment E6, which composes magic
+sets *on top of* the semantic transformation to show the two
+optimizations are orthogonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom, Comparison, Literal, Negation
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Term, Variable
+from ..errors import TransformError
+from ..facts.database import Database
+
+Adornment = str  # e.g. "bf" — one letter per argument position
+
+
+def adornment_of(query: Atom) -> Adornment:
+    """Compute the binding pattern of a query atom: constants are bound."""
+    return "".join(
+        "b" if isinstance(arg, Constant) else "f" for arg in query.args)
+
+
+def _adorned(pred: str, adornment: Adornment) -> str:
+    return f"{pred}__{adornment}"
+
+
+def _magic(pred: str, adornment: Adornment) -> str:
+    return f"m_{pred}__{adornment}"
+
+
+def _bound_args(atom: Atom, adornment: Adornment) -> tuple[Term, ...]:
+    return tuple(arg for arg, a in zip(atom.args, adornment) if a == "b")
+
+
+@dataclass(frozen=True)
+class MagicProgram:
+    """Result of the rewriting.
+
+    Attributes:
+        program: the rewritten rules (adorned + magic + seed).
+        query_pred: adorned name of the query predicate; evaluate the
+            rewritten program and read answers from this relation.
+        seed: the magic seed fact added as a rule (also in ``program``).
+    """
+
+    program: Program
+    query_pred: str
+    seed: Rule
+
+    def answers(self, idb: Database) -> frozenset[tuple]:
+        """Project the adorned query relation out of an IDB database."""
+        return frozenset(idb.facts(self.query_pred))
+
+
+def magic_rewrite(program: Program, query: Atom) -> MagicProgram:
+    """Rewrite ``program`` for the given query atom.
+
+    The query must target an IDB predicate; its constant arguments define
+    the binding pattern.  Negation is not supported by this rewriting (the
+    paper's programs are negation-free).
+    """
+    if query.pred not in program.idb_predicates:
+        raise TransformError(
+            f"magic rewriting needs an IDB query predicate, got "
+            f"{query.pred!r}")
+    for rule in program:
+        if rule.negated_atoms():
+            raise TransformError(
+                "magic rewriting does not support negation")
+
+    query_adornment = adornment_of(query)
+    out_rules: list[Rule] = []
+    pending: list[tuple[str, Adornment]] = [(query.pred, query_adornment)]
+    done: set[tuple[str, Adornment]] = set()
+
+    while pending:
+        pred, adornment = pending.pop()
+        if (pred, adornment) in done:
+            continue
+        done.add((pred, adornment))
+        for rule in program.rules_for(pred):
+            out_rules.extend(
+                _rewrite_rule(program, rule, adornment, pending))
+
+    seed_args = _bound_args(query, query_adornment)
+    seed = Rule(Atom(_magic(query.pred, query_adornment), seed_args), (),
+                label="magic_seed")
+    out_rules.append(seed)
+    rewritten = Program(
+        out_rules, edb_hint=tuple(program.edb_predicates))
+    return MagicProgram(rewritten, _adorned(query.pred, query_adornment),
+                        seed)
+
+
+def _rewrite_rule(program: Program, rule: Rule, adornment: Adornment,
+                  pending: list[tuple[str, Adornment]]) -> list[Rule]:
+    """Produce the modified rule plus one magic rule per IDB body atom."""
+    head_bound = {
+        arg for arg, a in zip(rule.head.args, adornment)
+        if a == "b" and isinstance(arg, Variable)}
+    magic_head = Atom(_magic(rule.head.pred, adornment),
+                      _bound_args(rule.head, adornment))
+    bound: set[Variable] = set(head_bound)
+    new_body: list[Literal] = [magic_head]
+    magic_rules: list[Rule] = []
+    prefix: list[Literal] = []  # literals usable in magic-rule bodies
+
+    for lit in rule.body:
+        if isinstance(lit, Comparison):
+            new_body.append(lit)
+            if lit.variable_set() <= bound:
+                prefix.append(lit)
+            continue
+        if isinstance(lit, Negation):  # pragma: no cover - guarded above
+            raise TransformError("negation in magic rewriting")
+        if program.is_edb(lit.pred):
+            new_body.append(lit)
+            prefix.append(lit)
+            bound.update(lit.variable_set())
+            continue
+        # IDB body atom: adorn by current boundness.
+        sub_adornment = "".join(
+            "b" if (isinstance(arg, Constant)
+                    or (isinstance(arg, Variable) and arg in bound))
+            else "f" for arg in lit.args)
+        pending.append((lit.pred, sub_adornment))
+        magic_body = [magic_head] + list(prefix)
+        magic_rules.append(Rule(
+            Atom(_magic(lit.pred, sub_adornment),
+                 _bound_args(lit, sub_adornment)),
+            tuple(magic_body),
+            label=None))
+        adorned_atom = Atom(_adorned(lit.pred, sub_adornment), lit.args)
+        new_body.append(adorned_atom)
+        prefix.append(adorned_atom)
+        bound.update(lit.variable_set())
+
+    modified = Rule(Atom(_adorned(rule.head.pred, adornment),
+                         rule.head.args),
+                    tuple(new_body), label=None)
+    return magic_rules + [modified]

@@ -1,0 +1,65 @@
+"""Naive bottom-up fixpoint evaluation (reference implementation).
+
+Re-evaluates every rule against the full relations each round until
+nothing new is derived.  Quadratically redundant, but its simplicity makes
+it the oracle that the semi-naive engine (and every program
+transformation) is property-tested against.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Atom
+from ..datalog.program import Program
+from ..errors import EvaluationError
+from ..facts.database import Database
+from ..facts.relation import Relation
+from .bindings import EvalStats, instantiate_head, solve_body
+from .stratify import stratify
+
+#: Safety valve for runaway fixpoints (e.g. value-inventing arithmetic).
+DEFAULT_MAX_ITERATIONS = 100_000
+
+
+def naive_evaluate(program: Program, edb: Database,
+                   stats: EvalStats | None = None,
+                   max_iterations: int = DEFAULT_MAX_ITERATIONS) -> Database:
+    """Compute the IDB of ``program`` over ``edb`` naively.
+
+    Returns a new :class:`Database` containing only IDB relations; the EDB
+    is never mutated.
+    """
+    stats = stats if stats is not None else EvalStats()
+    arities = program.predicate_arities()
+    idb = Database()
+    for pred in program.idb_predicates:
+        idb.ensure(pred, arities[pred])
+
+    def fetch(atom: Atom, index: int) -> Relation:
+        if atom.pred in program.idb_predicates:
+            return idb.relation(atom.pred)
+        return edb.relation_or_empty(atom.pred, atom.arity)
+
+    for stratum in stratify(program):
+        rules = [r for r in program if r.head.pred in stratum]
+        changed = True
+        rounds = 0
+        while changed:
+            rounds += 1
+            stats.iterations += 1
+            if rounds > max_iterations:
+                raise EvaluationError(
+                    f"naive evaluation exceeded {max_iterations} rounds")
+            changed = False
+            for rule in rules:
+                stats.rules_fired += 1
+                target = idb.relation(rule.head.pred)
+                # Buffer insertions so the body scan sees a snapshot.
+                derived = [instantiate_head(rule, binding)
+                           for binding in solve_body(rule, fetch, stats)]
+                for row in derived:
+                    if target.add(row):
+                        stats.derivations += 1
+                        changed = True
+                    else:
+                        stats.duplicate_derivations += 1
+    return idb

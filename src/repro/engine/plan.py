@@ -1,0 +1,117 @@
+"""Join-plan introspection.
+
+The greedy planner in :mod:`repro.engine.bindings` decides join orders at
+evaluation time from relation sizes; this module exposes those decisions
+for inspection, which makes discussions like experiment E2's ("whose
+anchor is better?") concrete: ``explain_plan`` shows, per rule, the order
+literals would run in and which index pattern each atom would be probed
+with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom, Comparison, Negation
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable
+from ..facts.database import Database
+from .bindings import plan_body
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One literal of a rule's execution plan.
+
+    Attributes:
+        literal: the literal, as written.
+        kind: ``scan`` (no bound columns), ``probe`` (indexed lookup),
+            ``check`` (comparison / negation test), or ``bind``
+            (an ``=`` that assigns).
+        bound_columns: 0-based columns bound at probe time (atoms only).
+        relation_size: the relation's size at planning time (atoms only).
+    """
+
+    literal: object
+    kind: str
+    bound_columns: tuple[int, ...] = ()
+    relation_size: int | None = None
+
+    def render(self) -> str:
+        if self.kind in ("scan", "probe"):
+            columns = ",".join(str(c) for c in self.bound_columns)
+            detail = f"probe[{columns}]" if self.kind == "probe" \
+                else "scan"
+            return f"{detail:12} {self.literal}  " \
+                   f"(~{self.relation_size} rows)"
+        return f"{self.kind:12} {self.literal}"
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """The ordered plan of one rule."""
+
+    rule: Rule
+    steps: tuple[PlanStep, ...]
+
+    def render(self) -> str:
+        lines = [f"{self.rule.label or '?'}: {self.rule}"]
+        for index, step in enumerate(self.steps, start=1):
+            lines.append(f"  {index}. {step.render()}")
+        return "\n".join(lines)
+
+
+def plan_rule(rule: Rule, program: Program, edb: Database,
+              idb: Database | None = None,
+              planner: str = "greedy") -> RulePlan:
+    """Compute the execution plan one rule would use.
+
+    IDB relation sizes come from ``idb`` when given (e.g. a finished
+    evaluation's result) and are treated as empty otherwise, matching
+    what the engine would see at the start of the fixpoint.
+    """
+    def relation_for(atom: Atom):
+        if atom.pred in program.idb_predicates:
+            if idb is not None and atom.pred in idb:
+                return idb.relation(atom.pred)
+            return None
+        return edb.relation_or_empty(atom.pred, atom.arity)
+
+    def sizes(atom: Atom, index: int) -> int:
+        relation = relation_for(atom)
+        return len(relation) if relation is not None else 0
+
+    order = plan_body(rule, sizes,
+                      keep_atom_order=(planner == "source"))
+    bound: set[Variable] = set()
+    steps: list[PlanStep] = []
+    for index in order:
+        literal = rule.body[index]
+        if isinstance(literal, Comparison):
+            kind = "bind" if literal.op == "=" and not \
+                literal.variable_set() <= bound else "check"
+            steps.append(PlanStep(literal, kind))
+            bound.update(literal.variable_set())
+            continue
+        if isinstance(literal, Negation):
+            steps.append(PlanStep(literal, "check"))
+            continue
+        columns = tuple(
+            column for column, arg in enumerate(literal.args)
+            if isinstance(arg, Constant)
+            or (isinstance(arg, Variable) and arg in bound))
+        steps.append(PlanStep(
+            literal, "probe" if columns else "scan", columns,
+            sizes(literal, index)))
+        bound.update(literal.variable_set())
+    return RulePlan(rule, tuple(steps))
+
+
+def explain_plan(program: Program, edb: Database,
+                 idb: Database | None = None,
+                 planner: str = "greedy") -> str:
+    """Render the plans of every rule of the program."""
+    return "\n\n".join(
+        plan_rule(rule, program, edb, idb, planner).render()
+        for rule in program)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors from semantic ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised when Datalog source text cannot be parsed.
+
+    Attributes:
+        line: 1-based line number of the offending token, if known.
+        column: 1-based column number of the offending token, if known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class ProgramError(ReproError):
+    """Raised when a program violates a structural requirement.
+
+    Examples: unsafe rules, mutual recursion where linear recursion is
+    required, rules that are not range restricted.
+    """
+
+
+class ConstraintError(ReproError):
+    """Raised when an integrity constraint is malformed for an algorithm.
+
+    For instance, Algorithm 3.1 requires chain-shaped ICs whose database
+    subgoals share variables only with their chain neighbours.
+    """
+
+
+class EvaluationError(ReproError):
+    """Raised when bottom-up evaluation cannot proceed.
+
+    Examples: an evaluable predicate applied to unbound variables, a
+    non-stratifiable use of negation, or a query over an unknown predicate.
+    """
+
+
+class TransformError(ReproError):
+    """Raised when a program transformation receives invalid input.
+
+    Examples: isolating an empty expansion sequence, pushing a residue that
+    does not belong to the isolated sequence.
+    """

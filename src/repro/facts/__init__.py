@@ -1,0 +1,8 @@
+"""EDB storage: indexed relations, databases, CSV import/export."""
+
+from .relation import Relation, Row
+from .database import Database
+from .io import load_csv, load_directory, save_csv, save_directory
+
+__all__ = ["Relation", "Row", "Database",
+           "load_csv", "load_directory", "save_csv", "save_directory"]

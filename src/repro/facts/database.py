@@ -1,0 +1,139 @@
+"""The extensional database: a dictionary of named relations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..datalog.atoms import Atom
+from ..datalog.parser import parse_statements
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, ConstValue
+from ..errors import EvaluationError
+from .relation import Relation, Row
+
+
+class Database:
+    """A mapping from predicate name to :class:`Relation`.
+
+    Databases are mutable; evaluation engines never mutate the EDB they are
+    given (IDB results are accumulated in a separate database).
+    """
+
+    def __init__(self,
+                 relations: Mapping[str, Iterable[Row]] | None = None) -> None:
+        self._relations: dict[str, Relation] = {}
+        if relations:
+            for name, rows in relations.items():
+                for row in rows:
+                    self.add_fact(name, *row)
+
+    # -- container protocol -------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}/{rel.arity}:{len(rel)}"
+                          for name, rel in sorted(self._relations.items()))
+        return f"Database({inner})"
+
+    # -- access ---------------------------------------------------------------
+    def relation(self, name: str) -> Relation:
+        """The relation for ``name``; raises on unknown predicates."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise EvaluationError(f"unknown relation {name!r}") from None
+
+    def relation_or_empty(self, name: str, arity: int) -> Relation:
+        """The relation for ``name`` or a fresh empty one of ``arity``."""
+        rel = self._relations.get(name)
+        if rel is None:
+            return Relation(name, arity)
+        return rel
+
+    def ensure(self, name: str, arity: int) -> Relation:
+        """Get-or-create the relation for ``name``."""
+        rel = self._relations.get(name)
+        if rel is None:
+            rel = Relation(name, arity)
+            self._relations[name] = rel
+        elif rel.arity != arity:
+            raise EvaluationError(
+                f"relation {name!r} has arity {rel.arity}, not {arity}")
+        return rel
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(self._relations)
+
+    def total_facts(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    # -- mutation ----------------------------------------------------------------
+    def add_fact(self, name: str, *values: ConstValue) -> bool:
+        """Add one ground fact; returns True when new."""
+        return self.ensure(name, len(values)).add(values)
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Add a ground atom (every argument must be a constant)."""
+        values = []
+        for arg in atom.args:
+            if not isinstance(arg, Constant):
+                raise EvaluationError(f"fact is not ground: {atom}")
+            values.append(arg.value)
+        return self.add_fact(atom.pred, *values)
+
+    def facts(self, name: str) -> frozenset[Row]:
+        """All rows of ``name`` (empty when the relation is unknown)."""
+        rel = self._relations.get(name)
+        return rel.rows() if rel is not None else frozenset()
+
+    def copy(self) -> "Database":
+        out = Database()
+        for name, rel in self._relations.items():
+            out._relations[name] = rel.copy()
+        return out
+
+    def merge(self, other: "Database") -> int:
+        """Add every fact of ``other``; returns the number of new facts."""
+        added = 0
+        for name in other:
+            rel = other.relation(name)
+            added += self.ensure(name, rel.arity).add_all(rel)
+        return added
+
+    # -- text I/O -------------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str) -> "Database":
+        """Build a database from fact syntax, e.g. ``par(ann, bob, 30).``"""
+        db = cls()
+        for statement in parse_statements(text):
+            if not isinstance(statement, Rule) or statement.body:
+                raise EvaluationError(
+                    f"expected only facts, found: {statement}")
+            db.add_atom(statement.head)
+        return db
+
+    def to_text(self) -> str:
+        """Serialize as fact syntax (sorted, round-trippable)."""
+        lines = []
+        for name in sorted(self._relations):
+            for row in sorted(self._relations[name],
+                              key=lambda r: tuple(map(str, r))):
+                args = ", ".join(str(Constant(v)) for v in row)
+                lines.append(f"{name}({args}).")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        names = self.predicates() | other.predicates()
+        return all(self.facts(n) == other.facts(n) for n in names)
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, rarely hashed
+        return id(self)

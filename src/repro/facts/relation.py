@@ -1,0 +1,104 @@
+"""An indexed in-memory relation.
+
+Relations store ground tuples of Python values (the ``value`` field of
+:class:`repro.datalog.terms.Constant`).  Lookups during joins supply a
+*bound-column pattern*: a sorted tuple of (column, value) pairs.  The
+relation lazily builds and caches a hash index per set of bound columns,
+which turns the engine's literal-at-a-time joins into hash joins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..datalog.terms import ConstValue
+
+Row = tuple[ConstValue, ...]
+
+
+class Relation:
+    """A set of fixed-arity ground tuples with on-demand hash indexes."""
+
+    def __init__(self, name: str, arity: int,
+                 rows: Iterable[Row] | None = None) -> None:
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        self.name = name
+        self.arity = arity
+        self._rows: set[Row] = set()
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[Row]]] = {}
+        if rows:
+            self.add_all(rows)
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}/{self.arity}, {len(self)} rows)"
+
+    # -- mutation ------------------------------------------------------------
+    def add(self, row: Iterable[ConstValue]) -> bool:
+        """Insert one tuple; returns True when it was new."""
+        materialized = tuple(row)
+        if len(materialized) != self.arity:
+            raise ValueError(
+                f"{self.name}: expected arity {self.arity}, "
+                f"got {len(materialized)}")
+        if materialized in self._rows:
+            return False
+        self._rows.add(materialized)
+        for columns, index in self._indexes.items():
+            key = tuple(materialized[c] for c in columns)
+            index.setdefault(key, []).append(materialized)
+        return True
+
+    def add_all(self, rows: Iterable[Iterable[ConstValue]]) -> int:
+        """Insert many tuples; returns the number of new ones."""
+        return sum(1 for row in rows if self.add(row))
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._indexes.clear()
+
+    # -- lookup ----------------------------------------------------------------
+    def rows(self) -> frozenset[Row]:
+        return frozenset(self._rows)
+
+    def lookup(self, bound: tuple[tuple[int, ConstValue], ...]) -> Iterator[Row]:
+        """Yield rows matching the bound-column pattern.
+
+        ``bound`` is a tuple of ``(column, value)`` pairs; columns must be
+        sorted ascending and unique.  With an empty pattern this is a full
+        scan.
+        """
+        if not bound:
+            yield from self._rows
+            return
+        columns = tuple(c for c, _ in bound)
+        key = tuple(v for _, v in bound)
+        index = self._indexes.get(columns)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                index.setdefault(
+                    tuple(row[c] for c in columns), []).append(row)
+            self._indexes[columns] = index
+        yield from index.get(key, ())
+
+    def copy(self) -> "Relation":
+        out = Relation(self.name, self.arity)
+        out._rows = set(self._rows)
+        return out
+
+    def difference_update_into(self, other: "Relation") -> "Relation":
+        """Return a relation with this one's rows that are not in ``other``."""
+        out = Relation(self.name, self.arity)
+        out.add_all(row for row in self._rows if row not in other._rows)
+        return out

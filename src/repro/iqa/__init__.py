@@ -1,0 +1,13 @@
+"""Intelligent query answering (Section 5)."""
+
+from .knowledge import KnowledgeQuery, parse_describe
+from .reachability import reachable_predicates, relevant_context
+from .answering import (DescribeResult, ProofTree, TreeDescription,
+                        describe, proof_trees)
+
+__all__ = [
+    "KnowledgeQuery", "parse_describe",
+    "reachable_predicates", "relevant_context",
+    "DescribeResult", "ProofTree", "TreeDescription", "describe",
+    "proof_trees",
+]

@@ -1,0 +1,51 @@
+"""Knowledge queries: ``describe phi(X) where psi(X)`` (Motro & Yuan).
+
+A knowledge query does not ask for tuples; it asks for a *description*
+of the objects satisfying ``phi`` given that the context ``psi`` holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.parser import parse_atom, parse_query
+from ..errors import ParseError
+
+
+@dataclass(frozen=True)
+class KnowledgeQuery:
+    """``describe target where context``.
+
+    Attributes:
+        target: the atom being described, e.g. ``honors(Stud)``.
+        context: the asserted context literals, sharing variables with
+            the target.
+    """
+
+    target: Atom
+    context: tuple[Literal, ...]
+
+    def __str__(self) -> str:
+        context = ", ".join(str(lit) for lit in self.context)
+        return f"describe {self.target} where {context}"
+
+
+def parse_describe(text: str) -> KnowledgeQuery:
+    """Parse the ``describe ... where ...`` surface syntax.
+
+    Example::
+
+        describe honors(Stud) where major(Stud, cs),
+            graduated(Stud, College), topten(College), hobby(Stud, chess)
+    """
+    stripped = text.strip().rstrip(".")
+    if not stripped.startswith("describe "):
+        raise ParseError("a knowledge query starts with 'describe'")
+    rest = stripped[len("describe "):]
+    if " where " not in rest:
+        raise ParseError("a knowledge query needs a 'where' context")
+    target_text, context_text = rest.split(" where ", 1)
+    target = parse_atom(target_text.strip())
+    context = parse_query(context_text.strip()).literals
+    return KnowledgeQuery(target, context)

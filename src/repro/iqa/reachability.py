@@ -1,0 +1,73 @@
+"""Predicate reachability for relevant-context extraction (Section 5).
+
+The paper defines reachability as the smallest *symmetric* relation with:
+every predicate reachable from itself, and ``p`` reachable from ``q``
+when ``q`` occurs in the body of a rule for a predicate reachable from
+``p``.  Operationally this is connectivity in the undirected predicate
+dependency graph.  Context predicates not reachable from the query
+predicate are irrelevant (the student's chess hobby cannot bear on
+honors status).
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Comparison, Literal, literal_variables
+from ..datalog.program import Program
+
+
+def reachable_predicates(program: Program, pred: str,
+                         ics: tuple = ()) -> frozenset[str]:
+    """All predicates reachable from ``pred`` (symmetric closure).
+
+    When integrity constraints are supplied, their body/head predicates
+    are treated as connected too — an ``alumni -> graduated`` constraint
+    makes ``alumni`` relevant to anything ``graduated`` is relevant to.
+    """
+    import networkx as nx
+
+    graph = program.dependency_graph().copy()
+    for ic in ics:
+        preds = [a.pred for a in ic.database_atoms()]
+        head = ic.head
+        if head is not None and hasattr(head, "pred"):
+            preds.append(head.pred)
+        for left, right in zip(preds, preds[1:]):
+            graph.add_edge(left, right)
+    if pred not in graph:
+        return frozenset({pred})
+    undirected = graph.to_undirected(as_view=True)
+    component = nx.node_connected_component(undirected, pred)
+    return frozenset(component)
+
+
+def relevant_context(program: Program, pred: str,
+                     context: tuple[Literal, ...], ics: tuple = ()
+                     ) -> tuple[tuple[Literal, ...], tuple[Literal, ...]]:
+    """Split a knowledge-query context into (relevant, irrelevant).
+
+    Database literals are relevant when their predicate is reachable from
+    the query predicate (optionally also through IC connections);
+    evaluable literals are relevant when they share a variable with some
+    relevant database literal (they qualify it).
+    """
+    reachable = reachable_predicates(program, pred, ics)
+    relevant: list[Literal] = []
+    irrelevant: list[Literal] = []
+    pending_evaluable: list[Comparison] = []
+    for literal in context:
+        if isinstance(literal, Comparison):
+            pending_evaluable.append(literal)
+            continue
+        name = literal.pred if not hasattr(literal, "atom") \
+            else literal.atom.pred  # Negation
+        if name in reachable:
+            relevant.append(literal)
+        else:
+            irrelevant.append(literal)
+    relevant_vars = literal_variables(tuple(relevant))
+    for comparison in pending_evaluable:
+        if comparison.variable_set() & relevant_vars:
+            relevant.append(comparison)
+        else:
+            irrelevant.append(comparison)
+    return tuple(relevant), tuple(irrelevant)

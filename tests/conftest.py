@@ -1,0 +1,86 @@
+"""Shared fixtures: paper examples, small databases, deterministic RNG."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.facts import Database
+from repro.workloads import (example_2_1, example_3_2, example_4_1,
+                             example_4_3, example_5_1)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def tc_program():
+    """The canonical left-linear transitive closure."""
+    return parse_program("""
+        r0: reach(X, Y) :- edge(X, Y).
+        r1: reach(X, Y) :- reach(X, Z), edge(Z, Y).
+    """)
+
+
+@pytest.fixture
+def chain_db():
+    """a -> b -> c -> d."""
+    return Database.from_text("""
+        edge(a, b).
+        edge(b, c).
+        edge(c, d).
+    """)
+
+
+@pytest.fixture
+def diamond_db():
+    """a -> {b, c} -> d (two paths of equal length)."""
+    return Database.from_text("""
+        edge(a, b).
+        edge(a, c).
+        edge(b, d).
+        edge(c, d).
+    """)
+
+
+@pytest.fixture
+def ex21():
+    return example_2_1()
+
+
+@pytest.fixture
+def ex32():
+    return example_3_2()
+
+
+@pytest.fixture
+def ex41():
+    return example_4_1()
+
+
+@pytest.fixture
+def ex43():
+    return example_4_3()
+
+
+@pytest.fixture
+def ex51():
+    return example_5_1()
+
+
+def tc_closure(edges: set[tuple[str, str]]) -> frozenset[tuple[str, str]]:
+    """Reference transitive closure for cross-checking engines."""
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(closure):
+            for (c, d) in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return frozenset(closure)

@@ -1,0 +1,109 @@
+"""Unit tests for evaluable-predicate semantics."""
+
+import pytest
+
+from repro.datalog.atoms import comparison
+from repro.datalog.parser import parse_literal
+from repro.datalog.terms import Variable
+from repro.engine import builtins
+from repro.errors import EvaluationError
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestEvalTerm:
+    def test_constant(self):
+        assert builtins.eval_term(parse_literal("X = 3").rhs, {}) == 3
+
+    def test_variable_lookup(self):
+        assert builtins.eval_term(X, {X: 7}) == 7
+
+    def test_unbound_raises(self):
+        with pytest.raises(EvaluationError):
+            builtins.eval_term(X, {})
+
+    def test_arithmetic(self):
+        expr = parse_literal("Y = X + 2 * 3").rhs
+        assert builtins.eval_term(expr, {X: 1}) == 7
+
+    def test_division(self):
+        expr = parse_literal("Y = X / 4").rhs
+        assert builtins.eval_term(expr, {X: 10}) == 2.5
+
+    def test_division_by_zero(self):
+        expr = parse_literal("Y = X / 0").rhs
+        with pytest.raises(EvaluationError):
+            builtins.eval_term(expr, {X: 1})
+
+    def test_arithmetic_on_strings_rejected(self):
+        expr = parse_literal("Y = X + 1").rhs
+        with pytest.raises(EvaluationError):
+            builtins.eval_term(expr, {X: "oops"})
+
+
+class TestHolds:
+    @pytest.mark.parametrize("text,binding,expected", [
+        ("X = 3", {X: 3}, True),
+        ("X = 3", {X: 4}, False),
+        ("X != Y", {X: 1, Y: 2}, True),
+        ("X < Y", {X: 1, Y: 2}, True),
+        ("X >= Y", {X: 2, Y: 2}, True),
+        ("X > Y + 1", {X: 3, Y: 1}, True),
+        ("X > Y + 1", {X: 2, Y: 1}, False),
+    ])
+    def test_numeric(self, text, binding, expected):
+        assert builtins.holds(parse_literal(text), binding) is expected
+
+    def test_string_ordering(self):
+        assert builtins.holds(comparison("X", "<", "Y"),
+                              {X: "apple", Y: "banana"})
+
+    def test_equality_across_types(self):
+        assert not builtins.holds(comparison("X", "=", "Y"), {X: 1, Y: "1"})
+
+    def test_ordering_across_types_rejected(self):
+        with pytest.raises(EvaluationError):
+            builtins.holds(comparison("X", "<", "Y"), {X: 1, Y: "a"})
+
+
+class TestSolve:
+    def test_check_passes_binding_through(self):
+        binding = {X: 5}
+        assert builtins.solve(parse_literal("X > 1"), binding) is binding
+
+    def test_check_fails(self):
+        assert builtins.solve(parse_literal("X > 9"), {X: 5}) is None
+
+    def test_equality_binds_lhs(self):
+        result = builtins.solve(parse_literal("Y = X + 1"), {X: 2})
+        assert result is not None and result[Y] == 3
+
+    def test_equality_binds_rhs(self):
+        result = builtins.solve(comparison("X", "=", "Y"), {X: 2})
+        assert result is not None and result[Y] == 2
+
+    def test_undecidable_raises(self):
+        with pytest.raises(EvaluationError):
+            builtins.solve(parse_literal("X > Y"), {X: 1})
+
+    def test_original_binding_not_mutated(self):
+        binding = {X: 2}
+        builtins.solve(comparison("Y", "=", "X"), binding)
+        assert Y not in binding
+
+
+class TestPlannerHelpers:
+    def test_can_check(self):
+        c = parse_literal("X > Y")
+        assert builtins.can_check(c, {X, Y})
+        assert not builtins.can_check(c, {X})
+
+    def test_can_bind_equality_only(self):
+        assert builtins.can_bind(comparison("Y", "=", "X"), {X})
+        assert not builtins.can_bind(comparison("Y", ">", "X"), {X})
+        assert not builtins.can_bind(comparison("Y", "=", "X"), set())
+
+    def test_can_bind_through_arith(self):
+        c = parse_literal("Y = X + 1")
+        assert builtins.can_bind(c, {X})
+        assert not builtins.can_bind(c, set())

@@ -1,0 +1,150 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+r0: anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+r1: anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+"""
+
+ICS = """
+ic1: Ya <= 50, par(Z, Za, Y, Ya), par(Z2, Z2a, Z, Za),
+     par(Z3, Z3a, Z2, Z2a) -> .
+"""
+
+DB = """
+par(bob, 30, ann, 72).
+par(cal, 7, bob, 30).
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    program = tmp_path / "program.dl"
+    program.write_text(PROGRAM)
+    ics = tmp_path / "ics.dl"
+    ics.write_text(ICS)
+    db = tmp_path / "db.dl"
+    db.write_text(DB)
+    return {"program": str(program), "ics": str(ics), "db": str(db)}
+
+
+class TestEvaluate:
+    def test_dumps_idb(self, files, capsys):
+        assert main(["evaluate", files["program"], files["db"]]) == 0
+        out = capsys.readouterr().out
+        assert "anc(cal, 7, ann, 72)." in out
+
+    def test_query(self, files, capsys):
+        code = main(["evaluate", files["program"], files["db"],
+                     "--query", "anc(cal, Xa, Y, Ya)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ann" in out and "bob" in out
+
+    def test_stats_on_stderr(self, files, capsys):
+        main(["evaluate", files["program"], files["db"], "--stats"])
+        err = capsys.readouterr().err
+        assert "# derivations:" in err
+
+    def test_source_planner(self, files, capsys):
+        assert main(["evaluate", files["program"], files["db"],
+                     "--planner", "source"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["evaluate", "/no/such/file", "/none"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_pushes_pruning(self, files, capsys):
+        code = main(["optimize", files["program"], "--ics", files["ics"]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[prune]" in out and "applied" in out
+        assert "Ya > 50" in out
+
+    def test_unchanged_exit_code(self, files, tmp_path, capsys):
+        empty = tmp_path / "none.dl"
+        empty.write_text("unrelated(X) -> other(X).")
+        code = main(["optimize", files["program"], "--ics", str(empty)])
+        assert code == 1
+        code = main(["optimize", files["program"], "--ics", str(empty),
+                     "--allow-unchanged"])
+        assert code == 0
+
+    def test_rule_level_baseline(self, files, capsys):
+        code = main(["optimize", files["program"], "--ics", files["ics"],
+                     "--rule-level", "--allow-unchanged"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0/" in out.splitlines()[0]
+
+    def test_automaton_mode(self, files, capsys):
+        code = main(["optimize", files["program"], "--ics", files["ics"],
+                     "--compilation", "automaton"])
+        assert code == 0
+
+    def test_invalid_program_rejected(self, tmp_path, files, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text("p(X, Z) :- e(X).")
+        assert main(["optimize", str(bad), "--ics", files["ics"]]) == 2
+
+
+class TestResidues:
+    def test_lists_residues(self, files, capsys):
+        assert main(["residues", files["program"],
+                     "--ics", files["ics"]]) == 0
+        out = capsys.readouterr().out
+        assert "(r1 r1 r1; Ya <= 50 ->)" in out
+
+    def test_no_residues_message(self, files, tmp_path, capsys):
+        empty = tmp_path / "none.dl"
+        empty.write_text("unrelated(A, B) -> other(A).")
+        main(["residues", files["program"], "--ics", str(empty)])
+        assert "(no residues)" in capsys.readouterr().out
+
+
+class TestDescribeAndExamples:
+    def test_describe(self, tmp_path, capsys):
+        program = tmp_path / "honors.dl"
+        program.write_text("""
+            r0: honors(S) :- graduated(S, C), topten(C).
+        """)
+        code = main(["describe", str(program),
+                     "describe honors(S) where graduated(S, C), "
+                     "topten(C)"])
+        assert code == 0
+        assert "every object satisfying the context" in \
+            capsys.readouterr().out
+
+    def test_examples_listing(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "example_4_3" in out and "example_5_1" in out
+
+    def test_examples_show_one(self, capsys):
+        assert main(["examples", "example_4_3"]) == 0
+        out = capsys.readouterr().out
+        assert "anc(X, Xa, Y, Ya)" in out and "ic1" in out
+
+
+class TestExperiments:
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["experiments", "E99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_runs_fast_experiment(self, capsys):
+        assert main(["experiments", "e7"]) == 0
+        out = capsys.readouterr().out
+        assert "sequence-level vs rule-level" in out
+
+
+class TestExperimentCSV:
+    def test_csv_dir(self, tmp_path, capsys):
+        assert main(["experiments", "e7", "--csv-dir",
+                     str(tmp_path / "out")]) == 0
+        written = (tmp_path / "out" / "E7.csv").read_text()
+        assert "sequence-level" in written

@@ -1,0 +1,174 @@
+"""Unit tests for ICs, expanded form and the satisfaction checker."""
+
+import pytest
+
+from repro.constraints import (IntegrityConstraint, expand, ic_from_text,
+                               ics_from_text, repair, satisfies,
+                               validate_ics, violations)
+from repro.datalog import parse_program
+from repro.datalog.atoms import atom, comparison
+from repro.errors import ConstraintError
+from repro.facts import Database
+
+
+class TestICConstruction:
+    def test_from_text(self):
+        ic = ic_from_text("ic1: a(X, Y), X > 5 -> b(Y).")
+        assert ic.label == "ic1"
+        assert ic.head == atom("b", "Y")
+        assert len(ic.database_atoms()) == 1
+        assert len(ic.evaluable_atoms()) == 1
+
+    def test_denial(self):
+        ic = ic_from_text("a(X), X > 5 -> .")
+        assert ic.is_denial
+
+    def test_needs_database_atom(self):
+        with pytest.raises(ConstraintError):
+            IntegrityConstraint((comparison("X", ">", 1),), None)
+
+    def test_needs_nonempty_body(self):
+        with pytest.raises(ConstraintError):
+            IntegrityConstraint((), atom("p", "X"))
+
+    def test_str_roundtrip(self):
+        text = "ic1: a(X, Y), X > 5 -> b(Y)."
+        assert str(ic_from_text(text)) == text
+
+    def test_ics_from_text_rejects_rules(self):
+        with pytest.raises(ConstraintError):
+            ics_from_text("p(X) :- q(X).")
+
+    def test_all_literals_includes_head(self):
+        ic = ic_from_text("a(X) -> b(X).")
+        assert len(ic.all_literals()) == 2
+
+
+class TestICShape:
+    def test_connected(self):
+        assert ic_from_text("a(X, Y), b(Y, Z) -> c(Z).").is_connected()
+        assert not ic_from_text("a(X), b(Y) -> .").is_connected()
+
+    def test_chain(self):
+        assert ic_from_text("a(X, Y), b(Y, Z), c(Z, W) -> .").is_chain()
+        # a and c share a variable: not a chain.
+        assert not ic_from_text(
+            "a(X, Y), b(Y, Z), c(Z, X) -> .").is_chain()
+        # b and c share nothing: not a chain either.
+        assert not ic_from_text("a(X, Y), b(Y, Z), c(W, V) -> .").is_chain()
+
+    def test_single_atom_is_chain(self):
+        assert ic_from_text("a(X, Y), X > 1 -> b(Y).").is_chain()
+
+    def test_require_chain(self):
+        with pytest.raises(ConstraintError):
+            ic_from_text("a(X, Y), b(Y, Z), c(Z, X) -> .").require_chain()
+
+    def test_edb_only(self, tc_program):
+        good = ic_from_text("edge(X, Y) -> edge(Y, X).")
+        bad = ic_from_text("reach(X, Y) -> edge(X, Y).")
+        assert good.is_edb_only(tc_program)
+        assert not bad.is_edb_only(tc_program)
+
+    def test_validate_ics(self, tc_program):
+        problems = validate_ics(
+            [ic_from_text("reach(X, Y) -> ."),
+             ic_from_text("a(X), b(Y) -> .")], tc_program)
+        assert len(problems) == 2
+
+
+class TestExpandedForm:
+    def test_example_2_1(self, ex21):
+        """The expanded form of Example 2.1's IC, exactly."""
+        expanded = expand(ex21.ic("ic"))
+        # Database atoms now have all-distinct variables.
+        seen = set()
+        for a in expanded.database_atoms:
+            for arg in a.args:
+                assert arg not in seen
+                seen.add(arg)
+        # Two equalities were introduced (V2 and V4 repeated).
+        assert len(expanded.equalities) == 2
+        assert all(eq.op == "=" for eq in expanded.equalities)
+
+    def test_constants_are_lifted(self):
+        expanded = expand(ic_from_text("a(X, executive) -> b(X)."))
+        assert len(expanded.equalities) == 1
+        assert expanded.equalities[0].rhs.value == "executive"
+
+    def test_head_untouched(self):
+        ic = ic_from_text("a(X, Y) -> b(Y, Z).")
+        assert expand(ic).head == ic.head
+
+
+class TestChecker:
+    @pytest.fixture
+    def boss_db(self):
+        return Database.from_text("""
+            boss(emma, bob, executive).
+            boss(fred, gia, staff).
+            experienced(bob).
+        """)
+
+    @pytest.fixture
+    def exec_ic(self):
+        return ic_from_text(
+            "boss(E, B, R), R = executive -> experienced(B).")
+
+    def test_satisfied(self, boss_db, exec_ic):
+        assert satisfies(boss_db, exec_ic)
+
+    def test_violation_found(self, boss_db, exec_ic):
+        boss_db.add_fact("boss", "hal", "ina", "executive")
+        assert not satisfies(boss_db, exec_ic)
+        found = list(violations(exec_ic, boss_db))
+        assert len(found) == 1
+
+    def test_violations_limit(self, boss_db, exec_ic):
+        boss_db.add_fact("boss", "hal", "ina", "executive")
+        boss_db.add_fact("boss", "jo", "kim", "executive")
+        assert len(list(violations(exec_ic, boss_db, limit=1))) == 1
+
+    def test_denial_checking(self):
+        ic = ic_from_text("p(X, Y), X = Y -> .")
+        good = Database({"p": [("a", "b")]})
+        bad = Database({"p": [("a", "a")]})
+        assert satisfies(good, ic)
+        assert not satisfies(bad, ic)
+
+    def test_evaluable_head(self):
+        ic = ic_from_text("p(X, Y) -> X < Y.")
+        assert satisfies(Database({"p": [(1, 2)]}), ic)
+        assert not satisfies(Database({"p": [(2, 1)]}), ic)
+
+    def test_existential_head(self):
+        ic = ic_from_text("emp(E) -> boss(E, B).")
+        db = Database({"emp": [("a",)], "boss": [("a", "x")]})
+        assert satisfies(db, ic)
+        db2 = Database({"emp": [("a",)], "boss": [("z", "x")]})
+        assert not satisfies(db2, ic)
+
+    def test_repair_adds_facts(self, boss_db, exec_ic):
+        boss_db.add_fact("boss", "hal", "ina", "executive")
+        added = repair(boss_db, exec_ic)
+        assert added == 1
+        assert satisfies(boss_db, exec_ic)
+
+    def test_repair_cascades(self):
+        # works_with closure: repairing may enable new violations.
+        ic = ic_from_text(
+            "works_with(A, B), expert(B, F) -> expert(A, F).")
+        db = Database({"works_with": [("a", "b"), ("b", "c")],
+                       "expert": [("c", "ml")]})
+        added = repair(db, ic)
+        assert added == 2
+        assert ("a", "ml") in db.facts("expert")
+
+    def test_repair_rejects_denials(self):
+        with pytest.raises(ConstraintError):
+            repair(Database({"p": [("a",)]}), ic_from_text("p(X) -> ."))
+
+    def test_repair_rejects_existential_heads(self):
+        db = Database({"emp": [("a",)]})
+        with pytest.raises(ConstraintError):
+            repair(db, ic_from_text("emp(E) -> boss(E, B)."))

@@ -1,0 +1,155 @@
+"""Engine tests beyond the paper's class: non-linear rules, multiple
+same-stratum occurrences, deep recursion, zero-arity predicates."""
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.engine import evaluate
+from repro.facts import Database
+from tests.conftest import tc_closure
+
+
+class TestNonLinearRecursion:
+    """The paper restricts itself to linear rules; the engine must not."""
+
+    def test_quadratic_transitive_closure(self, rng):
+        program = parse_program("""
+            t(X, Y) :- edge(X, Y).
+            t(X, Y) :- t(X, Z), t(Z, Y).
+        """)
+        for _ in range(10):
+            edges = set()
+            db = Database()
+            db.ensure("edge", 2)
+            for _ in range(rng.randint(1, 16)):
+                a, b = rng.randrange(7), rng.randrange(7)
+                edges.add((f"n{a}", f"n{b}"))
+                db.add_fact("edge", f"n{a}", f"n{b}")
+            result = evaluate(program, db)
+            assert result.facts("t") == tc_closure(edges)
+
+    def test_quadratic_matches_linear(self, tc_program, rng):
+        quadratic = parse_program("""
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Y) :- reach(X, Z), reach(Z, Y).
+        """)
+        for _ in range(8):
+            db = Database()
+            db.ensure("edge", 2)
+            for _ in range(rng.randint(1, 14)):
+                db.add_fact("edge", f"n{rng.randrange(6)}",
+                            f"n{rng.randrange(6)}")
+            assert evaluate(quadratic, db).facts("reach") == \
+                evaluate(tc_program, db).facts("reach")
+
+    def test_same_generation(self, rng):
+        """The classic non-linear same-generation program."""
+        program = parse_program("""
+            sg(X, X) :- person(X).
+            sg(X, Y) :- par(X, Xp), sg(Xp, Yp), par(Y, Yp).
+        """)
+        db = Database()
+        # Two siblings and their cousins.
+        for child, parent in [("b1", "a"), ("b2", "a"),
+                              ("c1", "b1"), ("c2", "b2")]:
+            db.add_fact("par", child, parent)
+        for person in ("a", "b1", "b2", "c1", "c2"):
+            db.add_fact("person", person)
+        result = evaluate(program, db)
+        assert ("b1", "b2") in result.facts("sg")
+        assert ("c1", "c2") in result.facts("sg")
+        assert ("b1", "c1") not in result.facts("sg")
+
+    def test_naive_agrees_on_nonlinear(self, rng):
+        program = parse_program("""
+            t(X, Y) :- edge(X, Y).
+            t(X, Y) :- t(X, Z), t(Z, Y).
+        """)
+        db = Database()
+        db.ensure("edge", 2)
+        for _ in range(12):
+            db.add_fact("edge", f"n{rng.randrange(5)}",
+                        f"n{rng.randrange(5)}")
+        assert evaluate(program, db, method="naive").facts("t") == \
+            evaluate(program, db, method="seminaive").facts("t")
+
+
+class TestMutualRecursion:
+    def test_even_odd_paths(self):
+        program = parse_program("""
+            even(X, Y) :- start(X), X = Y.
+            even(X, Y) :- odd(X, Z), edge(Z, Y).
+            odd(X, Y) :- even(X, Z), edge(Z, Y).
+        """)
+        db = Database({"edge": [(f"n{i}", f"n{i + 1}")
+                                for i in range(6)],
+                       "start": [("n0",)]})
+        result = evaluate(program, db)
+        evens = {y for _, y in result.facts("even")}
+        odds = {y for _, y in result.facts("odd")}
+        assert evens == {"n0", "n2", "n4", "n6"}
+        assert odds == {"n1", "n3", "n5"}
+
+
+class TestScale:
+    def test_deep_chain(self, tc_program):
+        db = Database()
+        for i in range(300):
+            db.add_fact("edge", f"n{i}", f"n{i + 1}")
+        result = evaluate(tc_program, db)
+        assert result.count("reach") == 300 * 301 // 2
+
+    def test_wide_fanout(self, tc_program):
+        db = Database()
+        for i in range(150):
+            db.add_fact("edge", "hub", f"leaf{i}")
+        result = evaluate(tc_program, db)
+        assert result.count("reach") == 150
+
+
+class TestOddShapes:
+    def test_zero_arity_predicates(self):
+        program = parse_program("""
+            alarm :- sensor(X), X > 10.
+            notify(X) :- alarm, contact(X).
+        """)
+        db = Database({"sensor": [(15,)], "contact": [("ops",)]})
+        result = evaluate(program, db)
+        assert result.facts("alarm") == {()}
+        assert result.facts("notify") == {("ops",)}
+
+    def test_zero_arity_false(self):
+        program = parse_program("""
+            alarm :- sensor(X), X > 10.
+        """)
+        db = Database({"sensor": [(5,)]})
+        assert evaluate(program, db).facts("alarm") == frozenset()
+
+    def test_constants_in_rule_bodies(self, chain_db):
+        program = parse_program("""
+            from_a(Y) :- edge(a, Y).
+        """)
+        assert evaluate(program, chain_db).facts("from_a") == {("b",)}
+
+    def test_cartesian_product_rule(self):
+        program = parse_program("pair(X, Y) :- left(X), right(Y).")
+        db = Database({"left": [("a",), ("b",)],
+                       "right": [(1,), (2,)]})
+        assert evaluate(program, db).count("pair") == 4
+
+    def test_idb_feeding_idb_across_strata(self, chain_db):
+        program = parse_program("""
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Y) :- reach(X, Z), edge(Z, Y).
+            far(X, Y) :- reach(X, Y), not edge(X, Y).
+        """)
+        result = evaluate(program, chain_db)
+        assert result.facts("far") == {("a", "c"), ("a", "d"),
+                                       ("b", "d")}
+
+    def test_duplicate_rule_is_harmless(self, chain_db):
+        program = parse_program("""
+            r0: reach(X, Y) :- edge(X, Y).
+            r1: reach(X, Y) :- edge(X, Y).
+        """)
+        assert evaluate(program, chain_db).count("reach") == 3

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (ConstraintError, EvaluationError, ParseError,
+                          ProgramError, ReproError, TransformError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ParseError, ProgramError, ConstraintError, EvaluationError,
+        TransformError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_single_catch_covers_library(self):
+        from repro.datalog import parse_program
+
+        with pytest.raises(ReproError):
+            parse_program("p(X :-")
+
+
+class TestParseErrorLocation:
+    def test_line_and_column(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_line_only(self):
+        error = ParseError("bad token", line=2)
+        assert "line 2" in str(error) and "column" not in str(error)
+
+    def test_no_location(self):
+        error = ParseError("bad token")
+        assert str(error) == "bad token"
+
+    def test_real_parse_error_carries_location(self):
+        from repro.datalog import parse_program
+
+        with pytest.raises(ParseError) as info:
+            parse_program("p(X) :- q(X).\nbroken @ here.")
+        assert info.value.line == 2

@@ -1,0 +1,96 @@
+"""Tests for derivation trees (why-provenance)."""
+
+import pytest
+
+from repro.core import SemanticOptimizer
+from repro.datalog import atom, parse_program
+from repro.engine import evaluate
+from repro.engine.explain import Explainer, explain
+from repro.errors import EvaluationError
+from repro.facts import Database
+from repro.workloads import example_4_3
+
+
+class TestExplain:
+    def test_edb_fact(self, tc_program, chain_db):
+        derivation = explain(tc_program, chain_db, atom("edge", "a", "b"))
+        assert derivation is not None and derivation.is_fact
+
+    def test_base_case(self, tc_program, chain_db):
+        derivation = explain(tc_program, chain_db,
+                             atom("reach", "a", "b"))
+        assert derivation.rule == "r0"
+        assert derivation.depth() == 2
+        assert derivation.children[0].atom == atom("edge", "a", "b")
+
+    def test_recursive_derivation(self, tc_program, chain_db):
+        derivation = explain(tc_program, chain_db,
+                             atom("reach", "a", "d"))
+        assert derivation.rule == "r1"
+        # reach(a,d) <- reach(a,c) <- reach(a,b) <- edge.
+        assert derivation.rule_string() == ("r1", "r1", "r0")
+        assert derivation.depth() == 4
+        assert derivation.size() == 6  # 3 reach nodes + 3 edge leaves
+
+    def test_underivable_returns_none(self, tc_program, chain_db):
+        assert explain(tc_program, chain_db,
+                       atom("reach", "d", "a")) is None
+        assert explain(tc_program, chain_db,
+                       atom("edge", "z", "z")) is None
+
+    def test_ground_goal_required(self, tc_program, chain_db):
+        with pytest.raises(EvaluationError):
+            explain(tc_program, chain_db, atom("reach", "a", "Y"))
+
+    def test_no_circular_proofs_on_cycles(self, tc_program):
+        db = Database({"edge": [("a", "b"), ("b", "a")]})
+        derivation = explain(tc_program, db, atom("reach", "a", "a"))
+        assert derivation is not None
+        # The proof bottoms out in EDB facts (finite depth).
+        assert derivation.depth() <= 4
+
+    def test_render(self, tc_program, chain_db):
+        derivation = explain(tc_program, chain_db,
+                             atom("reach", "a", "c"))
+        text = derivation.render()
+        assert "reach(a, c)  [r1]" in text
+        assert "edge(b, c)  [edb]" in text
+
+    def test_explainer_reuse(self, tc_program, chain_db):
+        explainer = Explainer(tc_program, chain_db)
+        for target in ("b", "c", "d"):
+            derivation = explainer.explain(atom("reach", "a", target))
+            assert derivation is not None
+
+    def test_reuses_precomputed_idb(self, tc_program, chain_db):
+        result = evaluate(tc_program, chain_db)
+        derivation = explain(tc_program, chain_db,
+                             atom("reach", "a", "d"), idb=result.idb)
+        assert derivation is not None
+
+
+class TestExplainOptimizedPrograms:
+    def test_pruned_program_proves_same_tuples(self):
+        example = example_4_3()
+        optimized = SemanticOptimizer(
+            example.program, [example.ic("ic1")]).optimize().optimized
+        db = Database.from_text("""
+            par(cal, 7, bob, 30).
+            par(bob, 30, ann, 72).
+        """)
+        plain = evaluate(example.program, db)
+        for row in plain.facts("anc"):
+            goal = atom("anc", *row)
+            original_proof = explain(example.program, db, goal)
+            optimized_proof = explain(optimized, db, goal)
+            assert original_proof is not None
+            assert optimized_proof is not None
+
+    def test_rule_string_matches_expansion_sequence(self, ex43):
+        db = Database.from_text("""
+            par(d, 5, c, 40).
+            par(c, 40, b, 60).
+            par(b, 60, a, 90).
+        """)
+        derivation = explain(ex43.program, db, atom("anc", "d", 5, "a", 90))
+        assert derivation.rule_string() == ("r1", "r1", "r0")

@@ -1,0 +1,126 @@
+"""Unit tests for repro.facts: relations and databases."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.errors import EvaluationError
+from repro.facts import Database, Relation
+
+
+class TestRelation:
+    def test_add_dedupes(self):
+        rel = Relation("r", 2)
+        assert rel.add(("a", "b"))
+        assert not rel.add(("a", "b"))
+        assert len(rel) == 1
+
+    def test_arity_enforced(self):
+        rel = Relation("r", 2)
+        with pytest.raises(ValueError):
+            rel.add(("a",))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("r", -1)
+
+    def test_zero_arity(self):
+        rel = Relation("flag", 0)
+        assert rel.add(())
+        assert () in rel
+
+    def test_lookup_full_scan(self):
+        rel = Relation("r", 2, [("a", 1), ("b", 2)])
+        assert set(rel.lookup(())) == {("a", 1), ("b", 2)}
+
+    def test_lookup_by_column(self):
+        rel = Relation("r", 2, [("a", 1), ("a", 2), ("b", 1)])
+        assert set(rel.lookup(((0, "a"),))) == {("a", 1), ("a", 2)}
+        assert set(rel.lookup(((1, 1),))) == {("a", 1), ("b", 1)}
+
+    def test_lookup_multi_column(self):
+        rel = Relation("r", 3, [("a", 1, "x"), ("a", 2, "x")])
+        assert set(rel.lookup(((0, "a"), (2, "x")))) == \
+            {("a", 1, "x"), ("a", 2, "x")}
+        assert set(rel.lookup(((0, "a"), (1, 2)))) == {("a", 2, "x")}
+
+    def test_index_sees_later_inserts(self):
+        rel = Relation("r", 2, [("a", 1)])
+        list(rel.lookup(((0, "a"),)))  # build the index
+        rel.add(("a", 2))
+        assert set(rel.lookup(((0, "a"),))) == {("a", 1), ("a", 2)}
+
+    def test_lookup_matches_filter_scan(self):
+        rows = [(i % 3, i % 5) for i in range(30)]
+        rel = Relation("r", 2, rows)
+        for value in range(3):
+            expected = {row for row in rel if row[0] == value}
+            assert set(rel.lookup(((0, value),))) == expected
+
+    def test_copy_is_independent(self):
+        rel = Relation("r", 1, [("a",)])
+        cloned = rel.copy()
+        cloned.add(("b",))
+        assert len(rel) == 1 and len(cloned) == 2
+
+
+class TestDatabase:
+    def test_add_and_facts(self):
+        db = Database()
+        assert db.add_fact("p", "a", 1)
+        assert not db.add_fact("p", "a", 1)
+        assert db.facts("p") == {("a", 1)}
+
+    def test_unknown_relation(self):
+        db = Database()
+        assert db.facts("missing") == frozenset()
+        with pytest.raises(EvaluationError):
+            db.relation("missing")
+
+    def test_arity_conflict(self):
+        db = Database()
+        db.add_fact("p", "a")
+        with pytest.raises(EvaluationError):
+            db.ensure("p", 2)
+
+    def test_add_atom_requires_ground(self):
+        db = Database()
+        db.add_atom(atom("p", "a", 3))
+        assert db.facts("p") == {("a", 3)}
+        with pytest.raises(EvaluationError):
+            db.add_atom(atom("p", "X"))
+
+    def test_from_text_rejects_rules(self):
+        with pytest.raises(EvaluationError):
+            Database.from_text("p(X) :- q(X).")
+
+    def test_text_roundtrip(self):
+        db = Database.from_text("""
+            par(ann, 90, bob, 60).
+            par(bob, 60, carl, 30).
+            likes(ann, 'New York').
+        """)
+        again = Database.from_text(db.to_text())
+        assert again == db
+
+    def test_merge_and_copy(self):
+        left = Database({"p": [("a",)]})
+        right = Database({"p": [("b",)], "q": [("c", 1)]})
+        snapshot = left.copy()
+        added = left.merge(right)
+        assert added == 2
+        assert left.facts("p") == {("a",), ("b",)}
+        assert snapshot.facts("p") == {("a",)}
+
+    def test_total_facts(self, chain_db):
+        assert chain_db.total_facts() == 3
+
+    def test_equality_covers_all_predicates(self):
+        a = Database({"p": [("x",)]})
+        b = Database({"p": [("x",)], "q": [("y",)]})
+        assert a != b
+        b2 = Database({"p": [("x",)]})
+        assert a == b2
+
+    def test_constructor_from_mapping(self):
+        db = Database({"edge": [("a", "b"), ("b", "c")]})
+        assert len(db.relation("edge")) == 2

@@ -1,0 +1,176 @@
+"""Tests for intelligent query answering (Section 5, Example 5.1)."""
+
+import pytest
+
+from repro.errors import ParseError, TransformError
+from repro.iqa import (describe, parse_describe, proof_trees,
+                       reachable_predicates, relevant_context)
+from repro.datalog import parse_program, parse_query
+from repro.datalog.atoms import atom
+
+QUERY_TEXT = ("describe honors(Stud) where major(Stud, cs), "
+              "graduated(Stud, College), topten(College), "
+              "hobby(Stud, chess)")
+
+
+class TestParseDescribe:
+    def test_structure(self):
+        query = parse_describe(QUERY_TEXT)
+        assert query.target == atom("honors", "Stud")
+        assert len(query.context) == 4
+
+    def test_trailing_period_ok(self):
+        assert parse_describe(QUERY_TEXT + ".").target.pred == "honors"
+
+    def test_requires_describe(self):
+        with pytest.raises(ParseError):
+            parse_describe("honors(X) where major(X, cs)")
+
+    def test_requires_where(self):
+        with pytest.raises(ParseError):
+            parse_describe("describe honors(X)")
+
+    def test_str(self):
+        assert str(parse_describe(QUERY_TEXT)).startswith(
+            "describe honors(Stud) where")
+
+
+class TestReachability:
+    def test_example_5_1(self, ex51):
+        reachable = reachable_predicates(ex51.program, "honors")
+        assert {"transcript", "exceptional", "publication", "graduated",
+                "topten", "honors"} <= reachable
+        assert "major" not in reachable
+        assert "hobby" not in reachable
+
+    def test_unknown_predicate_reaches_itself(self, ex51):
+        assert reachable_predicates(ex51.program, "ghost") == {"ghost"}
+
+    def test_relevant_context_split(self, ex51):
+        query = parse_describe(QUERY_TEXT)
+        relevant, irrelevant = relevant_context(
+            ex51.program, "honors", query.context)
+        assert {lit.pred for lit in relevant} == {"graduated", "topten"}
+        assert {lit.pred for lit in irrelevant} == {"major", "hobby"}
+
+    def test_evaluable_follows_relevant_variables(self, ex51):
+        context = parse_query(
+            "graduated(Stud, College), topten(College), Age > 30, "
+            "hobby(Stud, H)").literals
+        relevant, irrelevant = relevant_context(ex51.program, "honors",
+                                                context)
+        # Age touches nothing relevant: irrelevant.
+        assert any(str(lit) == "Age > 30" for lit in irrelevant)
+
+    def test_evaluable_kept_when_sharing_vars(self, ex51):
+        context = parse_query(
+            "transcript(Stud, M, C, G), G >= 3.9").literals
+        relevant, _ = relevant_context(ex51.program, "honors", context)
+        assert any(str(lit) == "G >= 3.9" for lit in relevant)
+
+
+class TestProofTrees:
+    def test_example_5_1_has_three(self, ex51):
+        trees = proof_trees(ex51.program, atom("honors", "Stud"))
+        labels = {tree.labels for tree in trees}
+        assert labels == {("r0",), ("r1", "r2"), ("r3",)}
+
+    def test_leaves_are_edb_or_evaluable(self, ex51):
+        for tree in proof_trees(ex51.program, atom("honors", "S")):
+            for leaf in tree.leaves:
+                pred = getattr(leaf, "pred", None)
+                assert pred not in ex51.program.idb_predicates
+
+    def test_recursive_predicates_truncated(self, tc_program):
+        trees = proof_trees(tc_program, atom("reach", "X", "Y"),
+                            max_expansions=3)
+        assert 1 <= len(trees) <= 3
+        assert ("r0",) in {t.labels for t in trees}
+
+    def test_query_constant_propagates(self, ex51):
+        trees = proof_trees(ex51.program, atom("honors", "sue"))
+        r3 = [t for t in trees if t.labels == ("r3",)][0]
+        graduated = [l for l in r3.leaves if l.pred == "graduated"][0]
+        assert str(graduated.args[0]) == "sue"
+
+
+class TestDescribe:
+    def test_example_5_1_answer(self, ex51):
+        result = describe(ex51.program, parse_describe(QUERY_TEXT))
+        assert result.context_suffices
+        by_labels = {d.tree.labels: d for d in result.descriptions}
+        assert by_labels[("r3",)].subsumed
+        assert by_labels[("r3",)].residue == ()
+        assert not by_labels[("r0",)].subsumed
+        assert "every object satisfying the context" in result.summary()
+        assert "ignored as irrelevant" in result.summary()
+
+    def test_insufficient_context(self, ex51):
+        query = parse_describe(
+            "describe honors(Stud) where "
+            "transcript(Stud, M, C, G), G >= 3.8")
+        result = describe(ex51.program, query)
+        assert not result.context_suffices
+        # Every tree still needs extra conditions.
+        summary = result.summary()
+        assert "does not suffice" in summary
+        # The r0 tree's residue is exactly the credits test.
+        r0 = [d for d in result.descriptions
+              if d.tree.labels == ("r0",)][0]
+        assert r0.subsumed
+        assert any(">= 30" in str(lit) for lit in r0.residue)
+
+    def test_context_variable_pinned_to_target(self, ex51):
+        # The context names a *different* student variable: it cannot
+        # subsume any tree of honors(Stud).
+        query = parse_describe(
+            "describe honors(Stud) where graduated(Other, College), "
+            "topten(College)")
+        result = describe(ex51.program, query)
+        assert not any(d.context_suffices for d in result.descriptions)
+
+    def test_unknown_predicate_raises(self, ex51):
+        query = parse_describe("describe ghost(X) where topten(X)")
+        with pytest.raises(TransformError):
+            describe(ex51.program, query)
+
+
+class TestICAwareDescribe:
+    """Extension: the context is chased with the ICs before coverage."""
+
+    def test_implied_context_covers_tree(self, ex51):
+        from repro.constraints import ic_from_text
+        alumni = ic_from_text("alumni(S, C) -> graduated(S, C).")
+        query = parse_describe(
+            "describe honors(Stud) where alumni(Stud, College), "
+            "topten(College)")
+        without = describe(ex51.program, query)
+        assert not without.context_suffices
+        with_ic = describe(ex51.program, query, ics=(alumni,))
+        assert with_ic.context_suffices
+
+    def test_inconsistent_context_reported(self, ex51):
+        from repro.constraints import ic_from_text
+        denial = ic_from_text("graduated(S, C), topten(C) -> .")
+        query = parse_describe(
+            "describe honors(Stud) where graduated(Stud, College), "
+            "topten(College)")
+        result = describe(ex51.program, query, ics=(denial,))
+        assert result.context_inconsistent
+        assert "no object can satisfy" in result.summary()
+
+    def test_evaluable_entailment_through_chase(self, ex51):
+        from repro.constraints import ic_from_text
+        # Scholarship holders have a GPA of at least 3.8.
+        gpa_ic = ic_from_text(
+            "scholarship(S), transcript(S, M, C, G) -> G >= 3.8.")
+        query = parse_describe(
+            "describe honors(Stud) where scholarship(Stud), "
+            "transcript(Stud, Major, Cred, Gpa), Cred >= 30")
+        without = describe(ex51.program, query)
+        with_ic = describe(ex51.program, query, ics=(gpa_ic,))
+        r0_without = [d for d in without.descriptions
+                      if d.tree.labels == ("r0",)][0]
+        r0_with = [d for d in with_ic.descriptions
+                   if d.tree.labels == ("r0",)][0]
+        assert len(r0_with.residue) < len(r0_without.residue)

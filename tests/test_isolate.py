@@ -1,0 +1,132 @@
+"""Tests for Algorithm 4.1 (isolation) — structure and Theorem 4.1."""
+
+import random
+
+import pytest
+
+from repro.core import check_equivalent, isolate
+from repro.core.equivalence import random_database
+from repro.datalog import parse_program
+from repro.errors import TransformError
+
+
+class TestStructure:
+    def test_trivial_for_length_one(self, ex43):
+        isolation = isolate(ex43.program, "anc", ("r1",))
+        assert isolation.program == ex43.program
+        assert isolation.alpha_labels == ("r1",)
+        assert isolation.p_names == () and isolation.q_names == ()
+
+    def test_aux_predicates_created(self, ex43):
+        isolation = isolate(ex43.program, "anc", ("r1", "r1", "r1"))
+        assert isolation.p_names == ("anc__p1", "anc__p2")
+        assert isolation.q_names == ("anc__q1", "anc__q2")
+        assert len(isolation.alpha_labels) == 3
+
+    def test_alpha_chain_heads_and_calls(self, ex43):
+        isolation = isolate(ex43.program, "anc", ("r1", "r1", "r1"))
+        alpha1 = isolation.alpha_rule(0)
+        alpha2 = isolation.alpha_rule(1)
+        alpha3 = isolation.alpha_rule(2)
+        assert alpha1.head.pred == "anc"
+        assert "anc__p1" in alpha1.body_predicates()
+        assert alpha2.head.pred == "anc__p1"
+        assert "anc__p2" in alpha2.body_predicates()
+        assert alpha3.head.pred == "anc__p2"
+        assert "anc" in alpha3.body_predicates()  # p_k = p
+
+    def test_step5_alignment(self, ex43):
+        """The alpha-rule heads carry the caller's argument tuple."""
+        isolation = isolate(ex43.program, "anc", ("r1", "r1"))
+        alpha1, alpha2 = (isolation.alpha_rule(0), isolation.alpha_rule(1))
+        call = [lit for lit in alpha1.body
+                if lit.pred == "anc__p1"][0]
+        assert alpha2.head.args == call.args
+
+    def test_beta_rules_divert_to_q(self, ex43):
+        isolation = isolate(ex43.program, "anc", ("r1", "r1"))
+        betas = [r for r in isolation.program
+                 if r.label and "beta" in r.label]
+        assert len(betas) == 1
+        assert "anc__q1" in betas[0].body_predicates()
+
+    def test_gamma_rules_exclude_matched_rule(self, ex43):
+        isolation = isolate(ex43.program, "anc", ("r1", "r1"))
+        gammas = [r for r in isolation.program
+                  if r.label and "gamma" in r.label]
+        # q1's rules are copies of every rule except r1 -> only r0.
+        assert len(gammas) == 1
+        assert gammas[0].head.pred == "anc__q1"
+        assert gammas[0].body[0].pred == "par"
+
+    def test_original_rules_for_other_predicates_kept(self, ex32):
+        isolation = isolate(ex32.program, "eval", ("r1", "r1"))
+        assert isolation.program.rule("r2").head.pred == "eval_support"
+
+    def test_exit_terminated_sequence(self, ex43):
+        isolation = isolate(ex43.program, "anc", ("r1", "r0"))
+        last = isolation.alpha_rule(1)
+        assert last.head.pred == "anc__p1"
+        assert last.body_predicates() == {"par"}  # no recursive call
+
+    def test_empty_sequence_rejected(self, ex43):
+        with pytest.raises(TransformError):
+            isolate(ex43.program, "anc", ())
+
+
+class TestTheorem41:
+    """Equivalence of the transformed program, checked empirically."""
+
+    @pytest.mark.parametrize("sequence", [
+        ("r1", "r1"), ("r1", "r1", "r1"), ("r1", "r0"),
+        ("r1", "r1", "r0"),
+    ])
+    def test_genealogy_sequences(self, ex43, rng, sequence):
+        isolation = isolate(ex43.program, "anc", sequence)
+        dbs = [random_database({"par": 4}, 6, 14, rng,
+                               numeric_columns={"par": [1, 3]})
+               for _ in range(6)]
+        assert check_equivalent(ex43.program, isolation.program, "anc",
+                                dbs) is None
+
+    def test_university(self, ex32, rng):
+        isolation = isolate(ex32.program, "eval", ("r1", "r1"))
+        dbs = [random_database(
+            {"super": 3, "works_with": 2, "expert": 2, "field": 2},
+            6, 10, rng) for _ in range(6)]
+        for pred in ("eval", "eval_support"):
+            assert check_equivalent(ex32.program, isolation.program,
+                                    pred, dbs) is None
+
+    def test_organization_four_levels(self, ex41, rng):
+        isolation = isolate(ex41.program, "triple",
+                            ("r2", "r2", "r2", "r2"))
+        dbs = [random_database(
+            {"same_level": 3, "boss": 3, "experienced": 1}, 5, 10, rng)
+            for _ in range(5)]
+        assert check_equivalent(ex41.program, isolation.program,
+                                "triple", dbs) is None
+
+    def test_abstract_chain_program(self, ex21, rng):
+        isolation = isolate(ex21.program, "p", ("r0", "r0", "r0"))
+        dbs = [random_database({"a": 3, "b": 2, "c": 3, "d": 2, "e": 6},
+                               4, 8, rng) for _ in range(4)]
+        assert check_equivalent(ex21.program, isolation.program, "p",
+                                dbs) is None
+
+    def test_two_recursive_rules(self, rng):
+        """A program with two distinct recursive rules: the gamma rules
+        must route the unmatched rule back to p."""
+        program = parse_program("""
+            r0: path(X, Y) :- edge(X, Y).
+            r1: path(X, Y) :- path(X, Z), edge(Z, Y).
+            r2: path(X, Y) :- path(X, Z), jump(Z, Y).
+        """)
+        isolation = isolate(program, "path", ("r1", "r1"))
+        gammas = {r.label for r in isolation.program
+                  if r.label and "gamma" in r.label}
+        assert gammas == {"path__gamma2_r0", "path__gamma2_r2"}
+        dbs = [random_database({"edge": 2, "jump": 2}, 5, 8, rng)
+               for _ in range(6)]
+        assert check_equivalent(program, isolation.program, "path",
+                                dbs) is None

@@ -1,0 +1,239 @@
+"""Tests for rule-body minimization and rule subsumption (Sagiv-style)."""
+
+import pytest
+
+from repro.constraints import ic_from_text
+from repro.core import (check_equivalent, minimize_program, minimize_rule,
+                        rule_subsumed_by)
+from repro.core.equivalence import make_consistent, random_database
+from repro.datalog import parse_program, parse_rule
+
+
+class TestMinimizeRule:
+    def test_classical_cq_minimization(self):
+        rule = parse_rule("p(X) :- e(X, Y), e(X, Z).")
+        minimized, dropped = minimize_rule(rule)
+        assert len(minimized.database_atoms()) == 1
+        assert len(dropped) == 1
+
+    def test_no_redundancy_no_change(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), e(Z, Y).")
+        minimized, dropped = minimize_rule(rule)
+        assert minimized == rule and not dropped
+
+    def test_head_variables_protected(self):
+        rule = parse_rule("p(X, Y) :- e(X, Y), e(X, Z).")
+        minimized, dropped = minimize_rule(rule)
+        # e(X, Y) binds the head variable Y; only e(X, Z) may go.
+        assert str(dropped[0]) == "e(X, Z)"
+        assert "e(X, Y)" in str(minimized)
+
+    def test_ic_implied_atom_dropped(self):
+        rule = parse_rule("q(E) :- boss(E, B), experienced(B), vip(B).")
+        ic = ic_from_text("vip(B) -> experienced(B).")
+        minimized, dropped = minimize_rule(rule, [ic])
+        assert [str(a) for a in dropped] == ["experienced(B)"]
+
+    def test_without_ic_nothing_dropped(self):
+        rule = parse_rule("q(E) :- boss(E, B), experienced(B), vip(B).")
+        minimized, dropped = minimize_rule(rule)
+        assert not dropped
+
+    def test_recursive_call_never_touched(self):
+        rule = parse_rule("p(X, Y) :- p(X, Z), e(Z, Y), e(Z, W).")
+        minimized, dropped = minimize_rule(rule)
+        assert minimized.count_occurrences("p") == 1
+        assert [str(a) for a in dropped] == ["e(Z, W)"]
+
+    def test_greedy_cascades(self):
+        rule = parse_rule("p(X) :- e(X, Y), e(X, Z), e(X, W).")
+        minimized, dropped = minimize_rule(rule)
+        assert len(minimized.database_atoms()) == 1
+        assert len(dropped) == 2
+
+
+class TestRuleSubsumption:
+    def test_more_constrained_rule_subsumed(self):
+        general = parse_rule("r0: p(X) :- e(X).")
+        specific = parse_rule("r1: p(X) :- e(X), f(X).")
+        assert rule_subsumed_by(specific, general)
+        assert not rule_subsumed_by(general, specific)
+
+    def test_different_predicates_never_subsume(self):
+        a = parse_rule("r0: p(X) :- e(X).")
+        b = parse_rule("r1: q(X) :- e(X).")
+        assert not rule_subsumed_by(a, b)
+
+    def test_variable_renaming_handled(self):
+        a = parse_rule("r0: p(A, B) :- e(A, C), f(C, B).")
+        b = parse_rule("r1: p(X, Y) :- e(X, Z), f(Z, Y).")
+        assert rule_subsumed_by(a, b)
+
+    def test_ic_based_subsumption(self):
+        ic = ic_from_text("gold(X) -> member(X).")
+        candidate = parse_rule("r0: offer(X) :- gold(X), member(X).")
+        other = parse_rule("r1: offer(X) :- gold(X).")
+        assert rule_subsumed_by(candidate, other, [ic])
+
+
+class TestMinimizeProgram:
+    def test_removes_subsumed_rule(self):
+        program = parse_program("""
+            r0: p(X) :- e(X).
+            r1: p(X) :- e(X), f(X).
+        """)
+        report = minimize_program(program)
+        assert report.removed_rules == ["r1"]
+        assert len(report.minimized) == 1
+        assert "1 rule(s) removed" in report.summary()
+
+    def test_duplicate_rules_keep_one(self):
+        program = parse_program("""
+            r0: p(X) :- e(X).
+            r1: p(X) :- e(X).
+        """)
+        report = minimize_program(program)
+        assert len(report.minimized) == 1
+
+    def test_preserves_semantics_with_ics(self, rng):
+        program = parse_program("""
+            r0: q(E, B) :- boss(E, B), experienced(B), vip(B).
+            r1: q(E, B) :- peer(E, B).
+        """)
+        ic = ic_from_text("vip(B) -> experienced(B).")
+        report = minimize_program(program, [ic])
+        assert report.changed
+        dbs = []
+        for _ in range(5):
+            db = random_database(
+                {"boss": 2, "experienced": 1, "vip": 1, "peer": 2},
+                5, 10, rng)
+            make_consistent(db, [ic])
+            dbs.append(db)
+        assert check_equivalent(program, report.minimized, "q",
+                                dbs) is None
+
+    def test_recursive_program_untouched_when_minimal(self, ex43):
+        report = minimize_program(ex43.program, list(ex43.ics))
+        assert not report.changed
+        assert report.minimized == ex43.program
+
+
+class TestFunctionalDependencies:
+    FD = "field(T, F1), field(T, F2) -> F1 = F2."
+
+    def test_recognizer(self):
+        from repro.core import as_functional_dependency
+        fd = as_functional_dependency(ic_from_text(self.FD))
+        assert fd == ("field", (0,), 1)
+
+    def test_recognizer_rejects_other_shapes(self):
+        from repro.core import as_functional_dependency
+        for text in [
+            "field(T, F) -> good(T).",                    # one atom
+            "a(T, F1), b(T, F2) -> F1 = F2.",             # mixed preds
+            "field(T, F1), field(T, F2) -> F1 != F2.",    # not equality
+            "field(T1, F1), field(T2, F2) -> F1 = F2.",   # no key
+        ]:
+            assert as_functional_dependency(ic_from_text(text)) is None
+
+    def test_merge_and_fold(self):
+        from repro.core import apply_functional_dependencies
+        rule = parse_rule(
+            "q(P, T) :- expert(P, F), field(T, F), field(T, G), "
+            "expert(P, G).")
+        merged, notes = apply_functional_dependencies(
+            rule, [ic_from_text(self.FD)])
+        assert merged is not None
+        assert merged.count_occurrences("field") == 1
+        assert any("merged" in note for note in notes)
+
+    def test_head_variables_survive_merge(self):
+        from repro.core import apply_functional_dependencies
+        rule = parse_rule(
+            "q(T, G) :- field(T, F), field(T, G), big(F).")
+        merged, _ = apply_functional_dependencies(
+            rule, [ic_from_text(self.FD)])
+        # G is a head variable: F must be the one substituted away.
+        assert merged.head == rule.head
+        assert "big(G)" in str(merged)
+
+    def test_unsatisfiable_rule_detected(self):
+        from repro.core import apply_functional_dependencies
+        rule = parse_rule("bad(T) :- field(T, ml), field(T, db).")
+        merged, notes = apply_functional_dependencies(
+            rule, [ic_from_text(self.FD)])
+        assert merged is None
+        assert any("unsatisfiable" in note for note in notes)
+
+    def test_minimize_program_integrates_fds(self, rng):
+        from repro.core import check_equivalent, minimize_program
+        from repro.core.equivalence import make_consistent, random_database
+
+        program = parse_program(
+            "r0: q(P, T) :- expert(P, F), field(T, F), field(T, G), "
+            "expert(P, G).")
+        fd = ic_from_text(self.FD)
+        report = minimize_program(program, [fd])
+        assert report.changed
+        assert len(report.minimized.rule("r0").body) == 2
+        dbs = []
+        for _ in range(5):
+            db = random_database({"expert": 2, "field": 2}, 5, 10, rng)
+            make_consistent(db, [fd])
+            dbs.append(db)
+        assert check_equivalent(program, report.minimized, "q",
+                                dbs) is None
+
+    def test_unsatisfiable_rule_removed_from_program(self):
+        from repro.core import minimize_program
+
+        program = parse_program("""
+            r0: ok(T) :- field(T, F).
+            r1: bad(T) :- field(T, ml), field(T, db).
+        """)
+        report = minimize_program(program, [ic_from_text(self.FD)])
+        assert report.removed_rules == ["r1"]
+        assert len(report.minimized) == 1
+
+
+class TestChaseEGD:
+    def test_egd_merges_nulls(self):
+        from repro.core.containment import chase, freeze
+        from repro.datalog.atoms import atom
+
+        fd = ic_from_text("field(T, F1), field(T, F2) -> F1 = F2.")
+        instance, supply = freeze((atom("field", "T", "F"),
+                                   atom("field", "T", "G"),
+                                   atom("uses", "G")))
+        chase(instance, [fd], supply)
+        assert len([a for a in instance.atoms
+                    if a.pred == "field"]) == 1
+        # The uses-atom followed the merge.
+        (uses,) = [a for a in instance.atoms if a.pred == "uses"]
+        (field_atom,) = [a for a in instance.atoms
+                         if a.pred == "field"]
+        assert uses.args[0] == field_atom.args[1]
+
+    def test_egd_constant_clash_is_inconsistent(self):
+        from repro.core.containment import chase, freeze
+        from repro.datalog.atoms import atom
+
+        fd = ic_from_text("field(T, F1), field(T, F2) -> F1 = F2.")
+        instance, supply = freeze((atom("field", "t", "ml"),
+                                   atom("field", "t", "db")))
+        chase(instance, [fd], supply)
+        assert instance.inconsistent
+
+    def test_egd_respects_protected_variables(self):
+        from repro.core.containment import chase, freeze
+        from repro.datalog.atoms import atom
+        from repro.datalog.terms import Variable
+
+        fd = ic_from_text("field(T, F1), field(T, F2) -> F1 = F2.")
+        instance, supply = freeze((atom("field", "T", "F"),
+                                   atom("field", "T", "G")))
+        instance.protected = frozenset({Variable("G")})
+        chase(instance, [fd], supply)
+        (survivor,) = [a for a in instance.atoms if a.pred == "field"]
+        assert survivor.args[1] == Variable("G")

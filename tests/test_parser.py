@@ -1,0 +1,182 @@
+"""Unit tests for the Prolog-like parser."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Comparison, Negation, atom, comparison
+from repro.datalog.parser import (ParsedIC, ParsedQuery, parse_atom,
+                                  parse_ic, parse_literal, parse_program,
+                                  parse_query, parse_rule,
+                                  parse_statements, tokenize)
+from repro.datalog.rules import Rule
+from repro.datalog.terms import ArithExpr, Constant, Variable
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        tokens = list(tokenize("p(X, 1) :- q. % comment"))
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["IDENT", "PUNCT", "VAR", "PUNCT", "NUMBER",
+                         "PUNCT", "PUNCT", "IDENT", "PUNCT", "EOF"]
+
+    def test_multichar_operators(self):
+        texts = [t.text for t in tokenize(":- -> <= >= != ?-")]
+        assert texts[:-1] == [":-", "->", "<=", ">=", "!=", "?-"]
+
+    def test_prolog_style_inequalities_normalized(self):
+        texts = [t.text for t in tokenize("=< =>")]
+        assert texts[:-1] == ["<=", ">="]
+
+    def test_strings_with_escapes(self):
+        tokens = list(tokenize("'it\\'s' \"two words\""))
+        assert tokens[0].text == "it's"
+        assert tokens[1].text == "two words"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            list(tokenize("'oops"))
+
+    def test_float_vs_end_of_clause(self):
+        tokens = list(tokenize("p(3.8). q(4)."))
+        numbers = [t.text for t in tokens if t.kind == "NUMBER"]
+        assert numbers == ["3.8", "4"]
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError) as err:
+            list(tokenize("p(X) @ q"))
+        assert "@" in str(err.value)
+
+    def test_line_numbers(self):
+        tokens = list(tokenize("a.\nb."))
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+
+
+class TestRuleParsing:
+    def test_simple_rule(self):
+        r = parse_rule("anc(X, Y) :- par(X, Y).")
+        assert r.head == atom("anc", "X", "Y")
+        assert r.body == (atom("par", "X", "Y"),)
+
+    def test_labelled_rule(self):
+        assert parse_rule("r7: p(X) :- q(X).").label == "r7"
+
+    def test_fact(self):
+        r = parse_rule("par(ann, bob).")
+        assert r.is_fact
+        assert r.head.args == (Constant("ann"), Constant("bob"))
+
+    def test_comparisons_in_body(self):
+        r = parse_rule("p(X) :- q(X, Y), X > Y, Y != 3.")
+        assert r.evaluable_atoms() == (comparison("X", ">", "Y"),
+                                       comparison("Y", "!=", 3))
+
+    def test_negation_in_body(self):
+        r = parse_rule("p(X) :- q(X), not r(X).")
+        assert r.negated_atoms() == (Negation(atom("r", "X")),)
+
+    def test_negation_of_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X), not X > 3.")
+
+    def test_arithmetic_argument(self):
+        r = parse_rule("p(X) :- q(X, Y), Y > X + 1.")
+        cmp_ = r.evaluable_atoms()[0]
+        assert cmp_.rhs == ArithExpr("+", Variable("X"), Constant(1))
+
+    def test_precedence(self):
+        r = parse_rule("p(X) :- q(X), X > 1 + 2 * 3.")
+        rhs = r.evaluable_atoms()[0].rhs
+        assert isinstance(rhs, ArithExpr) and rhs.op == "+"
+        assert rhs.right == ArithExpr("*", Constant(2), Constant(3))
+
+    def test_parenthesized_expression(self):
+        r = parse_rule("p(X) :- q(X), X > (1 + 2) * 3.")
+        rhs = r.evaluable_atoms()[0].rhs
+        assert rhs.op == "*"
+
+    def test_negative_number(self):
+        r = parse_rule("p(X) :- q(X), X > -5.")
+        assert r.evaluable_atoms()[0].rhs == Constant(-5)
+
+    def test_zero_arity_atoms(self):
+        r = parse_rule("flag :- sensor(X), X > 3.")
+        assert r.head == Atom("flag", ())
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X)")
+
+    def test_head_must_be_atom(self):
+        with pytest.raises(ParseError):
+            parse_rule("X > 3 :- q(X).")
+
+
+class TestICParsing:
+    def test_fact_ic(self):
+        ic = parse_ic("a(X, Y), X > 5 -> b(Y).")
+        assert isinstance(ic, ParsedIC)
+        assert ic.head == atom("b", "Y")
+        assert len(ic.body) == 2
+
+    def test_denial_with_empty_head(self):
+        ic = parse_ic("a(X), X > 5 -> .")
+        assert ic.head is None
+
+    def test_denial_with_false(self):
+        ic = parse_ic("a(X) -> false.")
+        assert ic.head is None
+
+    def test_labelled(self):
+        assert parse_ic("ic3: a(X) -> b(X).").label == "ic3"
+
+    def test_evaluable_head(self):
+        ic = parse_ic("a(X, Y) -> X < Y.")
+        assert ic.head == comparison("X", "<", "Y")
+
+
+class TestQueryParsing:
+    def test_with_marker(self):
+        q = parse_query("?- anc(X, Y), Y != bob.")
+        assert isinstance(q, ParsedQuery)
+        assert len(q.literals) == 2
+
+    def test_marker_and_period_optional(self):
+        q = parse_query("anc(X, Y)")
+        assert q.literals == (atom("anc", "X", "Y"),)
+
+
+class TestMixedUnits:
+    def test_statement_kinds(self):
+        statements = parse_statements("""
+            p(X) :- e(X).
+            e(a).
+            ic: e(X) -> p(X).
+            ?- p(X).
+        """)
+        kinds = [type(s).__name__ for s in statements]
+        assert kinds == ["Rule", "Rule", "ParsedIC", "ParsedQuery"]
+
+    def test_parse_program_rejects_ics(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- e(X). e(X) -> p(X).")
+
+    def test_parse_program_roundtrip(self, tc_program):
+        text = "\n".join(f"{r.label}: {r}" for r in tc_program)
+        again = parse_program(text)
+        assert again == tc_program
+
+
+class TestSingleItemHelpers:
+    def test_parse_atom(self):
+        assert parse_atom("par(X, 30)") == atom("par", "X", 30)
+
+    def test_parse_atom_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("par(X), q(Y)")
+
+    def test_parse_literal_comparison(self):
+        assert parse_literal("X >= 2") == comparison("X", ">=", 2)
+
+    def test_parse_literal_negation(self):
+        assert parse_literal("not p(X)") == Negation(atom("p", "X"))

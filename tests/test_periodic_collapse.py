@@ -1,0 +1,242 @@
+"""Tests for the depth-class (periodic) compilation and chain inlining."""
+
+import pytest
+
+from repro.core import check_equivalent, generate_residues, isolate
+from repro.core.collapse import inline_auxiliaries
+from repro.core.equivalence import make_consistent, random_database
+from repro.core.periodic import (periodic_applicable, periodic_eliminate,
+                                 periodic_prune, periodic_shape)
+from repro.datalog import parse_program
+from repro.engine import evaluate
+
+
+def _find(items, sequence):
+    for item in items:
+        if item.sequence == sequence:
+            return item
+    raise AssertionError(f"no residue for {sequence}")
+
+
+class TestApplicability:
+    def test_uniform_recursive_sequence(self, ex32):
+        assert periodic_shape(ex32.program, "eval", ("r1", "r1")) == "r1"
+
+    def test_exit_terminated_not_periodic(self, ex43):
+        assert periodic_shape(ex43.program, "anc", ("r1", "r0")) is None
+
+    def test_mixed_rules_not_periodic(self, ex43):
+        assert periodic_shape(ex43.program, "anc", ("r1", "r0")) is None
+
+    def test_length_one_not_periodic(self, ex43):
+        assert periodic_shape(ex43.program, "anc", ("r1",)) is None
+
+    def test_elimination_residue_applicable(self, ex32):
+        items = generate_residues(ex32.program, "eval", ex32.ic("ic1"))
+        item = _find(items, ("r1", "r1"))
+        assert periodic_applicable(ex32.program, "eval", item)
+
+    def test_pruning_residue_applicable(self, ex43):
+        items = generate_residues(ex43.program, "anc", ex43.ic("ic1"))
+        item = _find(items, ("r1", "r1", "r1"))
+        assert periodic_applicable(ex43.program, "anc", item)
+
+    def test_deep_condition_not_applicable(self, ex41):
+        """Example 4.1's condition sits at level 3, outside the level-0
+        instance: the depth-class form cannot thread it."""
+        items = generate_residues(ex41.program, "triple", ex41.ic("ic1"))
+        item = _find(items, ("r2", "r2", "r2", "r2"))
+        assert not periodic_applicable(ex41.program, "triple", item)
+
+
+class TestPeriodicElimination:
+    def test_structure(self, ex32):
+        items = generate_residues(ex32.program, "eval", ex32.ic("ic1"))
+        item = _find(items, ("r1", "r1"))
+        outcome = periodic_eliminate(ex32.program, "eval", item,
+                                     [ex32.ic("ic1")])
+        assert outcome.applied, outcome.reason
+        program = outcome.program
+        assert {"eval__d0", "eval__deep"} <= program.idb_predicates
+        deep_edited = program.rule("r1_deep_step")
+        assert "expert" not in deep_edited.body_predicates()
+        # The warm-up step into deep keeps the expert join.
+        warmup = program.rule("r1_d0_step")
+        assert "expert" in warmup.body_predicates()
+        assert outcome.preserved_preds == {"eval__d0", "eval__deep"}
+
+    def test_equivalence(self, ex32, rng):
+        items = generate_residues(ex32.program, "eval", ex32.ic("ic1"))
+        item = _find(items, ("r1", "r1"))
+        outcome = periodic_eliminate(ex32.program, "eval", item,
+                                     [ex32.ic("ic1")])
+        dbs = []
+        for _ in range(6):
+            db = random_database(
+                {"super": 3, "works_with": 2, "expert": 2, "field": 2},
+                6, 12, rng)
+            make_consistent(db, [ex32.ic("ic1")])
+            dbs.append(db)
+        assert check_equivalent(ex32.program, outcome.program, "eval",
+                                dbs) is None
+
+    def test_second_recursive_rule_blocks(self, rng):
+        program = parse_program("""
+            r0: path(X, Y) :- edge(X, Y).
+            r1: path(X, Y) :- path(X, Z), edge(Z, Y).
+            r2: path(X, Y) :- path(X, Z), jump(Z, Y).
+        """)
+        from repro.constraints import ic_from_text
+        ic = ic_from_text("edge(A, B), edge(B, C) -> shortcut(A, C).")
+        items = generate_residues(program, "path", ic, useful_only=False)
+        candidates = [i for i in items if i.sequence == ("r1", "r1")]
+        if candidates:
+            outcome = periodic_eliminate(program, "path", candidates[0],
+                                         [ic])
+            assert not outcome.applied
+
+
+class TestPeriodicPruning:
+    def test_structure_and_equivalence(self, ex43, rng):
+        items = generate_residues(ex43.program, "anc", ex43.ic("ic1"))
+        item = _find(items, ("r1", "r1", "r1"))
+        outcome = periodic_prune(ex43.program, "anc", item,
+                                 [ex43.ic("ic1")])
+        assert outcome.applied, outcome.reason
+        program = outcome.program
+        assert {"anc__d0", "anc__d1", "anc__deep"} <= \
+            program.idb_predicates
+        guarded = program.rule("r1_deep_step_c0_n")
+        assert any(str(lit) == "Ya > 50" for lit in guarded.body)
+        dbs = []
+        for _ in range(6):
+            db = random_database({"par": 4}, 6, 14, rng,
+                                 numeric_columns={"par": [1, 3]})
+            make_consistent(db, [ex43.ic("ic1")])
+            dbs.append(db)
+        assert check_equivalent(ex43.program, outcome.program, "anc",
+                                dbs) is None
+
+
+class TestInlineAuxiliaries:
+    def test_collapses_isolation_chain(self, ex32, rng):
+        isolation = isolate(ex32.program, "eval", ("r1", "r1"))
+        aux = isolation.p_names + isolation.q_names
+        collapsed = inline_auxiliaries(isolation.program, aux)
+        assert not set(aux) & collapsed.idb_predicates
+        dbs = []
+        for _ in range(5):
+            db = random_database(
+                {"super": 3, "works_with": 2, "expert": 2, "field": 2},
+                5, 9, rng)
+            dbs.append(db)
+        assert check_equivalent(ex32.program, collapsed, "eval",
+                                dbs) is None
+
+    def test_no_aux_is_identity(self, ex32):
+        assert inline_auxiliaries(ex32.program, ()) is ex32.program
+
+    def test_budget_keeps_original(self, ex43):
+        isolation = isolate(ex43.program, "anc", ("r1", "r1", "r1"))
+        aux = isolation.p_names + isolation.q_names
+        unchanged = inline_auxiliaries(isolation.program, aux,
+                                       rule_budget=1)
+        assert unchanged == isolation.program
+
+    def test_dead_consumers_of_empty_aux_removed(self):
+        program = parse_program("""
+            r0: p(X) :- e(X).
+            r1: p(X) :- aux(X), e(X).
+        """, edb_hint=("e",))
+        cleaned = inline_auxiliaries(program, ("aux",))
+        assert {r.label for r in cleaned} == {"r0"}
+
+
+class TestPeriodicGroups:
+    """Several ICs over one recursive rule compose into one compilation."""
+
+    PROGRAM = """
+        r0: reach(X, Y, Wy) :- edge(X, Y, Wy).
+        r1: reach(X, Y, Wy) :- reach(X, Z, Wz), edge(Z, Y, Wy), active(Z).
+    """
+    ICS = """
+        ice: edge(A, B, W1), edge(B, C, W2) -> active(B).
+        icp: Wy <= 10, edge(Z, Y, Wy), edge(Z2, Z, Wz),
+             edge(Z3, Z2, W3) -> .
+    """
+
+    def _setup(self):
+        from repro.constraints import ics_from_text
+        program = parse_program(self.PROGRAM)
+        ics = ics_from_text(self.ICS)
+        items = []
+        for ic in ics:
+            items.extend(generate_residues(program, "reach", ic))
+        elim = [i for i in items if i.residue.head is not None
+                and i.sequence == ("r1", "r1")][0]
+        prune = [i for i in items if i.residue.is_null
+                 and i.sequence == ("r1", "r1", "r1")][0]
+        return program, ics, elim, prune
+
+    def test_group_compiles_both_edits(self):
+        from repro.core.periodic import push_periodic_group
+
+        program, ics, elim, prune = self._setup()
+        outcome = push_periodic_group(program, "reach", [elim, prune],
+                                      ["eliminate", "prune"], list(ics))
+        assert outcome.applied, outcome.reason
+        rules = {r.label: r for r in outcome.program}
+        # Depth-1 extensions drop active; depth >= 2 also guard Wy > 10.
+        assert "active" not in \
+            rules["r1_d1_step"].body_predicates()
+        deep = rules["r1_deep_step_c0_n"]
+        assert "active" not in deep.body_predicates()
+        assert any(str(lit) == "Wy > 10" for lit in deep.body)
+        # Depth-0 extensions are untouched.
+        assert "active" in rules["r1_d0_step"].body_predicates()
+
+    def test_group_equivalence(self, rng):
+        from repro.core.periodic import push_periodic_group
+
+        program, ics, elim, prune = self._setup()
+        outcome = push_periodic_group(program, "reach", [elim, prune],
+                                      ["eliminate", "prune"], list(ics))
+        dbs = []
+        for _ in range(6):
+            db = random_database({"edge": 3, "active": 1}, 6, 14, rng,
+                                 numeric_columns={"edge": [2]},
+                                 max_value=40)
+            make_consistent(db, list(ics))
+            dbs.append(db)
+        assert check_equivalent(program, outcome.program, "reach",
+                                dbs) is None
+
+    def test_best_effort_reports_per_item(self):
+        from repro.core.periodic import push_periodic_group_best_effort
+
+        program, ics, elim, prune = self._setup()
+        outcome, per_item = push_periodic_group_best_effort(
+            program, "reach", [elim, prune], ["eliminate", "prune"],
+            list(ics))
+        assert outcome.applied
+        assert [o.applied for o in per_item] == [True, True]
+
+    def test_optimizer_pushes_both_ics_in_one_pass(self, rng):
+        from repro.core import SemanticOptimizer
+        from repro.constraints import ics_from_text
+
+        program = parse_program(self.PROGRAM)
+        ics = ics_from_text(self.ICS)
+        report = SemanticOptimizer(program, ics, pred="reach").optimize()
+        applied = report.applied_steps
+        assert len(applied) == 2
+        assert {s.ic_label for s in applied} == {"ice", "icp"}
+        dbs = []
+        for _ in range(5):
+            db = random_database({"edge": 3, "active": 1}, 6, 14, rng,
+                                 numeric_columns={"edge": [2]},
+                                 max_value=40)
+            make_consistent(db, list(ics))
+            dbs.append(db)
+        assert check_equivalent(program, report.optimized, "reach",
+                                dbs) is None

@@ -1,0 +1,74 @@
+"""Tests for join-plan introspection."""
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.engine import evaluate
+from repro.engine.plan import explain_plan, plan_rule
+from repro.facts import Database
+
+
+@pytest.fixture
+def join_program():
+    return parse_program("""
+        r0: s(P, S, M) :- big(P, S), pays(M, S), doctoral(S).
+    """)
+
+
+@pytest.fixture
+def skewed_db():
+    db = Database()
+    for i in range(50):
+        db.add_fact("big", f"p{i}", f"s{i % 10}")
+    for i in range(10):
+        db.add_fact("pays", i * 100, f"s{i}")
+    db.add_fact("doctoral", "s1")
+    return db
+
+
+class TestGreedyPlans:
+    def test_smallest_relation_anchors(self, join_program, skewed_db):
+        plan = plan_rule(join_program.rule("r0"), join_program, skewed_db)
+        first = plan.steps[0]
+        assert first.kind == "scan"
+        assert first.literal.pred == "doctoral"
+
+    def test_later_atoms_probe(self, join_program, skewed_db):
+        plan = plan_rule(join_program.rule("r0"), join_program, skewed_db)
+        kinds = [step.kind for step in plan.steps]
+        assert kinds == ["scan", "probe", "probe"]
+        # pays is probed on its bound S column (column 1).
+        pays_step = [s for s in plan.steps
+                     if getattr(s.literal, "pred", None) == "pays"][0]
+        assert pays_step.bound_columns == (1,)
+
+    def test_source_planner_keeps_order(self, join_program, skewed_db):
+        plan = plan_rule(join_program.rule("r0"), join_program, skewed_db,
+                         planner="source")
+        preds = [getattr(s.literal, "pred", None) for s in plan.steps]
+        assert preds == ["big", "pays", "doctoral"]
+
+    def test_comparisons_marked(self, skewed_db):
+        program = parse_program(
+            "q(M) :- pays(M, S), M > 100, D = M + 1.")
+        plan = plan_rule(program.rule("r0"), program, skewed_db)
+        kinds = {str(s.literal): s.kind for s in plan.steps}
+        assert kinds["M > 100"] == "check"
+        assert kinds["D = (M + 1)"] == "bind"
+
+    def test_idb_sizes_from_result(self, tc_program, chain_db):
+        result = evaluate(tc_program, chain_db)
+        plan = plan_rule(tc_program.rule("r1"), tc_program, chain_db,
+                         idb=result.idb)
+        reach_step = [s for s in plan.steps
+                      if getattr(s.literal, "pred", None) == "reach"][0]
+        assert reach_step.relation_size == 6
+
+    def test_explain_plan_renders_all_rules(self, tc_program, chain_db):
+        text = explain_plan(tc_program, chain_db)
+        assert "r0:" in text and "r1:" in text
+        assert "scan" in text or "probe" in text
+
+    def test_render_contains_sizes(self, join_program, skewed_db):
+        plan = plan_rule(join_program.rule("r0"), join_program, skewed_db)
+        assert "(~1 rows)" in plan.render()

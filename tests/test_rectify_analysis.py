@@ -1,0 +1,108 @@
+"""Unit tests for rectification and structural analysis."""
+
+import pytest
+
+from repro.datalog import parse_program, parse_rule
+from repro.datalog.analysis import (bound_variables, is_range_restricted,
+                                    is_safe, validate_program)
+from repro.datalog.rectify import (head_variable, is_rectified,
+                                   rectify_program, rectify_rule)
+from repro.datalog.terms import Variable
+from repro.engine import evaluate
+from repro.facts import Database
+
+
+class TestIsRectified:
+    def test_distinct_variables(self):
+        assert is_rectified(parse_rule("p(X, Y) :- e(X, Y)."))
+
+    def test_repeated_variable(self):
+        assert not is_rectified(parse_rule("p(X, X) :- e(X)."))
+
+    def test_constant_in_head(self):
+        assert not is_rectified(parse_rule("p(X, a) :- e(X)."))
+
+
+class TestRectifyRule:
+    def test_repeated_variable_moves_to_equality(self):
+        rectified = rectify_rule(parse_rule("p(X, X) :- e(X)."))
+        assert is_rectified(rectified)
+        equalities = rectified.evaluable_atoms()
+        assert len(equalities) == 1 and equalities[0].op == "="
+
+    def test_constant_moves_to_equality(self):
+        rectified = rectify_rule(parse_rule("p(X, 5) :- e(X)."))
+        assert is_rectified(rectified)
+
+    def test_canonical_head_names(self):
+        rectified = rectify_rule(parse_rule("p(A, B) :- e(A, B)."),
+                                 canonical=True)
+        assert rectified.head.args == (Variable("X1"), Variable("X2"))
+
+    def test_canonical_swap_is_simultaneous(self):
+        rectified = rectify_rule(parse_rule("p(X2, X1) :- e(X2, X1)."),
+                                 canonical=True)
+        assert rectified.head.args == (Variable("X1"), Variable("X2"))
+        # body must follow the same renaming
+        assert rectified.body[0].args == (Variable("X1"), Variable("X2"))
+
+    def test_semantics_preserved(self):
+        original = parse_program("p(X, X, a) :- e(X).")
+        rectified = rectify_program(original)
+        db = Database.from_text("e(u). e(v).")
+        assert evaluate(original, db).facts("p") == \
+            evaluate(rectified, db).facts("p")
+
+    def test_head_variable_helper(self):
+        assert head_variable(0) == Variable("X1")
+
+
+class TestRangeRestriction:
+    def test_restricted(self):
+        assert is_range_restricted(parse_rule("p(X) :- e(X, Y)."))
+
+    def test_unrestricted(self):
+        assert not is_range_restricted(parse_rule("p(X, Z) :- e(X, Y)."))
+
+
+class TestSafety:
+    def test_simple_safe(self):
+        assert is_safe(parse_rule("p(X) :- e(X, Y), X > Y."))
+
+    def test_unbound_comparison_unsafe(self):
+        assert not is_safe(parse_rule("p(X) :- e(X), X > Z."))
+
+    def test_equality_binds(self):
+        assert is_safe(parse_rule("p(X, Y) :- e(X), Y = X + 1."))
+
+    def test_equality_chain_binds(self):
+        rule = parse_rule("p(A) :- e(X), Y = X, A = Y.")
+        assert bound_variables(rule) >= {Variable("A"), Variable("Y")}
+
+    def test_negation_needs_bound_vars(self):
+        assert is_safe(parse_rule("p(X) :- e(X), not q(X)."))
+        assert not is_safe(parse_rule("p(X) :- e(X), not q(X, Z)."))
+
+    def test_head_var_only_in_negation_unsafe(self):
+        assert not is_safe(parse_rule("p(Z) :- e(X), not q(Z)."))
+
+
+class TestValidateProgram:
+    def test_clean_program(self, tc_program):
+        report = validate_program(tc_program)
+        assert report.ok and report.ok_for_paper
+        assert "satisfies" in report.summary()
+
+    def test_flags_collected(self):
+        program = parse_program("""
+            bad1(X, Z) :- e(X).
+            bad2(X) :- e(X), f(Y).
+            t(X, Y) :- g(X, Y).
+            t(X, Y) :- t(X, Z), t(Z, Y).
+        """)
+        report = validate_program(program)
+        assert not report.ok
+        assert report.unrestricted_rules
+        assert report.disconnected_rules
+        assert "t" in report.nonlinear_predicates
+        assert "non-linear" in report.summary()

@@ -1,0 +1,150 @@
+"""Tests for Algorithm 3.1 — residue generation over expansion sequences.
+
+Each paper example's stated outcome is asserted verbatim, and the graph
+method is cross-checked against the exhaustive reference enumerator.
+"""
+
+import pytest
+
+from repro.constraints import ic_from_text, ics_from_text
+from repro.core import (detect_sequences, generate_residues,
+                        generate_residues_exhaustive, rule_level_residues)
+from repro.core.residues import introduction_eligible
+from repro.datalog import parse_program
+from repro.errors import ConstraintError
+
+
+class TestExample21:
+    """Example 3.1: the IC maximally subsumes only the r0-chains."""
+
+    def test_detected_sequence(self, ex21):
+        sequences = detect_sequences(ex21.program, "p", ex21.ic("ic"))
+        assert ("r0", "r0", "r0") in sequences
+
+    def test_residue_on_r0x3_is_loose(self, ex21):
+        items = generate_residues(ex21.program, "p", ex21.ic("ic"))
+        by_seq = {item.sequence: item for item in items}
+        short = by_seq[("r0", "r0", "r0")]
+        assert short.residue.kind == "unconditional fact"
+        assert short.useful and not short.strictly_useful
+
+    def test_extension_finds_strict_placement(self, ex21):
+        items = generate_residues(ex21.program, "p", ex21.ic("ic"))
+        strict = [item for item in items if item.strictly_useful]
+        assert [item.sequence for item in strict] == \
+            [("r0", "r0", "r0", "r0")]
+        assert str(strict[0].residue.head) == "d(Y5, X6)"
+
+    def test_rule_level_finds_nothing_maximal(self, ex21):
+        items = rule_level_residues(ex21.program, ex21.ic("ic"))
+        # Only the non-maximal (partial) readings exist at rule level;
+        # maximal free subsumption of all three atoms needs the chain.
+        assert all(not item.strictly_useful for item in items)
+
+
+class TestExample32:
+    def test_sequence_and_residue(self, ex32):
+        items = generate_residues(ex32.program, "eval", ex32.ic("ic1"))
+        assert len(items) == 1
+        item = items[0]
+        assert item.sequence == ("r1", "r1")
+        assert str(item.residue) == "-> expert(P, F)"
+        assert item.residue.kind == "unconditional fact"
+        assert item.useful and not item.strictly_useful
+
+    def test_ic2_is_rule_level(self, ex32):
+        items = rule_level_residues(ex32.program, ex32.ic("ic2"))
+        assert len(items) == 1
+        item = items[0]
+        assert item.sequence == ("r2",)
+        assert item.residue.head.pred == "doctoral"
+        assert not item.useful  # head does not occur in r2
+        assert introduction_eligible(item)
+
+
+class TestExample41:
+    def test_usefulness_extension_reaches_r2x4(self, ex41):
+        items = generate_residues(ex41.program, "triple", ex41.ic("ic1"))
+        strict = [item for item in items if item.strictly_useful]
+        assert [item.sequence for item in strict] == \
+            [("r2", "r2", "r2", "r2")]
+        residue = strict[0].residue
+        assert residue.kind == "conditional fact"
+        assert str(residue.head) == "experienced(U)"
+
+    def test_extension_respects_budget(self, ex41):
+        # A budget of 1 per side caps windows at three instances, which
+        # is too short for the head to land strictly.
+        items = generate_residues(ex41.program, "triple", ex41.ic("ic1"),
+                                  max_extend=1)
+        assert all(not item.strictly_useful for item in items)
+
+
+class TestExample43:
+    def test_both_pruning_sequences(self, ex43):
+        items = generate_residues(ex43.program, "anc", ex43.ic("ic1"))
+        sequences = {item.sequence for item in items}
+        assert ("r1", "r1", "r1") in sequences
+        assert ("r1", "r1", "r0") in sequences
+        for item in items:
+            assert item.residue.kind == "conditional null"
+            assert str(item.residue) == "Ya <= 50 ->"
+
+    def test_exhaustive_agrees(self, ex43):
+        graph = {(i.sequence, str(i.residue))
+                 for i in generate_residues(ex43.program, "anc",
+                                            ex43.ic("ic1"))}
+        brute = {(i.sequence, str(i.residue))
+                 for i in generate_residues_exhaustive(
+                     ex43.program, "anc", ex43.ic("ic1"))}
+        assert graph == brute
+
+
+class TestCrossCheck:
+    """Graph detection vs exhaustive enumeration on all examples."""
+
+    @pytest.mark.parametrize("fixture,pred,label", [
+        ("ex21", "p", "ic"), ("ex32", "eval", "ic1"),
+        ("ex43", "anc", "ic1"),
+    ])
+    def test_same_residues(self, fixture, pred, label, request):
+        example = request.getfixturevalue(fixture)
+        ic = example.ic(label)
+        graph = {(i.sequence, str(i.residue))
+                 for i in generate_residues(example.program, pred, ic)}
+        max_len = max((len(s) for s, _ in graph), default=3)
+        brute = {(i.sequence, str(i.residue))
+                 for i in generate_residues_exhaustive(
+                     example.program, pred, ic, max_length=max_len)}
+        assert graph == brute
+
+
+class TestGuards:
+    def test_idb_ic_rejected(self, ex43):
+        ic = ic_from_text("anc(X, Xa, Y, Ya) -> par(X, Xa, Y, Ya).")
+        with pytest.raises(ConstraintError):
+            generate_residues(ex43.program, "anc", ic)
+
+    def test_unrelated_ic_yields_nothing(self, ex43):
+        ic = ic_from_text("other(X, Y) -> .")
+        assert generate_residues(ex43.program, "anc", ic) == []
+
+    def test_useful_only_off_keeps_more(self, ex32):
+        strict = generate_residues(ex32.program, "eval", ex32.ic("ic1"))
+        everything = generate_residues(ex32.program, "eval",
+                                       ex32.ic("ic1"), useful_only=False)
+        assert len(everything) >= len(strict)
+
+
+class TestSpanMinimality:
+    def test_longer_windows_filtered(self, ex32):
+        """The r1 r1 footprint inside r1 r1 r1 does not span, so the
+        three-level sequence contributes no duplicate residue."""
+        from repro.core.residues import residues_for_sequence
+        items = residues_for_sequence(ex32.program, "eval",
+                                      ("r1", "r1", "r1"), ex32.ic("ic1"))
+        spanning = [i for i in items
+                    if i.residue.head is not None
+                    and i.residue.head.pred == "expert"]
+        # Matches exist but none spans levels 0..2 with a landing head.
+        assert all(not i.strictly_useful for i in spanning)

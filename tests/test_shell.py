@@ -1,0 +1,149 @@
+"""Tests for the interactive shell (scripted)."""
+
+import pytest
+
+from repro.shell import Shell, run
+
+PROGRAM_LINES = [
+    "r0: anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).",
+    "r1: anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).",
+    "par(cal, 7, bob, 30).",
+    "par(bob, 30, ann, 72).",
+]
+
+IC_LINE = ("ic1: Ya <= 50, par(Z, Za, Y, Ya), par(Z2, Z2a, Z, Za), "
+           "par(Z3, Z3a, Z2, Z2a) -> .")
+
+
+def script(*lines):
+    return run(list(PROGRAM_LINES) + list(lines))
+
+
+class TestStatements:
+    def test_rules_and_facts_acknowledged(self):
+        out = run(PROGRAM_LINES)
+        assert sum("rule added" in line for line in out) == 2
+        assert sum("fact stored" in line for line in out) == 2
+
+    def test_query(self):
+        out = script("?- anc(cal, Xa, Y, Ya).")
+        assert "2 answer(s)." in out
+        assert any("ann" in line for line in out)
+
+    def test_query_no_answers(self):
+        out = script("?- anc(ann, Xa, Y, Ya).")
+        assert "no." in out
+
+    def test_multi_line_statement_buffered(self):
+        out = run(["p(X) :-", "  q(X),", "  r(X)."])
+        assert any("rule added" in line for line in out)
+
+    def test_parse_error_reported(self):
+        out = run(["p(X :- q(X)."])
+        assert any(line.startswith("error:") for line in out)
+
+    def test_ic_registered(self):
+        out = script(IC_LINE)
+        assert any("ic registered" in line for line in out)
+
+
+class TestMetaCommands:
+    def test_program_listing(self):
+        out = script(".program")
+        assert any("anc(X, Xa, Y, Ya) :- par" in line for line in out)
+
+    def test_empty_program(self):
+        assert "(no rules)" in run([".program"])
+
+    def test_facts_listing(self):
+        out = script(".facts par")
+        assert any("par(cal, 7, bob, 30)." in line for line in out)
+
+    def test_validate(self):
+        out = script(".validate")
+        assert any("satisfies all assumptions" in line for line in out)
+
+    def test_unknown_command(self):
+        out = run([".bogus"])
+        assert any("unknown command" in line for line in out)
+
+    def test_help(self):
+        out = run([".help"])
+        assert any(".optimize" in line for line in out)
+
+    def test_reset(self):
+        shell = Shell()
+        list(shell.handle(PROGRAM_LINES[0]))
+        list(shell.handle(".reset"))
+        assert "(no rules)" in list(shell.handle(".program"))
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "prog.dl"
+        path.write_text("\n".join(PROGRAM_LINES))
+        out = run([f".load {path}", ".program"])
+        assert any("anc" in line for line in out)
+
+    def test_csv(self, tmp_path):
+        path = tmp_path / "edge.csv"
+        path.write_text("a,b\n")
+        out = run([f".csv edge {path}", ".facts edge"])
+        assert "1 fact(s) loaded into edge" in out
+        assert "edge(a, b)." in out
+
+
+class TestOptimizeFlow:
+    def test_residues_listed(self):
+        out = script(IC_LINE, ".residues")
+        assert any("Ya <= 50 ->" in line for line in out)
+
+    def test_optimize_switches_program(self):
+        out = script(IC_LINE, ".optimize", ".program")
+        assert any("switched to the optimized" in line for line in out)
+        assert any("anc__deep" in line for line in out)
+
+    def test_answers_stable_after_optimize(self):
+        before = script("?- anc(cal, Xa, Y, Ya).")
+        after = script(IC_LINE, ".optimize", "?- anc(cal, Xa, Y, Ya).")
+        assert [l for l in before if l.startswith("  ")] == \
+            [l for l in after if l.startswith("  ")]
+
+    def test_original_reverts(self):
+        out = script(IC_LINE, ".optimize", ".original", ".program")
+        assert any("using the original program" in line for line in out)
+        assert not any("anc__deep" in line
+                       for line in out[out.index(
+                           "using the original program"):])
+
+    def test_adding_rule_invalidates_optimized(self):
+        out = script(IC_LINE, ".optimize",
+                     "other(X) :- par(X, A, B, C).", ".program")
+        # The listing reverted to the (extended) original program.
+        assert not any("anc__deep" in line
+                       for line in out[-10:])
+
+    def test_optimize_without_ics(self):
+        out = script(".optimize")
+        assert any("no integrity constraints" in line for line in out)
+
+
+class TestExplainAndDescribe:
+    def test_explain(self):
+        out = script(".explain anc(cal, 7, ann, 72)")
+        assert any("[r1]" in line for line in out)
+        assert any("[edb]" in line for line in out)
+
+    def test_explain_underivable(self):
+        out = script(".explain anc(ann, 72, cal, 7)")
+        assert any("not derivable" in line for line in out)
+
+    def test_describe(self):
+        out = run([
+            "h(S) :- grad(S, C), topten(C).",
+            ".describe h(S) where grad(S, C), topten(C)",
+        ])
+        assert any("every object satisfying the context" in line
+                   for line in out)
+
+    def test_quit_stops_processing(self):
+        out = run([".quit", ".program"])
+        assert out == []
