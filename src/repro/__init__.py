@@ -35,11 +35,15 @@ Subpackages:
 - :mod:`repro.baselines` — the evaluation-paradigm comparators;
 - :mod:`repro.iqa` — intelligent query answering (Section 5);
 - :mod:`repro.workloads` / :mod:`repro.bench` — paper fixtures,
-  generators and the experiment suite.
+  generators and the experiment suite;
+- :mod:`repro.runtime` — resilience layer: budgets, deadlines,
+  cooperative cancellation and deterministic fault injection.
 """
 
-from .errors import (ConstraintError, EvaluationError, ParseError,
+from .errors import (BudgetExceededError, ConstraintError,
+                     EvaluationCancelledError, EvaluationError, ParseError,
                      ProgramError, ReproError, TransformError)
+from .runtime import Budget, ChaosPlan, ResilienceReport, StageFailure
 from .datalog import (Atom, Comparison, Constant, Program, Rule,
                       Variable, atom, comparison, format_program,
                       parse_atom, parse_ic, parse_program, parse_query,
@@ -60,8 +64,10 @@ from .iqa import KnowledgeQuery, describe, parse_describe
 __version__ = "1.0.0"
 
 __all__ = [
-    "ConstraintError", "EvaluationError", "ParseError", "ProgramError",
+    "BudgetExceededError", "ConstraintError", "EvaluationCancelledError",
+    "EvaluationError", "ParseError", "ProgramError",
     "ReproError", "TransformError",
+    "Budget", "ChaosPlan", "ResilienceReport", "StageFailure",
     "Atom", "Comparison", "Constant", "Program", "Rule", "Variable",
     "atom", "comparison", "format_program", "parse_atom", "parse_ic",
     "parse_program", "parse_query", "parse_rule", "rule",

@@ -15,6 +15,12 @@ from typing import Callable, Iterable, Sequence
 
 from ..datalog.pretty import format_table
 from ..engine.engine import EvaluationResult
+from ..errors import BudgetExceededError
+from ..runtime.budget import Budget
+
+#: Per-measurement wall-clock allowance: one runaway configuration fails
+#: its own row instead of hanging the whole benchmark suite.
+DEFAULT_MEASUREMENT_TIMEOUT_S = 120.0
 
 
 @dataclass
@@ -26,6 +32,9 @@ class Measurement:
     counters: dict[str, int] = field(default_factory=dict)
     rule_rows: dict[str, int] = field(default_factory=dict)
     answers: int = 0
+    #: True when the run hit the measurement deadline; the row then
+    #: reports partial counters instead of hanging the suite.
+    budget_exceeded: bool = False
 
     def rows_for_rules(self, prefix: str) -> int:
         """Matched rows attributed to rules labelled ``prefix*``."""
@@ -43,13 +52,31 @@ class Measurement:
 
 
 def measure(label: str, run: Callable[[], EvaluationResult],
-            answer_pred: str, repeats: int = 3) -> Measurement:
-    """Run an evaluation ``repeats`` times; keep counters from the last."""
+            answer_pred: str, repeats: int = 3,
+            timeout_s: float | None = DEFAULT_MEASUREMENT_TIMEOUT_S
+            ) -> Measurement:
+    """Run an evaluation ``repeats`` times; keep counters from the last.
+
+    Each repeat runs under an ambient :class:`Budget` deadline
+    (``timeout_s``; ``None`` disables it).  On expiry the measurement is
+    marked ``budget_exceeded`` and carries the partial counters — the
+    row reports the timeout instead of the whole suite hanging.
+    """
     measurement = Measurement(label)
     result: EvaluationResult | None = None
     for _ in range(max(1, repeats)):
+        budget = Budget(timeout_s=timeout_s)
         start = time.perf_counter()
-        result = run()
+        try:
+            with budget.activate():
+                result = run()
+        except BudgetExceededError as error:
+            measurement.seconds.append(time.perf_counter() - start)
+            measurement.budget_exceeded = True
+            if error.stats is not None:
+                measurement.counters = error.stats.as_dict()
+                measurement.rule_rows = dict(error.stats.rule_rows)
+            return measurement
         measurement.seconds.append(time.perf_counter() - start)
     assert result is not None
     measurement.counters = result.stats.as_dict()
@@ -105,11 +132,17 @@ def comparison_row(size_label: object,
     row: list[object] = [size_label]
     baseline = measurements[0]
     for measurement in measurements:
-        row.append(f"{measurement.median_seconds * 1000:.1f}ms")
+        if measurement.budget_exceeded:
+            row.append("TIMEOUT")
+        else:
+            row.append(f"{measurement.median_seconds * 1000:.1f}ms")
         row.append(measurement.counters.get(counter, 0))
     row.append(f"{baseline.median_seconds / max(measurements[-1].median_seconds, 1e-9):.2f}x")
-    answers = {m.answers for m in measurements}
-    row.append("yes" if len(answers) == 1 else f"MISMATCH {answers}")
+    if any(m.budget_exceeded for m in measurements):
+        row.append("budget_exceeded")
+    else:
+        answers = {m.answers for m in measurements}
+        row.append("yes" if len(answers) == 1 else f"MISMATCH {answers}")
     return row
 
 

@@ -26,12 +26,19 @@ from .bench.experiments import ALL_EXPERIMENTS
 from .constraints import ics_from_text
 from .core import SemanticOptimizer, generate_residues, rule_level_residues
 from .datalog import format_program, parse_program, validate_program
-from .errors import ReproError
+from .errors import BudgetExceededError, ParseError, ReproError
 from .engine import evaluate
 from .facts import Database
 from .iqa import describe as iqa_describe
 from .iqa import parse_describe
+from .runtime import Budget
 from .workloads import ALL_EXAMPLES, load
+
+#: Distinct exit codes for scripting (`repro ... || handle $?`); each
+#: failure prints a one-line diagnostic to stderr, never a traceback.
+EXIT_ERROR = 2          # generic library failure / missing file
+EXIT_PARSE = 3          # ParseError: malformed program/IC/database text
+EXIT_BUDGET = 4         # BudgetExceededError: deadline or limit hit
 
 
 def _read(path: str) -> str:
@@ -57,11 +64,32 @@ def _load_ics(args: argparse.Namespace):
 # Subcommands
 # ---------------------------------------------------------------------------
 
+def _budget_from_args(args: argparse.Namespace) -> Budget | None:
+    """A :class:`Budget` from ``--timeout-s``/``--max-*`` flags, if any."""
+    limits = (getattr(args, "timeout_s", None),
+              getattr(args, "max_derivations", None),
+              getattr(args, "max_facts", None))
+    if all(value is None for value in limits):
+        return None
+    return Budget(timeout_s=limits[0], max_derivations=limits[1],
+                  max_facts=limits[2])
+
+
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout-s", type=float, metavar="S",
+                        help="wall-clock deadline in seconds")
+    parser.add_argument("--max-derivations", type=int, metavar="N",
+                        help="abort after N derivation events")
+    parser.add_argument("--max-facts", type=int, metavar="N",
+                        help="abort after N materialized facts")
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     program = _load_program(args)
     db = Database.from_text(_read(args.database))
     result = evaluate(program, db, method=args.method,
-                      planner=args.planner)
+                      planner=args.planner,
+                      budget=_budget_from_args(args))
     if args.query:
         for row in sorted(result.query(args.query), key=str):
             print("\t".join(str(v) for v in row))
@@ -83,16 +111,20 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_optimize(args: argparse.Namespace) -> int:
     program = _load_program(args)
     ics = _load_ics(args)
-    optimizer_cls = SemanticOptimizer
     if args.rule_level:
         report = optimize_rule_level(
             program, ics, pred=args.pred,
             small_relations=set(args.small or ()))
     else:
-        report = optimizer_cls(
+        optimizer = SemanticOptimizer(
             program, ics, pred=args.pred, guard=args.guard,
             compilation=args.compilation,
-            small_relations=set(args.small or ())).optimize()
+            small_relations=set(args.small or ()))
+        if args.safe or args.verify != "none":
+            report = optimizer.optimize_safe(
+                budget=_budget_from_args(args), verify=args.verify)
+        else:
+            report = optimizer.optimize()
     print(report.summary())
     print()
     print(format_program(report.optimized, group_by_head=True))
@@ -181,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["greedy", "source"])
     p_eval.add_argument("--stats", action="store_true",
                         help="print counters to stderr")
+    _add_budget_flags(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_opt = sub.add_parser("optimize", help="push IC residues")
@@ -198,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the rule-level baseline instead")
     p_opt.add_argument("--allow-unchanged", action="store_true",
                        help="exit 0 even when nothing was pushed")
+    p_opt.add_argument("--safe", action="store_true",
+                       help="guarded pipeline: degrade on stage failure "
+                            "instead of aborting")
+    p_opt.add_argument("--verify", default="none",
+                       choices=["none", "sample"],
+                       help="spot-check optimized vs. source answers on "
+                            "sampled databases (implies --safe)")
+    _add_budget_flags(p_opt)
     p_opt.set_defaults(func=cmd_optimize)
 
     p_res = sub.add_parser("residues", help="show Algorithm 3.1 residues")
@@ -237,12 +278,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return EXIT_PARSE
+    except BudgetExceededError as error:
+        detail = ""
+        if error.last_round is not None:
+            detail = f" (completed {error.last_round} rounds"
+            if error.stats is not None:
+                detail += f", {error.stats.derivations} facts"
+            detail += ")"
+        print(f"budget exceeded: {error}{detail}", file=sys.stderr)
+        return EXIT_BUDGET
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,8 +20,8 @@ from .optimizer import (OptimizationReport, OptimizationStep,
                         SemanticOptimizer, optimize,
                         optimize_all_predicates)
 from .equivalence import (Counterexample, check_equivalent,
-                          make_consistent, random_consistent_databases,
-                          random_database)
+                          infer_numeric_columns, make_consistent,
+                          random_consistent_databases, random_database)
 
 __all__ = [
     "ProvenancedLiteral", "SequenceClause", "enumerate_sequences", "unfold",
@@ -41,6 +41,6 @@ __all__ = [
     "rule_subsumed_by",
     "OptimizationReport", "OptimizationStep", "SemanticOptimizer",
     "optimize", "optimize_all_predicates",
-    "Counterexample", "check_equivalent", "make_consistent",
-    "random_consistent_databases", "random_database",
+    "Counterexample", "check_equivalent", "infer_numeric_columns",
+    "make_consistent", "random_consistent_databases", "random_database",
 ]

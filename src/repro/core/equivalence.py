@@ -16,9 +16,9 @@ from typing import Iterable, Sequence
 
 from ..constraints.checker import satisfies, violations
 from ..constraints.ic import IntegrityConstraint
-from ..datalog.atoms import Atom
+from ..datalog.atoms import Atom, Comparison
 from ..datalog.program import Program
-from ..datalog.terms import Constant, Variable
+from ..datalog.terms import ArithExpr, Constant, Variable
 from ..engine import evaluate
 from ..facts.database import Database
 
@@ -117,6 +117,51 @@ def _delete_one_body_fact(database: Database, ic: IntegrityConstraint,
             return
     raise RuntimeError(  # pragma: no cover - violations are grounded
         f"could not ground a body fact of {ic} to delete")
+
+
+def infer_numeric_columns(program: Program,
+                          ics: Sequence[IntegrityConstraint] = ()
+                          ) -> dict[str, list[int]]:
+    """Guess which EDB columns must hold numbers for sampling.
+
+    A variable compared (``<``, ``<=``, ...) against a numeric constant,
+    or used in arithmetic, forces every EDB column it occupies in the
+    same rule or IC body to be numeric — otherwise random symbolic
+    values would make the comparison raise at evaluation time.  Used by
+    the optimizer's sampled equivalence spot-check to parameterize
+    :func:`random_database`.
+    """
+    scopes: list[tuple[tuple, tuple]] = []
+    for r in program:
+        atoms = tuple(lit for lit in r.body if isinstance(lit, Atom))
+        comparisons = tuple(lit for lit in r.body
+                            if isinstance(lit, Comparison))
+        scopes.append((atoms, comparisons))
+    for ic in ics:
+        scopes.append((ic.database_atoms(), ic.evaluable_atoms()))
+
+    columns: dict[str, set[int]] = {}
+    edb = program.edb_predicates
+    for atoms, comparisons in scopes:
+        numeric_vars: set[Variable] = set()
+        for comparison in comparisons:
+            operands = (comparison.lhs, comparison.rhs)
+            forces_numeric = any(
+                isinstance(term, ArithExpr) for term in operands) or any(
+                isinstance(term, Constant)
+                and isinstance(term.value, (int, float))
+                for term in operands)
+            if forces_numeric:
+                numeric_vars |= comparison.variable_set()
+        if not numeric_vars:
+            continue
+        for atom in atoms:
+            if atom.pred not in edb:
+                continue
+            for column, arg in enumerate(atom.args):
+                if isinstance(arg, Variable) and arg in numeric_vars:
+                    columns.setdefault(atom.pred, set()).add(column)
+    return {pred: sorted(cols) for pred, cols in columns.items()}
 
 
 def random_database(schema: dict[str, int], domain_size: int,

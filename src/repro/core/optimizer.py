@@ -22,12 +22,16 @@ program, so multi-level passes do not compose arbitrarily.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..constraints.ic import IntegrityConstraint
 from ..datalog.program import Program
 from ..errors import ProgramError
+from ..runtime import chaos
+from ..runtime.budget import Budget
+from ..runtime.resilience import ResilienceReport, StageFailure
 from .collapse import inline_auxiliaries
 from .isolate import Isolation, isolate
 from .periodic import (periodic_applicable, periodic_eliminate,
@@ -246,72 +250,101 @@ class SemanticOptimizer:
             return outcome
         return apply_introduction(isolation, item, self.ics, self.guard)
 
-    def optimize(self) -> OptimizationReport:
-        """Run the full pipeline (see module docstring for the policy)."""
-        report = OptimizationReport(self.program, self.program)
-        current = self.program
+    # -- pipeline stages (shared by optimize and optimize_safe) --------------
+    def _sort_key(self, item: SequenceResidue):
+        """Push-preference order: pruning > elimination > introduction;
+        strict usefulness over loose; all-recursive sequences (which
+        cover arbitrarily deep trees) over exit-terminated ones; shorter
+        over longer."""
+        exit_terminated = any(
+            self.program.rule(label).count_occurrences(
+                item.clause.pred) == 0
+            for label in item.sequence)
+        return (_ACTION_RANK[_preferred_action(
+                    item, self.small_relations)],
+                0 if item.strictly_useful or item.residue.is_null
+                else 1,
+                1 if exit_terminated else 0,
+                len(item.sequence))
+
+    def _sorted_residues(self) -> list[SequenceResidue]:
+        return sorted(self.all_residues(), key=self._sort_key)
+
+    def _phase1_periodic(self, current: Program,
+                         residues: Sequence[SequenceResidue],
+                         report: OptimizationReport, preserved: set[str],
+                         capture: Callable[..., None] | None = None,
+                         budget: Budget | None = None
+                         ) -> tuple[Program, bool, set[int]]:
+        """Phase 1 — periodic super-groups: all multi-level residues over
+        the same recursive rule compose into ONE depth-class compilation
+        (each edit applies from its own depth threshold), so several ICs
+        on one recursion do not block each other.
+
+        Returns ``(program, multi_level_done, handled residue ids)``.
+        With ``capture`` set (the guarded pipeline), a failing group is
+        dropped and reported instead of propagating.
+        """
         multi_level_done = False
-        preserved: set[str] = set()
-
-        # Group residues by (pred, sequence); push each group in one
-        # isolation so the sequence is only isolated once.  Preference
-        # order: pruning > elimination > introduction; strict usefulness
-        # over loose; all-recursive sequences (which cover arbitrarily
-        # deep trees) over exit-terminated ones; shorter over longer.
-        def sort_key(item: SequenceResidue):
-            exit_terminated = any(
-                self.program.rule(label).count_occurrences(
-                    item.clause.pred) == 0
-                for label in item.sequence)
-            return (_ACTION_RANK[_preferred_action(
-                        item, self.small_relations)],
-                    0 if item.strictly_useful or item.residue.is_null
-                    else 1,
-                    1 if exit_terminated else 0,
-                    len(item.sequence))
-
-        residues = sorted(self.all_residues(), key=sort_key)
-
-        # Phase 1 — periodic super-groups: all multi-level residues over
-        # the same recursive rule compose into ONE depth-class
-        # compilation (each edit applies from its own depth threshold),
-        # so several ICs on one recursion no longer block each other.
         handled: set[int] = set()
-        if self.compilation == "periodic":
-            by_rule: dict[tuple[str, str],
-                          list[tuple[SequenceResidue, str]]] = {}
-            for item in residues:
-                if len(item.sequence) <= 1:
-                    continue
-                action = _preferred_action(item, self.small_relations)
-                if action == "skip":
-                    continue
-                if not periodic_applicable(current, item.clause.pred,
-                                           item):
-                    continue
-                key = (item.clause.pred, item.sequence[0])
-                by_rule.setdefault(key, []).append((item, action))
-            for (pred, _rule_label), entries in by_rule.items():
-                if multi_level_done:
-                    break
-                items = [entry[0] for entry in entries]
-                actions = [entry[1] for entry in entries]
+        if self.compilation != "periodic":
+            return current, multi_level_done, handled
+        by_rule: dict[tuple[str, str],
+                      list[tuple[SequenceResidue, str]]] = {}
+        for item in residues:
+            if len(item.sequence) <= 1:
+                continue
+            action = _preferred_action(item, self.small_relations)
+            if action == "skip":
+                continue
+            if not periodic_applicable(current, item.clause.pred, item):
+                continue
+            key = (item.clause.pred, item.sequence[0])
+            by_rule.setdefault(key, []).append((item, action))
+        for (pred, rule_label), entries in by_rule.items():
+            if multi_level_done:
+                break
+            items = [entry[0] for entry in entries]
+            actions = [entry[1] for entry in entries]
+            try:
+                if capture is not None:
+                    chaos.checkpoint(f"periodic:{pred}/{rule_label}")
+                    if budget is not None:
+                        budget.check_round(last_round=None)
                 outcome, per_item = push_periodic_group_best_effort(
                     current, pred, items, actions, self.ics, self.guard)
-                if not outcome.applied:
-                    # Compilation-level failure (e.g. a second recursive
-                    # rule): leave the items to phase 2's automaton path.
-                    continue
-                for item, item_outcome in zip(items, per_item):
-                    handled.add(id(item))
-                    report.steps.append(OptimizationStep(
-                        _ic_label(item), item.sequence,
-                        str(item.residue), item_outcome))
-                current = outcome.program
-                preserved |= outcome.preserved_preds
-                multi_level_done = True
+            except Exception as error:
+                if capture is None:
+                    raise
+                capture(f"periodic:{pred}/{rule_label}", error,
+                        tuple(_ic_label(item) for item in items))
+                continue
+            if not outcome.applied:
+                # Compilation-level failure (e.g. a second recursive
+                # rule): leave the items to phase 2's automaton path.
+                continue
+            for item, item_outcome in zip(items, per_item):
+                handled.add(id(item))
+                report.steps.append(OptimizationStep(
+                    _ic_label(item), item.sequence,
+                    str(item.residue), item_outcome))
+            current = outcome.program
+            preserved |= outcome.preserved_preds
+            multi_level_done = True
+        return current, multi_level_done, handled
 
-        # Phase 2 — the remaining residues, per (pred, sequence) group.
+    def _phase2_push(self, current: Program,
+                     residues: Sequence[SequenceResidue],
+                     handled: set[int], multi_level_done: bool,
+                     report: OptimizationReport, preserved: set[str],
+                     capture: Callable[..., None] | None = None,
+                     budget: Budget | None = None) -> Program:
+        """Phase 2 — the remaining residues, per (pred, sequence) group.
+
+        Each group is pushed in one isolation so the sequence is only
+        isolated once.  With ``capture`` set, a failing residue is
+        dropped and reported instead of propagating.
+        """
         groups: dict[tuple[str, tuple[str, ...]],
                      list[SequenceResidue]] = {}
         for item in residues:
@@ -334,8 +367,13 @@ class SemanticOptimizer:
                 continue
             isolation: Isolation | None = None
             group_changed = False
+            stage = f"push:{pred}/{' '.join(sequence)}"
             for item in items:
                 try:
+                    if capture is not None:
+                        chaos.checkpoint(stage)
+                        if budget is not None:
+                            budget.check_round(last_round=None)
                     if (self.compilation == "periodic"
                             and periodic_applicable(current, pred, item)):
                         outcome = self.push_periodic_item(current, item)
@@ -348,6 +386,13 @@ class SemanticOptimizer:
                         _preferred_action(item, self.small_relations),
                         False, f"earlier edit superseded the target rule: "
                         f"{error}")
+                except Exception as error:
+                    if capture is None:
+                        raise
+                    capture(stage, error, (_ic_label(item),))
+                    outcome = PushOutcome(
+                        _preferred_action(item, self.small_relations),
+                        False, f"stage degraded: {error}")
                 report.steps.append(OptimizationStep(
                     _ic_label(item), sequence, str(item.residue), outcome))
                 if outcome.applied and outcome.program is not None:
@@ -364,12 +409,235 @@ class SemanticOptimizer:
                             isolation.p_names, isolation.q_names)
             if multi_level and group_changed:
                 multi_level_done = True
+        return current
+
+    def _collapse_stage(self, current: Program,
+                        preserved: set[str]) -> Program:
+        auxiliaries = (current.idb_predicates
+                       - self.program.idb_predicates - preserved)
+        return inline_auxiliaries(current, auxiliaries)
+
+    def optimize(self) -> OptimizationReport:
+        """Run the full pipeline (see module docstring for the policy)."""
+        report = OptimizationReport(self.program, self.program)
+        preserved: set[str] = set()
+        residues = self._sorted_residues()
+        current, multi_level_done, handled = self._phase1_periodic(
+            self.program, residues, report, preserved)
+        current = self._phase2_push(current, residues, handled,
+                                    multi_level_done, report, preserved)
         if self.collapse:
-            auxiliaries = (current.idb_predicates
-                           - self.program.idb_predicates - preserved)
-            current = inline_auxiliaries(current, auxiliaries)
+            current = self._collapse_stage(current, preserved)
         report.optimized = current
         return report
+
+    # -- guarded pipeline ----------------------------------------------------
+    def _residues_of_ic(self, ic: IntegrityConstraint
+                        ) -> list[SequenceResidue]:
+        """All residues contributed by one IC (sequence + rule level)."""
+        out: list[SequenceResidue] = []
+        if self.pred is not None and ic.is_edb_only(self.program):
+            if ic.is_chain():
+                out.extend(generate_residues(
+                    self.program, self.pred, ic, max_hops=self.max_hops))
+            else:
+                out.extend(generate_residues_exhaustive(
+                    self.program, self.pred, ic,
+                    max_length=len(ic.database_atoms()) + 2))
+        out.extend(rule_level_residues(self.program, ic))
+        return out
+
+    def _safe_residues(self, capture: Callable[..., None],
+                       budget: Budget | None) -> list[SequenceResidue]:
+        """Residue generation with per-IC degradation.
+
+        First tries the whole stage at once; if that fails, retries one
+        IC at a time, dropping (and reporting) only the ICs whose
+        residue generation fails.
+        """
+        try:
+            chaos.checkpoint("residues")
+            if budget is not None:
+                budget.check_round(last_round=None)
+            return self._sorted_residues()
+        except Exception as error:
+            capture("residues", error, ())
+        collected: list[SequenceResidue] = []
+        seen: set[tuple] = set()
+        for ic in self.ics:
+            label = ic.label or str(ic)
+            try:
+                chaos.checkpoint(f"residues:{label}")
+                if budget is not None:
+                    budget.check_round(last_round=None)
+                items = self._residues_of_ic(ic)
+            except Exception as error:
+                capture(f"residues:{label}", error, (label,))
+                continue
+            for item in items:
+                key = (item.sequence, str(item.residue))
+                if key not in seen:
+                    seen.add(key)
+                    collected.append(item)
+        return sorted(collected, key=self._sort_key)
+
+    def optimize_safe(self, budget: Budget | None = None,
+                      verify: str = "none", sample_count: int = 3,
+                      sample_facts: int = 12,
+                      stage_timeout_s: float | None = None,
+                      rng: random.Random | None = None
+                      ) -> ResilienceReport:
+        """Run the pipeline with exception capture and graceful fallback.
+
+        Every stage — residue generation, periodic compilation, per-group
+        pushing, auxiliary collapse — runs under its own budget slice
+        with exception capture.  A failing stage (or residue group, or
+        single IC) is *dropped* and recorded in the returned
+        :class:`ResilienceReport`; the pipeline continues from the last
+        sound program, degrading in the worst case to the original
+        program itself.  Dropping work is always sound: the optimized
+        program differs from the source only by guard-validated edits,
+        so any prefix of the edit sequence preserves answers
+        (Theorem 4.1; see ``docs/robustness.md``).
+
+        Args:
+            budget: overall budget; each stage gets a
+                :meth:`Budget.child` slice sharing its deadline and
+                cancellation flag.  Deadline expiry degrades like any
+                other stage failure instead of raising.
+            verify: ``"sample"`` runs an equivalence spot-check of the
+                optimized vs. source program on random IC-consistent
+                databases and *quarantines* the optimization (falls back
+                to the source program) on mismatch.
+            sample_count / sample_facts: spot-check breadth: number of
+                sampled databases and facts per relation in each.
+            stage_timeout_s: optional per-stage wall-clock allowance,
+                capped by ``budget``'s remaining time.
+            rng: randomness for the spot-check (seeded default, so runs
+                are reproducible).
+        """
+        if verify not in ("none", "sample"):
+            raise ValueError(
+                f"verify must be 'none' or 'sample', got {verify!r}")
+        if budget is not None:
+            budget.start()
+        result = ResilienceReport(self.program, self.program)
+        report = OptimizationReport(self.program, self.program)
+
+        def capture(stage: str, error: BaseException,
+                    dropped: tuple[str, ...] = ()) -> None:
+            result.failures.append(StageFailure(
+                stage, str(error) or error.__class__.__name__,
+                type(error).__name__, tuple(dropped)))
+
+        def stage_budget() -> Budget | None:
+            if budget is not None:
+                return budget.child(stage_timeout_s).start()
+            if stage_timeout_s is not None:
+                return Budget(timeout_s=stage_timeout_s).start()
+            return None
+
+        residues = self._safe_residues(capture, stage_budget())
+        preserved: set[str] = set()
+        current = self.program
+        multi_level_done, handled = False, set()
+
+        # Stage-level capture backstops the per-group capture inside each
+        # phase; when a phase dies outside a group, its partial steps are
+        # discarded so the report never claims an edit the returned
+        # program does not contain.
+        marker = len(report.steps)
+        try:
+            current, multi_level_done, handled = self._phase1_periodic(
+                self.program, residues, report, preserved,
+                capture=capture, budget=stage_budget())
+        except Exception as error:
+            capture("periodic", error, ())
+            del report.steps[marker:]
+            current, multi_level_done, handled = self.program, False, set()
+
+        marker = len(report.steps)
+        before_phase2 = current
+        try:
+            current = self._phase2_push(
+                current, residues, handled, multi_level_done, report,
+                preserved, capture=capture, budget=stage_budget())
+        except Exception as error:
+            capture("push", error, ())
+            del report.steps[marker:]
+            current = before_phase2
+
+        if self.collapse:
+            try:
+                chaos.checkpoint("collapse")
+                sliced = stage_budget()
+                if sliced is not None:
+                    sliced.check_round(last_round=None)
+                current = self._collapse_stage(current, preserved)
+            except Exception as error:
+                # Collapse is cosmetic (inlining auxiliaries); keep the
+                # uncollapsed — still sound — program.
+                capture("collapse", error, ())
+
+        result.steps = report.steps
+        result.optimized = current
+
+        if verify == "sample" and result.applied_steps:
+            try:
+                chaos.checkpoint("verify")
+                detail = self._spot_check(current, sample_count,
+                                          sample_facts, rng,
+                                          stage_budget())
+            except Exception as error:
+                result.verification = "error"
+                result.verification_detail = str(error)
+            else:
+                if detail is None:
+                    result.verification = "passed"
+                else:
+                    suspects = "; ".join(
+                        f"[{s.outcome.action}] ic={s.ic_label} "
+                        f"seq={' '.join(s.sequence)}"
+                        for s in result.applied_steps)
+                    result.verification = "mismatch"
+                    result.verification_detail = \
+                        f"{detail}; suspect steps: {suspects}"
+                    result.quarantined = True
+                    result.optimized = self.program
+        return result
+
+    def _spot_check(self, optimized: Program, count: int,
+                    facts_per_relation: int,
+                    rng: random.Random | None,
+                    budget: Budget | None) -> str | None:
+        """Compare ``optimized`` against the source program on sampled
+        IC-consistent databases; a one-line diagnosis on mismatch."""
+        from ..engine import evaluate
+        from .equivalence import (infer_numeric_columns,
+                                  random_consistent_databases)
+
+        arities = self.program.predicate_arities()
+        schema = {pred: arities[pred]
+                  for pred in sorted(self.program.edb_predicates)}
+        if not schema:
+            return None
+        rng = rng if rng is not None else random.Random(0x1C95)
+        numeric = infer_numeric_columns(self.program, self.ics)
+        databases = random_consistent_databases(
+            schema, self.ics, count, rng,
+            facts_per_relation=facts_per_relation,
+            numeric_columns=numeric)
+        for index, database in enumerate(databases):
+            source = evaluate(self.program, database, budget=budget)
+            candidate = evaluate(optimized, database, budget=budget)
+            for pred in sorted(self.program.idb_predicates):
+                left = source.facts(pred)
+                right = candidate.facts(pred)
+                if left != right:
+                    return (f"sampled database #{index}: {pred} differs "
+                            f"({len(left - right)} tuples lost, "
+                            f"{len(right - left)} gained)")
+        return None
 
 
 def _ic_label(item: SequenceResidue) -> str:

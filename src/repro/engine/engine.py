@@ -18,6 +18,7 @@ from ..datalog.program import Program
 from ..datalog.terms import Constant, Variable
 from ..errors import EvaluationError
 from ..facts.database import Database
+from ..runtime.budget import Budget, resolve_budget
 from .bindings import EvalStats
 from .magic import MagicProgram, adornment_of, magic_rewrite
 from .naive import naive_evaluate
@@ -62,7 +63,8 @@ class EvaluationResult:
 
 def evaluate(program: Program, edb: Database, method: str = "seminaive",
              hook: Optional[DerivationHook] = None,
-             planner: str = "greedy") -> EvaluationResult:
+             planner: str = "greedy",
+             budget: Budget | None = None) -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``edb``.
 
     Args:
@@ -74,16 +76,20 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
         planner: ``"greedy"`` reorders joins by boundness and size;
             ``"source"`` keeps database atoms in rule order (the fixed
             join orders the paper's era assumed; used by experiment E2).
+        budget: optional :class:`repro.runtime.Budget` bounding the run;
+            exhaustion or cancellation raises the typed errors of
+            :mod:`repro.errors` carrying the partial stats.
     """
     stats = EvalStats()
+    budget = resolve_budget(budget)
     start = time.perf_counter()
     if method == "seminaive":
         idb = seminaive_evaluate(program, edb, stats, hook=hook,
-                                 planner=planner)
+                                 planner=planner, budget=budget)
     elif method == "naive":
         if hook is not None:
             raise EvaluationError("hooks require the semi-naive method")
-        idb = naive_evaluate(program, edb, stats)
+        idb = naive_evaluate(program, edb, stats, budget=budget)
     else:
         raise EvaluationError(
             f"unknown method {method!r}; expected one of {METHODS}")
@@ -91,27 +97,29 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
     return EvaluationResult(program, edb, idb, stats, elapsed, method)
 
 
-def evaluate_with_magic(program: Program, edb: Database,
-                        query: Atom) -> EvaluationResult:
+def evaluate_with_magic(program: Program, edb: Database, query: Atom,
+                        budget: Budget | None = None) -> EvaluationResult:
     """Magic-rewrite ``program`` for ``query`` and evaluate the result.
 
     The returned result's :meth:`EvaluationResult.facts` must be asked for
     the *adorned* query predicate; use :attr:`EvaluationResult.magic` or
-    the convenience :func:`magic_answers`.
+    the convenience :func:`magic_answers`.  ``budget`` covers the
+    rewriting *and* the evaluation of the rewritten program.
     """
-    rewritten = magic_rewrite(program, query)
+    budget = resolve_budget(budget)
+    rewritten = magic_rewrite(program, query, budget=budget)
     stats = EvalStats()
     start = time.perf_counter()
-    idb = seminaive_evaluate(rewritten.program, edb, stats)
+    idb = seminaive_evaluate(rewritten.program, edb, stats, budget=budget)
     elapsed = time.perf_counter() - start
     return EvaluationResult(rewritten.program, edb, idb, stats, elapsed,
                             method="seminaive+magic", magic=rewritten)
 
 
-def magic_answers(program: Program, edb: Database,
-                  query: Atom) -> frozenset[tuple]:
+def magic_answers(program: Program, edb: Database, query: Atom,
+                  budget: Budget | None = None) -> frozenset[tuple]:
     """Answers to ``query`` (full tuples) computed via magic sets."""
-    result = evaluate_with_magic(program, edb, query)
+    result = evaluate_with_magic(program, edb, query, budget=budget)
     assert result.magic is not None
     rows = result.magic.answers(result.idb)
     # Filter on the query's constant positions (magic guarantees relevance

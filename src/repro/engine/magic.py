@@ -20,6 +20,8 @@ from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Term, Variable
 from ..errors import TransformError
 from ..facts.database import Database
+from ..runtime import chaos
+from ..runtime.budget import Budget, resolve_budget
 
 Adornment = str  # e.g. "bf" — one letter per argument position
 
@@ -62,13 +64,18 @@ class MagicProgram:
         return frozenset(idb.facts(self.query_pred))
 
 
-def magic_rewrite(program: Program, query: Atom) -> MagicProgram:
+def magic_rewrite(program: Program, query: Atom,
+                  budget: Budget | None = None) -> MagicProgram:
     """Rewrite ``program`` for the given query atom.
 
     The query must target an IDB predicate; its constant arguments define
     the binding pattern.  Negation is not supported by this rewriting (the
-    paper's programs are negation-free).
+    paper's programs are negation-free).  ``budget`` bounds the adornment
+    worklist (in the worst case one adorned copy per binding pattern —
+    exponential in arity), checked once per worklist entry.
     """
+    budget = resolve_budget(budget)
+    chaos.checkpoint("magic_rewrite")
     if query.pred not in program.idb_predicates:
         raise TransformError(
             f"magic rewriting needs an IDB query predicate, got "
@@ -84,6 +91,10 @@ def magic_rewrite(program: Program, query: Atom) -> MagicProgram:
     done: set[tuple[str, Adornment]] = set()
 
     while pending:
+        if budget is not None:
+            # Deadline/cancellation only: max_rounds bounds *evaluation*
+            # rounds, not the rewriting worklist.
+            budget.check_round(last_round=None)
         pred, adornment = pending.pop()
         if (pred, adornment) in done:
             continue

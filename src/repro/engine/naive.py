@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
-from ..errors import EvaluationError
+from ..errors import BudgetExceededError
 from ..facts.database import Database
 from ..facts.relation import Relation
+from ..runtime import chaos
+from ..runtime.budget import Budget, resolve_budget
 from .bindings import EvalStats, instantiate_head, solve_body
 from .stratify import stratify
 
@@ -22,13 +24,18 @@ DEFAULT_MAX_ITERATIONS = 100_000
 
 def naive_evaluate(program: Program, edb: Database,
                    stats: EvalStats | None = None,
-                   max_iterations: int = DEFAULT_MAX_ITERATIONS) -> Database:
+                   max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                   budget: Budget | None = None) -> Database:
     """Compute the IDB of ``program`` over ``edb`` naively.
 
     Returns a new :class:`Database` containing only IDB relations; the EDB
-    is never mutated.
+    is never mutated.  ``budget`` (explicit or ambient, see
+    :mod:`repro.runtime.budget`) bounds the run; exhaustion raises
+    :class:`BudgetExceededError` carrying the partial stats.
     """
     stats = stats if stats is not None else EvalStats()
+    budget = resolve_budget(budget)
+    chaos_plan = chaos.active_plan()
     arities = program.predicate_arities()
     idb = Database()
     for pred in program.idb_predicates:
@@ -47,8 +54,12 @@ def naive_evaluate(program: Program, edb: Database,
             rounds += 1
             stats.iterations += 1
             if rounds > max_iterations:
-                raise EvaluationError(
-                    f"naive evaluation exceeded {max_iterations} rounds")
+                raise BudgetExceededError(
+                    f"naive evaluation exceeded {max_iterations} rounds",
+                    resource="rounds", limit=max_iterations,
+                    spent=rounds - 1, stats=stats, last_round=rounds - 1)
+            if budget is not None:
+                budget.check_round(stats, last_round=rounds - 1)
             changed = False
             for rule in rules:
                 stats.rules_fired += 1
@@ -57,9 +68,13 @@ def naive_evaluate(program: Program, edb: Database,
                 derived = [instantiate_head(rule, binding)
                            for binding in solve_body(rule, fetch, stats)]
                 for row in derived:
+                    if chaos_plan is not None:
+                        chaos_plan.derivation()
                     if target.add(row):
                         stats.derivations += 1
                         changed = True
                     else:
                         stats.duplicate_derivations += 1
+                    if budget is not None:
+                        budget.tick(stats, last_round=rounds - 1)
     return idb

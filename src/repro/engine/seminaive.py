@@ -23,9 +23,11 @@ from typing import Callable, Iterable, Optional
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
 from ..datalog.rules import Rule
-from ..errors import EvaluationError
+from ..errors import BudgetExceededError
 from ..facts.database import Database
 from ..facts.relation import Relation
+from ..runtime import chaos
+from ..runtime.budget import Budget, resolve_budget
 from .bindings import Binding, EvalStats, instantiate_head, solve_body
 from .naive import DEFAULT_MAX_ITERATIONS
 from .stratify import stratify
@@ -42,13 +44,18 @@ def seminaive_evaluate(program: Program, edb: Database,
                        stats: EvalStats | None = None,
                        max_iterations: int = DEFAULT_MAX_ITERATIONS,
                        hook: Optional[DerivationHook] = None,
-                       planner: str = "greedy") -> Database:
+                       planner: str = "greedy",
+                       budget: Budget | None = None) -> Database:
     """Compute the IDB of ``program`` over ``edb`` semi-naively.
 
     Returns a new :class:`Database` of IDB relations.  ``hook``, when
     given, is consulted before each head insertion and may veto it.
+    ``budget`` (explicit or ambient, see :mod:`repro.runtime.budget`)
+    bounds the run; exhaustion raises :class:`BudgetExceededError`
+    carrying the partial stats and the last completed delta round.
     """
     stats = stats if stats is not None else EvalStats()
+    budget = resolve_budget(budget)
     arities = program.predicate_arities()
     idb = Database()
     for pred in program.idb_predicates:
@@ -57,7 +64,7 @@ def seminaive_evaluate(program: Program, edb: Database,
     keep_atom_order = planner == "source"
     for stratum in stratify(program):
         _evaluate_stratum(program, stratum, edb, idb, stats,
-                          max_iterations, hook, keep_atom_order)
+                          max_iterations, hook, keep_atom_order, budget)
     return idb
 
 
@@ -65,7 +72,9 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                       edb: Database, idb: Database, stats: EvalStats,
                       max_iterations: int,
                       hook: Optional[DerivationHook],
-                      keep_atom_order: bool = False) -> None:
+                      keep_atom_order: bool = False,
+                      budget: Budget | None = None) -> None:
+    chaos_plan = chaos.active_plan()
     rules = [r for r in program if r.head.pred in stratum]
     deltas: dict[str, Relation] = {
         pred: Relation(pred, idb.relation(pred).arity) for pred in stratum}
@@ -92,12 +101,16 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
         stats.rule_rows[label] = stats.rule_rows.get(label, 0) \
             + stats.rows_matched - rows_before
         for row in derived:
+            if chaos_plan is not None:
+                chaos_plan.derivation()
             if row not in target:
                 target.add(row)
                 delta.add(row)
                 stats.derivations += 1
             else:
                 stats.duplicate_derivations += 1
+            if budget is not None:
+                budget.tick(stats, last_round=max(round_index - 1, 0))
 
     # Initialization round.
     next_deltas: dict[str, Relation] = {
@@ -112,8 +125,12 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
         rounds += 1
         stats.iterations += 1
         if rounds > max_iterations:
-            raise EvaluationError(
-                f"semi-naive evaluation exceeded {max_iterations} rounds")
+            raise BudgetExceededError(
+                f"semi-naive evaluation exceeded {max_iterations} rounds",
+                resource="rounds", limit=max_iterations,
+                spent=rounds - 1, stats=stats, last_round=rounds - 1)
+        if budget is not None:
+            budget.check_round(stats, last_round=rounds - 1)
         next_deltas = {
             pred: Relation(pred, idb.relation(pred).arity)
             for pred in stratum}

@@ -33,9 +33,11 @@ from ..datalog.atoms import Atom, Comparison, Negation
 from ..datalog.program import Program
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant, ConstValue, Variable
-from ..errors import EvaluationError
+from ..errors import BudgetExceededError, EvaluationError
 from ..facts.database import Database
 from ..facts.relation import Relation, Row
+from ..runtime import chaos
+from ..runtime.budget import Budget, resolve_budget
 from . import builtins
 from .bindings import EvalStats
 
@@ -84,7 +86,8 @@ class TabledEvaluator:
     """Tabled SLD evaluation of one program over one database."""
 
     def __init__(self, program: Program, edb: Database,
-                 max_rounds: int = 100_000) -> None:
+                 max_rounds: int = 100_000,
+                 budget: Budget | None = None) -> None:
         for rule in program:
             if any(isinstance(lit, Negation) for lit in rule.body):
                 raise EvaluationError(
@@ -92,6 +95,9 @@ class TabledEvaluator:
         self.program = program
         self.edb = edb
         self.max_rounds = max_rounds
+        self.budget = resolve_budget(budget)
+        self._chaos = chaos.active_plan()
+        self._round = 0
         self.stats = EvalStats()
         self._tables: dict[CallKey, _Table] = {}
         self._changed = False
@@ -104,11 +110,16 @@ class TabledEvaluator:
         rounds = 0
         while True:
             rounds += 1
+            self._round = rounds
             self.stats.iterations += 1
             if rounds > self.max_rounds:
-                raise EvaluationError(
+                raise BudgetExceededError(
                     f"top-down evaluation exceeded {self.max_rounds} "
-                    "rounds")
+                    "rounds", resource="rounds", limit=self.max_rounds,
+                    spent=rounds - 1, stats=self.stats,
+                    last_round=rounds - 1)
+            if self.budget is not None:
+                self.budget.check_round(self.stats, last_round=rounds - 1)
             self._changed = False
             self._in_progress: set[CallKey] = set()
             self._solve_call(goal, key)
@@ -170,12 +181,17 @@ class TabledEvaluator:
                             f"rule {rule.label or rule} is not range "
                             "restricted") from None
             materialized = tuple(row)
+            if self._chaos is not None:
+                self._chaos.derivation()
             if materialized not in table.answers:
                 table.answers.add(materialized)
                 self.stats.derivations += 1
                 self._changed = True
             else:
                 self.stats.duplicate_derivations += 1
+            if self.budget is not None:
+                self.budget.tick(self.stats,
+                                 last_round=max(self._round - 1, 0))
 
     def _solve_body(self, rule: Rule, body: list,
                     binding: dict[Variable, ConstValue]
@@ -272,7 +288,7 @@ class TabledEvaluator:
 _MISSING = object()
 
 
-def topdown_query(program: Program, edb: Database,
-                  goal: Atom) -> TopDownResult:
+def topdown_query(program: Program, edb: Database, goal: Atom,
+                  budget: Budget | None = None) -> TopDownResult:
     """One-call tabled top-down evaluation of ``goal``."""
-    return TabledEvaluator(program, edb).query(goal)
+    return TabledEvaluator(program, edb, budget=budget).query(goal)

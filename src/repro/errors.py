@@ -56,6 +56,54 @@ class EvaluationError(ReproError):
     """
 
 
+class BudgetExceededError(EvaluationError):
+    """Raised when evaluation exhausts a resource budget.
+
+    The error reports *how far* evaluation got before the budget ran
+    out, so callers can distinguish "almost done" from "barely started".
+
+    Attributes:
+        resource: which limit was hit (``"deadline"``, ``"derivations"``,
+            ``"facts"`` or ``"rounds"``).
+        limit: the configured limit for that resource.
+        spent: how much of the resource had been consumed when the check
+            fired (seconds for deadlines, counts otherwise).
+        stats: partial :class:`repro.engine.bindings.EvalStats`
+            accumulated up to the interruption, when available.
+        last_round: the last *completed* fixpoint round, when available.
+    """
+
+    def __init__(self, message: str, resource: str = "unknown",
+                 limit: float | int | None = None,
+                 spent: float | int | None = None,
+                 stats: object | None = None,
+                 last_round: int | None = None) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+        self.stats = stats
+        self.last_round = last_round
+
+
+class EvaluationCancelledError(EvaluationError):
+    """Raised when a cooperative :meth:`repro.runtime.Budget.cancel`
+    interrupts an evaluation.
+
+    Attributes:
+        stats: partial :class:`repro.engine.bindings.EvalStats`
+            accumulated up to the interruption, when available.
+        last_round: the last *completed* fixpoint round, when available.
+    """
+
+    def __init__(self, message: str = "evaluation cancelled",
+                 stats: object | None = None,
+                 last_round: int | None = None) -> None:
+        super().__init__(message)
+        self.stats = stats
+        self.last_round = last_round
+
+
 class TransformError(ReproError):
     """Raised when a program transformation receives invalid input.
 

@@ -1,0 +1,25 @@
+"""Resilient evaluation runtime: budgets, cancellation, fault injection.
+
+The paper's pitch is that semantic optimization is *compile-time* and
+therefore safe to run in front of every query.  This package supplies
+the operational half of that promise: bounded, interruptible evaluation
+(:class:`Budget`), graceful optimizer degradation
+(:class:`ResilienceReport`, produced by
+:meth:`repro.core.SemanticOptimizer.optimize_safe`), and a deterministic
+fault-injection harness (:mod:`repro.runtime.chaos`) that the test suite
+uses to prove every fallback path fires.  See ``docs/robustness.md``.
+"""
+
+from ..errors import BudgetExceededError, EvaluationCancelledError
+from .budget import (DEFAULT_DEADLINE_CHECK_INTERVAL, Budget,
+                     current_budget, resolve_budget)
+from .chaos import ChaosError, ChaosPlan, active_plan, checkpoint
+from .resilience import ResilienceReport, StageFailure
+
+__all__ = [
+    "Budget", "current_budget", "resolve_budget",
+    "DEFAULT_DEADLINE_CHECK_INTERVAL",
+    "BudgetExceededError", "EvaluationCancelledError",
+    "ChaosError", "ChaosPlan", "active_plan", "checkpoint",
+    "ResilienceReport", "StageFailure",
+]

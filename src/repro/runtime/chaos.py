@@ -1,0 +1,137 @@
+"""Deterministic fault injection for the resilience layer.
+
+The chaos harness exists so tests can *prove* that every fallback path
+actually fires: it can make any named pipeline stage, or the Nth
+derivation event of an engine run, raise a chosen exception or stall
+for a fixed wall-clock interval — all deterministically, on cue.
+
+Instrumentation points are pre-wired: the fixpoint engines call
+:func:`on_derivation` per derivation event and the guarded optimizer
+calls :func:`checkpoint` when it enters a stage.  Both are no-ops (one
+module-global read) unless a :class:`ChaosPlan` is active, so the hot
+loops pay nothing in production.
+
+Usage::
+
+    plan = ChaosPlan()
+    plan.fail_stage("residues", ConstraintError("boom"))
+    plan.fail_derivation(100, stall_s=0.2)
+    with plan.active():
+        ...   # stage "residues" raises; the 100th derivation stalls
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import ReproError
+
+
+class ChaosError(ReproError):
+    """Default exception raised by an injected fault."""
+
+
+@dataclass
+class _Fault:
+    """One injected fault: raise ``error`` and/or sleep ``stall_s``."""
+
+    error: BaseException | None = None
+    stall_s: float = 0.0
+    #: How many additional times the fault re-arms (-1 = forever).
+    repeats: int = 0
+    fired: int = 0
+
+    def trigger(self, where: str) -> None:
+        self.fired += 1
+        if self.stall_s > 0.0:
+            time.sleep(self.stall_s)
+        if self.error is not None:
+            raise self.error
+        if self.stall_s == 0.0:
+            raise ChaosError(f"chaos fault injected at {where}")
+
+
+class ChaosPlan:
+    """A deterministic schedule of faults to inject."""
+
+    def __init__(self) -> None:
+        self._stage_faults: dict[str, _Fault] = {}
+        self._derivation_faults: dict[int, _Fault] = {}
+        self._derivations = 0
+        #: Trigger log, for assertions: ("stage", name) /
+        #: ("derivation", n) in firing order.
+        self.triggered: list[tuple[str, object]] = []
+
+    # -- scheduling ----------------------------------------------------------
+    def fail_stage(self, stage: str,
+                   error: BaseException | None = None,
+                   stall_s: float = 0.0) -> "ChaosPlan":
+        """Make the named stage raise (default :class:`ChaosError`)
+        and/or stall when it is entered."""
+        self._stage_faults[stage] = _Fault(error=error, stall_s=stall_s)
+        return self
+
+    def fail_derivation(self, nth: int,
+                        error: BaseException | None = None,
+                        stall_s: float = 0.0) -> "ChaosPlan":
+        """Make the Nth derivation event (1-based, across the whole
+        active block) raise and/or stall."""
+        if nth < 1:
+            raise ValueError("derivation ordinals are 1-based")
+        self._derivation_faults[nth] = _Fault(error=error, stall_s=stall_s)
+        return self
+
+    # -- instrumentation hooks ----------------------------------------------
+    def stage(self, name: str) -> None:
+        fault = self._stage_faults.get(name)
+        if fault is None:
+            return
+        self.triggered.append(("stage", name))
+        fault.trigger(f"stage {name!r}")
+
+    def derivation(self) -> None:
+        self._derivations += 1
+        fault = self._derivation_faults.get(self._derivations)
+        if fault is None:
+            return
+        self.triggered.append(("derivation", self._derivations))
+        fault.trigger(f"derivation #{self._derivations}")
+
+    # -- activation ----------------------------------------------------------
+    @contextmanager
+    def active(self) -> Iterator["ChaosPlan"]:
+        """Install the plan globally for the ``with`` block."""
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+
+#: The globally-active plan; ``None`` in production.
+_ACTIVE: Optional[ChaosPlan] = None
+
+
+def active_plan() -> ChaosPlan | None:
+    """The plan installed by :meth:`ChaosPlan.active`, or ``None``.
+
+    Engines capture this once per run: the per-derivation hook is only
+    consulted when a plan was active at entry."""
+    return _ACTIVE
+
+
+def checkpoint(stage: str) -> None:
+    """Stage-boundary hook (optimizer pipeline, rewriting passes)."""
+    if _ACTIVE is not None:
+        _ACTIVE.stage(stage)
+
+
+def on_derivation() -> None:
+    """Per-derivation hook for callers that did not cache the plan."""
+    if _ACTIVE is not None:
+        _ACTIVE.derivation()

@@ -1,0 +1,87 @@
+"""Structured reporting for the guarded optimizer pipeline.
+
+:meth:`repro.core.optimizer.SemanticOptimizer.optimize_safe` never lets
+an optimization failure reach the caller: each pipeline stage runs under
+its own budget with exception capture, failing stages are dropped, and
+the worst case degrades to the original (sound) program.  This module
+defines the report that records what was dropped and why — the
+operational counterpart of the paper's compile-time guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..datalog.program import Program
+
+
+@dataclass(frozen=True)
+class StageFailure:
+    """One pipeline stage (or stage fragment) that was dropped."""
+
+    stage: str              # e.g. "residues", "periodic", "push:anc/r1 r1"
+    reason: str             # one-line diagnosis
+    error_type: str         # exception class name
+    dropped: tuple[str, ...] = ()   # IC labels / residue groups lost
+
+    def __str__(self) -> str:
+        extra = f" (dropped {', '.join(self.dropped)})" if self.dropped \
+            else ""
+        return f"[{self.stage}] {self.error_type}: {self.reason}{extra}"
+
+
+@dataclass
+class ResilienceReport:
+    """The result of :meth:`SemanticOptimizer.optimize_safe`.
+
+    ``optimized`` is always sound to evaluate: every applied step passed
+    the same guards as :meth:`~SemanticOptimizer.optimize`, and the final
+    fallback is ``original`` itself.
+
+    Attributes:
+        original: the program handed to the optimizer.
+        optimized: the program to evaluate (== ``original`` on full
+            degradation or quarantine).
+        steps: the per-residue :class:`OptimizationStep` records from the
+            stages that completed.
+        failures: stages dropped by budget expiry or exception capture.
+        verification: ``"skipped"`` | ``"passed"`` | ``"mismatch"`` |
+            ``"error"`` — outcome of the sampled equivalence spot-check.
+        quarantined: True when the spot-check found a mismatch and the
+            optimization was discarded in favour of ``original``.
+        verification_detail: the offending predicate/step on mismatch,
+            or the error message when verification itself failed.
+    """
+
+    original: Program
+    optimized: Program
+    steps: list[Any] = field(default_factory=list)
+    failures: list[StageFailure] = field(default_factory=list)
+    verification: str = "skipped"
+    quarantined: bool = False
+    verification_detail: str = ""
+
+    @property
+    def applied_steps(self) -> list[Any]:
+        return [s for s in self.steps if s.outcome.applied]
+
+    @property
+    def changed(self) -> bool:
+        return not self.quarantined and bool(self.applied_steps)
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything was dropped, skipped, or quarantined."""
+        return bool(self.failures) or self.quarantined
+
+    def summary(self) -> str:
+        applied = 0 if self.quarantined else len(self.applied_steps)
+        lines = [f"{applied}/{len(self.steps)} residue pushes applied "
+                 f"({len(self.failures)} stage(s) degraded, "
+                 f"verification: {self.verification})"]
+        lines.extend(f"  {step}" for step in self.steps)
+        lines.extend(f"  degraded {failure}" for failure in self.failures)
+        if self.quarantined:
+            lines.append(f"  quarantined: {self.verification_detail}")
+        return "\n".join(lines)

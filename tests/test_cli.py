@@ -131,6 +131,46 @@ class TestDescribeAndExamples:
         assert "anc(X, Xa, Y, Ya)" in out and "ic1" in out
 
 
+class TestBudgetFlags:
+    def test_max_facts_exit_code(self, files, capsys):
+        code = main(["evaluate", files["program"], files["db"],
+                     "--max-facts", "1"])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "budget exceeded" in err
+        assert "Traceback" not in err
+
+    def test_max_derivations_exit_code(self, files, capsys):
+        assert main(["evaluate", files["program"], files["db"],
+                     "--max-derivations", "1"]) == 4
+
+    def test_timeout_exit_code(self, files, capsys):
+        assert main(["evaluate", files["program"], files["db"],
+                     "--timeout-s", "0"]) == 4
+        assert "deadline" in capsys.readouterr().err
+
+    def test_generous_budget_same_output(self, files, capsys):
+        assert main(["evaluate", files["program"], files["db"]]) == 0
+        plain = capsys.readouterr().out
+        assert main(["evaluate", files["program"], files["db"],
+                     "--timeout-s", "60", "--max-facts", "100000"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_parse_error_exit_code(self, tmp_path, files, capsys):
+        bad = tmp_path / "broken.dl"
+        bad.write_text("p(X :-")
+        assert main(["evaluate", str(bad), files["db"]]) == 3
+        err = capsys.readouterr().err
+        assert "parse error" in err and err.count("\n") <= 1
+
+    def test_safe_optimize(self, files, capsys):
+        code = main(["optimize", files["program"], "--ics", files["ics"],
+                     "--safe", "--verify", "sample"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verification: passed" in out and "[prune]" in out
+
+
 class TestExperiments:
     def test_unknown_id_rejected(self, capsys):
         assert main(["experiments", "E99"]) == 2

@@ -89,6 +89,30 @@ class TestHarness:
         row = comparison_row("n", [a, c])
         assert "MISMATCH" in str(row[-1])
 
+    def test_measure_records_budget_exceeded(self, tc_program, chain_db):
+        m = measure("slow", lambda: evaluate(tc_program, chain_db),
+                    "reach", repeats=2, timeout_s=0.0)
+        assert m.budget_exceeded
+        assert len(m.seconds) == 1  # stops after the first timed-out run
+        assert m.answers == 0
+        assert "derivations" in m.counters  # partial counters survive
+
+    def test_measure_timeout_disabled_with_none(self, tc_program,
+                                                chain_db):
+        m = measure("ok", lambda: evaluate(tc_program, chain_db),
+                    "reach", repeats=1, timeout_s=None)
+        assert not m.budget_exceeded and m.answers == 6
+
+    def test_comparison_row_renders_timeout(self):
+        ok = Measurement("ok", seconds=[0.1], answers=5,
+                         counters={"atom_lookups": 3})
+        timed_out = Measurement("t", seconds=[0.2], answers=0,
+                                counters={"atom_lookups": 1},
+                                budget_exceeded=True)
+        row = comparison_row("n", [ok, timed_out])
+        assert "TIMEOUT" in [str(cell) for cell in row]
+        assert str(row[-1]) == "budget_exceeded"
+
 
 class TestFastExperiments:
     """Smoke tests for the cheap experiments (E7/E8 are sub-second)."""
