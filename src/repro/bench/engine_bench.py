@@ -1,0 +1,377 @@
+"""Engine benchmark baseline: the ``BENCH_engine.json`` artifact.
+
+This is the perf trajectory for the evaluation engines themselves (as
+opposed to :mod:`repro.bench.experiments`, which measures the paper's
+*optimizations*): a fixed set of recursive workloads — transitive
+closure, same-generation, and a bound-argument magic workload — each
+run under every evaluation method (naive, semi-naive, magic, top-down)
+and, for the bottom-up methods, under both executors (compiled kernels
+vs. the reference interpreter).
+
+Each entry records median wall time over repeats *and* the
+:class:`~repro.engine.bindings.EvalStats` counters, plus a fingerprint
+of the result database, so that
+
+- this PR and every future one can quantify hot-path wins against a
+  stored baseline, and
+- the differential guarantee is checked where it is measured: both
+  executors must produce identical databases and ``derivations``
+  counts, and all four methods must agree on the query answers.
+
+:func:`regression_failures` turns the report into a CI gate: compiled
+must not be slower than interpreted by more than the allowed factor on
+the transitive-closure workload, and every agreement flag must hold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import random
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..datalog.atoms import Atom
+from ..datalog.parser import parse_program
+from ..datalog.program import Program
+from ..datalog.terms import Constant, Variable
+from ..engine.engine import (EvaluationResult, evaluate,
+                             evaluate_with_magic)
+from ..engine.topdown import topdown_query
+from ..errors import BudgetExceededError
+from ..facts.database import Database
+from ..runtime.budget import Budget
+from ..workloads.generators import (random_digraph, tree_edges,
+                                    transitive_closure_program)
+
+#: Executors compared on every bottom-up method.
+EXECUTORS = ("compiled", "interpreted")
+
+#: Report format version (bump when the JSON shape changes).
+REPORT_VERSION = 1
+
+#: Default artifact filename.
+DEFAULT_REPORT_PATH = "BENCH_engine.json"
+
+SAME_GENERATION = """
+    r0: sg(X, X) :- person(X).
+    r1: sg(X, Y) :- par(X, Xp), sg(Xp, Yp), par(Y, Yp).
+"""
+
+
+@dataclass(frozen=True)
+class EngineWorkload:
+    """One benchmark scenario: a program, an EDB and a query atom."""
+
+    name: str
+    program: Program
+    edb: Database
+    query: Atom
+    answer_pred: str
+
+
+def _digraph(nodes: int, edges: int, seed: int) -> Database:
+    return random_digraph(nodes, edges, random.Random(seed))
+
+
+def _sg_database(depth: int, fanout: int) -> Database:
+    db = tree_edges(depth, fanout, pred="par")
+    people = {value for row in db.facts("par") for value in row}
+    for person in sorted(people):
+        db.add_fact("person", person)
+    return db
+
+
+#: Scale presets: CI smoke stays fast; ``default`` is the scale the
+#: acceptance numbers are quoted at.
+SCALES: dict[str, dict[str, tuple]] = {
+    "smoke": {
+        "transitive_closure": (80, 240),
+        "same_generation": (3, 3),
+        "magic": (120, 360),
+    },
+    "default": {
+        "transitive_closure": (200, 600),
+        "same_generation": (4, 3),
+        "magic": (300, 900),
+    },
+    "large": {
+        "transitive_closure": (400, 1400),
+        "same_generation": (5, 3),
+        "magic": (600, 2000),
+    },
+}
+
+
+def build_workloads(scale: str = "default") -> list[EngineWorkload]:
+    """The benchmark scenarios at the given scale preset."""
+    try:
+        params = SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of "
+            f"{sorted(SCALES)}") from None
+    tc_program = parse_program(transitive_closure_program())
+    nodes, edges = params["transitive_closure"]
+    depth, fanout = params["same_generation"]
+    magic_nodes, magic_edges = params["magic"]
+    free = Atom("reach", (Variable("X"), Variable("Y")))
+    return [
+        EngineWorkload(
+            name="transitive_closure",
+            program=tc_program,
+            edb=_digraph(nodes, edges, seed=7),
+            query=free,
+            answer_pred="reach"),
+        EngineWorkload(
+            name="same_generation",
+            program=parse_program(SAME_GENERATION),
+            edb=_sg_database(depth, fanout),
+            query=Atom("sg", (Variable("X"), Variable("Y"))),
+            answer_pred="sg"),
+        EngineWorkload(
+            name="magic",
+            program=tc_program,
+            edb=_digraph(magic_nodes, magic_edges, seed=23),
+            query=Atom("reach", (Constant("n0"), Variable("Y"))),
+            answer_pred="reach"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+def _timed(run: Callable[[], EvaluationResult], repeats: int,
+           timeout_s: float | None):
+    """Run ``repeats`` times under a deadline; keep the last result."""
+    seconds: list[float] = []
+    result: Optional[EvaluationResult] = None
+    for _ in range(max(1, repeats)):
+        budget = Budget(timeout_s=timeout_s)
+        start = time.perf_counter()
+        try:
+            with budget.activate():
+                result = run()
+        except BudgetExceededError:
+            seconds.append(time.perf_counter() - start)
+            return seconds, None
+        seconds.append(time.perf_counter() - start)
+    return seconds, result
+
+
+def _fingerprint(idb: Database) -> str:
+    return hashlib.sha256(idb.to_text().encode("utf-8")).hexdigest()[:16]
+
+
+def _query_rows(rows, query: Atom) -> frozenset[tuple]:
+    """Filter full tuples on the query's constant positions."""
+    wanted = []
+    for row in rows:
+        keep = True
+        binding: dict[Variable, object] = {}
+        for value, arg in zip(row, query.args):
+            if isinstance(arg, Constant):
+                if arg.value != value:
+                    keep = False
+                    break
+            elif isinstance(arg, Variable):
+                if binding.setdefault(arg, value) != value:
+                    keep = False
+                    break
+        if keep:
+            wanted.append(row)
+    return frozenset(wanted)
+
+
+def _entry(seconds: list[float],
+           result: Optional[EvaluationResult]) -> dict:
+    entry: dict = {
+        "wall_ms": round(statistics.median(seconds) * 1000, 3),
+        "runs_ms": [round(s * 1000, 3) for s in seconds],
+    }
+    if result is None:
+        entry["budget_exceeded"] = True
+        return entry
+    entry["stats"] = result.stats.as_dict()
+    entry["idb_facts"] = sum(
+        len(result.idb.relation(p)) for p in result.idb)
+    entry["fingerprint"] = _fingerprint(result.idb)
+    return entry
+
+
+def run_engine_benchmark(scale: str = "default", repeats: int = 3,
+                         timeout_s: float | None = 120.0) -> dict:
+    """Run the engine baseline and return the report dict.
+
+    Per workload: every bottom-up method (naive, seminaive, magic) runs
+    under both executors; top-down runs once (it has no compiled path).
+    The report carries per-entry timings/counters and an ``agreement``
+    block recording the differential checks.
+    """
+    report: dict = {
+        "version": REPORT_VERSION,
+        "scale": scale,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "workloads": [],
+    }
+    for workload in build_workloads(scale):
+        block: dict = {
+            "name": workload.name,
+            "edb_facts": workload.edb.total_facts(),
+            "methods": {},
+        }
+        answers: dict[str, frozenset] = {}
+        derivations: dict[tuple[str, str], int] = {}
+        fingerprints: dict[tuple[str, str], str] = {}
+
+        def bottom_up(method: str,
+                      run_for: Callable[[str], EvaluationResult],
+                      _workload=workload, _block=block,
+                      _answers=answers, _derivations=derivations,
+                      _fingerprints=fingerprints) -> None:
+            per_method: dict = {}
+            for executor in EXECUTORS:
+                seconds, result = _timed(
+                    lambda: run_for(executor), repeats, timeout_s)
+                per_method[executor] = _entry(seconds, result)
+                if result is None:
+                    continue
+                _derivations[(method, executor)] = \
+                    result.stats.derivations
+                _fingerprints[(method, executor)] = \
+                    per_method[executor]["fingerprint"]
+                if method == "magic":
+                    assert result.magic is not None
+                    rows = result.magic.answers(result.idb)
+                else:
+                    rows = result.facts(_workload.answer_pred)
+                _answers.setdefault(
+                    method, _query_rows(rows, _workload.query))
+            compiled = per_method["compiled"]
+            interpreted = per_method["interpreted"]
+            if "fingerprint" in compiled and "fingerprint" in interpreted:
+                per_method["speedup"] = round(
+                    interpreted["wall_ms"]
+                    / max(compiled["wall_ms"], 1e-6), 3)
+                per_method["executors_agree"] = (
+                    compiled["fingerprint"] == interpreted["fingerprint"]
+                    and compiled["stats"]["derivations"]
+                    == interpreted["stats"]["derivations"])
+            _block["methods"][method] = per_method
+
+        bottom_up("naive", lambda executor: evaluate(
+            workload.program, workload.edb, method="naive",
+            executor=executor))
+        bottom_up("seminaive", lambda executor: evaluate(
+            workload.program, workload.edb, executor=executor))
+        bottom_up("magic", lambda executor: evaluate_with_magic(
+            workload.program, workload.edb, workload.query,
+            executor=executor))
+
+        seconds, topdown = _timed_topdown(workload, repeats, timeout_s)
+        td_entry: dict = {
+            "wall_ms": round(statistics.median(seconds) * 1000, 3)}
+        if topdown is None:
+            td_entry["budget_exceeded"] = True
+        else:
+            td_entry["answers"] = len(topdown.answers)
+            td_entry["stats"] = topdown.stats.as_dict()
+            answers["topdown"] = _query_rows(
+                topdown.project(workload.query), workload.query)
+        block["methods"]["topdown"] = td_entry
+
+        block["agreement"] = {
+            "methods_agree": len(set(answers.values())) <= 1,
+            "methods_compared": sorted(answers),
+            "executors_agree": all(
+                block["methods"][m].get("executors_agree", True)
+                for m in ("naive", "seminaive", "magic")),
+            "naive_matches_seminaive": fingerprints.get(
+                ("naive", "compiled")) == fingerprints.get(
+                ("seminaive", "compiled")),
+        }
+        report["workloads"].append(block)
+
+    tc = _workload_block(report, "transitive_closure")
+    summary = {}
+    if tc is not None:
+        for method in ("naive", "seminaive", "magic"):
+            speedup = tc["methods"].get(method, {}).get("speedup")
+            if speedup is not None:
+                summary[f"tc_{method}_speedup"] = speedup
+    report["summary"] = summary
+    return report
+
+
+def _timed_topdown(workload: EngineWorkload, repeats: int,
+                   timeout_s: float | None):
+    seconds: list[float] = []
+    result = None
+    for _ in range(max(1, repeats)):
+        budget = Budget(timeout_s=timeout_s)
+        start = time.perf_counter()
+        try:
+            with budget.activate():
+                result = topdown_query(workload.program, workload.edb,
+                                       workload.query)
+        except BudgetExceededError:
+            seconds.append(time.perf_counter() - start)
+            return seconds, None
+        seconds.append(time.perf_counter() - start)
+    return seconds, result
+
+
+def _workload_block(report: dict, name: str) -> dict | None:
+    for block in report["workloads"]:
+        if block["name"] == name:
+            return block
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Artifact + regression gate
+# ---------------------------------------------------------------------------
+
+def write_engine_benchmark(report: dict,
+                           path: str = DEFAULT_REPORT_PATH) -> None:
+    """Write the report as ``BENCH_engine.json`` (stable key order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def regression_failures(report: dict, max_slowdown: float = 1.5,
+                        workload: str = "transitive_closure"
+                        ) -> list[str]:
+    """Check the report against the CI gate; returns failure messages.
+
+    Fails when the compiled executor is slower than the interpreted one
+    by more than ``max_slowdown``× on the semi-naive ``workload`` row,
+    or when any differential agreement flag is false.
+    """
+    failures: list[str] = []
+    block = _workload_block(report, workload)
+    if block is None:
+        return [f"workload {workload!r} missing from report"]
+    seminaive = block["methods"].get("seminaive", {})
+    speedup = seminaive.get("speedup")
+    if speedup is None:
+        failures.append(
+            f"{workload}: no compiled-vs-interpreted timing "
+            "(budget exceeded?)")
+    elif speedup < 1.0 / max_slowdown:
+        failures.append(
+            f"{workload}: compiled executor is {1.0 / speedup:.2f}x "
+            f"slower than interpreted (allowed {max_slowdown:.2f}x)")
+    for entry in report["workloads"]:
+        agreement = entry.get("agreement", {})
+        for flag in ("methods_agree", "executors_agree",
+                     "naive_matches_seminaive"):
+            if agreement.get(flag) is False:
+                failures.append(f"{entry['name']}: {flag} is false")
+    return failures

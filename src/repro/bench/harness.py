@@ -150,3 +150,23 @@ def check_same_answers(measurements: Iterable[Measurement]) -> bool:
     """All engines must agree — semantic optimization preserves answers."""
     answers = {m.answers for m in measurements}
     return len(answers) == 1
+
+
+def emit_engine_baseline(path: str = "BENCH_engine.json",
+                         scale: str = "default", repeats: int = 3,
+                         timeout_s: float | None =
+                         DEFAULT_MEASUREMENT_TIMEOUT_S) -> dict:
+    """Run the engine baseline and write ``BENCH_engine.json``.
+
+    Thin entry point over :mod:`repro.bench.engine_bench` (imported
+    lazily to keep harness import light): standard recursive workloads
+    under every method and both executors, with differential agreement
+    checks baked into the report.  Returns the report dict.
+    """
+    from .engine_bench import run_engine_benchmark, \
+        write_engine_benchmark
+
+    report = run_engine_benchmark(scale=scale, repeats=repeats,
+                                  timeout_s=timeout_s)
+    write_engine_benchmark(report, path)
+    return report

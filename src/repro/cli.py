@@ -89,7 +89,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     db = Database.from_text(_read(args.database))
     result = evaluate(program, db, method=args.method,
                       planner=args.planner,
-                      budget=_budget_from_args(args))
+                      budget=_budget_from_args(args),
+                      executor=args.executor)
     if args.query:
         for row in sorted(result.query(args.query), key=str):
             print("\t".join(str(v) for v in row))
@@ -178,6 +179,39 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_engine(args: argparse.Namespace) -> int:
+    from .bench.engine_bench import (regression_failures,
+                                     run_engine_benchmark,
+                                     write_engine_benchmark)
+
+    report = run_engine_benchmark(scale=args.scale, repeats=args.repeats,
+                                  timeout_s=args.timeout_s)
+    write_engine_benchmark(report, args.out)
+    print(f"wrote {args.out} (scale={args.scale}, "
+          f"repeats={args.repeats})")
+    for workload in report["workloads"]:
+        methods = workload["methods"]
+        parts = []
+        for method in ("naive", "seminaive", "magic"):
+            speedup = methods.get(method, {}).get("speedup")
+            if speedup is not None:
+                parts.append(f"{method} {speedup:.2f}x")
+        agreement = workload["agreement"]
+        ok = agreement["methods_agree"] and agreement["executors_agree"]
+        print(f"  {workload['name']:20} compiled speedup: "
+              f"{', '.join(parts) or 'n/a'}  "
+              f"agreement: {'ok' if ok else 'MISMATCH'}")
+    if args.check:
+        failures = regression_failures(report,
+                                       max_slowdown=args.max_slowdown)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate: ok")
+    return 0
+
+
 def cmd_examples(args: argparse.Namespace) -> int:
     if args.name:
         example = load(args.name)
@@ -211,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["seminaive", "naive"])
     p_eval.add_argument("--planner", default="greedy",
                         choices=["greedy", "source"])
+    p_eval.add_argument("--executor", default="compiled",
+                        choices=["compiled", "interpreted"],
+                        help="compiled slot-based kernels (default) or "
+                             "the reference interpreter")
     p_eval.add_argument("--stats", action="store_true",
                         help="print counters to stderr")
     _add_budget_flags(p_eval)
@@ -260,6 +298,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--csv-dir",
                        help="also write each table as CSV here")
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_bench = sub.add_parser(
+        "bench-engine",
+        help="engine baseline: methods x executors, BENCH_engine.json")
+    p_bench.add_argument("--out", default="BENCH_engine.json",
+                         help="report path (default BENCH_engine.json)")
+    p_bench.add_argument("--scale", default="default",
+                         choices=["smoke", "default", "large"])
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--timeout-s", type=float, default=120.0,
+                         help="per-run deadline in seconds")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit 1 on regression: compiled slower "
+                              "than allowed, or executors/methods "
+                              "disagree")
+    p_bench.add_argument("--max-slowdown", type=float, default=1.5,
+                         help="allowed compiled/interpreted ratio for "
+                              "--check (default 1.5)")
+    p_bench.set_defaults(func=cmd_bench_engine)
 
     p_shell = sub.add_parser("shell", help="interactive Datalog shell")
     p_shell.set_defaults(func=lambda args: __import__(

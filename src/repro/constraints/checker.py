@@ -72,7 +72,7 @@ def _exists_match(head: Atom, binding: Binding, edb: Database) -> bool:
             pattern.append((column, arg.value))
         elif isinstance(arg, Variable) and arg in binding:
             pattern.append((column, binding[arg]))
-    return next(relation.lookup(tuple(pattern)), None) is not None
+    return bool(relation.lookup(tuple(pattern)))
 
 
 def satisfies(edb: Database, *ics: IntegrityConstraint) -> bool:

@@ -2,6 +2,8 @@
 
 from .bindings import EvalStats
 from .builtins import holds
+from .compile import (EXECUTORS, CompiledKernel, KernelCache,
+                      compile_rule)
 from .engine import (EvaluationResult, consistent_answers, evaluate,
                      evaluate_with_magic, magic_answers, query_answers)
 from .magic import MagicProgram, adornment_of, magic_rewrite
@@ -10,15 +12,18 @@ from .seminaive import seminaive_evaluate
 from .stratify import stratify
 from .topdown import TabledEvaluator, TopDownResult, topdown_query
 from .explain import Derivation, Explainer, explain
-from .plan import PlanStep, RulePlan, explain_plan, plan_rule
+from .plan import PlanStep, RulePlan, explain_kernels, explain_plan, \
+    plan_rule
 
 __all__ = [
     "EvalStats", "holds",
+    "EXECUTORS", "CompiledKernel", "KernelCache", "compile_rule",
     "EvaluationResult", "consistent_answers", "evaluate",
     "evaluate_with_magic", "magic_answers", "query_answers",
     "MagicProgram", "adornment_of", "magic_rewrite",
     "naive_evaluate", "seminaive_evaluate", "stratify",
     "TabledEvaluator", "TopDownResult", "topdown_query",
     "Derivation", "Explainer", "explain",
-    "PlanStep", "RulePlan", "explain_plan", "plan_rule",
+    "PlanStep", "RulePlan", "explain_kernels", "explain_plan",
+    "plan_rule",
 ]

@@ -85,6 +85,18 @@ def _compare(op: str, left: ConstValue, right: ConstValue) -> bool:
     raise EvaluationError(f"unknown comparison operator {op!r}")
 
 
+#: Public aliases used by the kernel compiler, which pre-binds operands
+#: to slots and only needs the value-level semantics.
+def compare_values(op: str, left: ConstValue, right: ConstValue) -> bool:
+    """Decide ``left op right`` with the engine's comparison semantics."""
+    return _compare(op, left, right)
+
+
+def apply_arith(op: str, left: object, right: object) -> ConstValue:
+    """Apply an arithmetic operator with the engine's error semantics."""
+    return _apply_arith(op, left, right)
+
+
 def holds(comparison: Comparison, binding: Binding) -> bool:
     """Decide a comparison under a ground binding."""
     left = eval_term(comparison.lhs, binding)

@@ -1,0 +1,409 @@
+"""Compiled rule kernels: slot-based join execution.
+
+The reference interpreter in :mod:`repro.engine.bindings` evaluates a
+rule body by threading per-tuple ``dict[Variable, value]`` bindings
+through a recursive generator, re-deriving the join plan, the bound
+pattern of every atom and the hash of every :class:`Variable` on every
+rule firing.  That interpreter overhead dwarfs the per-round deltas the
+paper's experiments measure.
+
+This module lowers a rule body **once** into a :class:`CompiledKernel`:
+
+- the greedy plan (:func:`repro.engine.bindings.plan_body`) is computed
+  a single time, at compile time;
+- every variable is mapped to an integer *slot* in a flat list
+  environment — no per-tuple dict allocation, no ``Variable`` hashing;
+- each database atom becomes a closure that probes a pre-resolved
+  :meth:`repro.facts.relation.Relation.index_for` hash index with
+  precomputed bound-column extractors, writes unbound columns straight
+  into slots and checks repeated columns in place;
+- comparisons and negations become pre-bound slot checks (negations are
+  ground at plan time, so they compile to a single set-membership test);
+- the head becomes a tuple constructor over slots.
+
+Kernels are pure code: they bake in body *positions*, never relation
+objects, so semi-naive evaluation compiles one variant per
+delta-redirected occurrence and reuses it across all rounds, resolving
+the actual relations (delta vs. full) per firing through the same
+``fetch`` callable the interpreter uses.
+
+The interpreter remains the semantics oracle: a kernel must derive
+exactly the same head rows (as a set, and the same number of solutions)
+as :func:`repro.engine.bindings.solve_body` on every rule and database.
+Derivation hooks are honoured by lazily materializing a ``Binding``
+view of the slot environment — the dict is only built when a hook is
+installed, so the hot path never pays for it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..datalog.atoms import Atom, Comparison, Negation
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable, variables_of
+from ..errors import EvaluationError
+from ..facts.relation import Row
+from . import builtins
+from .bindings import (Binding, EvalStats, Fetch, _check_atom_args,
+                       plan_body)
+
+#: Known executors for the bottom-up engines.
+EXECUTORS = ("compiled", "interpreted")
+
+#: ``sizes(atom, body_index) -> int`` — relation-size estimate used by
+#: the greedy planner at compile time.
+Sizes = Callable[[Atom, int], int]
+
+#: Per-derivation hook, as in :mod:`repro.engine.seminaive`.
+Hook = Callable[[Rule, Binding, int], bool]
+
+
+def validate_executor(executor: str) -> None:
+    if executor not in EXECUTORS:
+        raise EvaluationError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+
+
+class _Ctx:
+    """Mutable per-execution state shared by the step closures."""
+
+    __slots__ = ("rels", "emit", "lookups", "rows", "cmps", "negs")
+
+    def __init__(self) -> None:
+        self.rels: list = []
+        self.emit = None
+        self.lookups = 0
+        self.rows = 0
+        self.cmps = 0
+        self.negs = 0
+
+
+def _term_getter(term, slot_of: dict[Variable, int]):
+    """Compile a term into ``env -> value`` over the slot environment."""
+    if isinstance(term, Constant):
+        value = term.value
+        return lambda env: value
+    if isinstance(term, Variable):
+        slot = slot_of[term]
+        return lambda env: env[slot]
+    # ArithExpr
+    left = _term_getter(term.left, slot_of)
+    right = _term_getter(term.right, slot_of)
+    op = term.op
+    apply_arith = builtins.apply_arith
+    return lambda env: apply_arith(op, left(env), right(env))
+
+
+def _make_atom_step(src: int, key_getters, writes, checks, cont):
+    """An atom step: probe/scan, bind unbound columns, run ``cont``.
+
+    ``ctx.rels[src]`` holds the pre-resolved probe target: the hash
+    index dict when ``key_getters`` is given, the raw row container for
+    a full scan.  ``writes`` are ``(column, slot)`` pairs for first
+    occurrences of unbound variables; ``checks`` are later occurrences
+    of a variable first bound within this same atom.
+    """
+    if key_getters is not None and len(key_getters) == 1:
+        single_getter = key_getters[0]
+    else:
+        single_getter = None
+
+    def step(env, ctx):
+        ctx.lookups += 1
+        if key_getters is None:
+            bucket = ctx.rels[src]
+        else:
+            if single_getter is not None:
+                key = (single_getter(env),)
+            else:
+                key = tuple(g(env) for g in key_getters)
+            bucket = ctx.rels[src].get(key)
+            if bucket is None:
+                return
+        matched = 0
+        if checks:
+            for row in bucket:
+                for col, slot in writes:
+                    env[slot] = row[col]
+                ok = True
+                for col, slot in checks:
+                    if row[col] != env[slot]:
+                        ok = False
+                        break
+                if ok:
+                    matched += 1
+                    cont(env, ctx)
+        elif writes:
+            for row in bucket:
+                for col, slot in writes:
+                    env[slot] = row[col]
+                matched += 1
+                cont(env, ctx)
+        else:
+            for _row in bucket:
+                matched += 1
+                cont(env, ctx)
+        ctx.rows += matched
+
+    return step
+
+
+def _make_negation_step(src: int, value_getters, cont):
+    """A negation step: the atom is ground here, so it is one membership
+    test against the relation's row container."""
+
+    def step(env, ctx):
+        ctx.negs += 1
+        if tuple(g(env) for g in value_getters) not in ctx.rels[src]:
+            cont(env, ctx)
+
+    return step
+
+
+def _make_check_step(op: str, lhs_get, rhs_get, cont):
+    compare_values = builtins.compare_values
+
+    def step(env, ctx):
+        ctx.cmps += 1
+        if compare_values(op, lhs_get(env), rhs_get(env)):
+            cont(env, ctx)
+
+    return step
+
+
+def _make_bind_step(slot: int, value_get, cont):
+    def step(env, ctx):
+        ctx.cmps += 1
+        env[slot] = value_get(env)
+        cont(env, ctx)
+
+    return step
+
+
+class CompiledKernel:
+    """One rule body lowered to a chain of slot-machine closures.
+
+    Attributes:
+        rule: the source rule.
+        order: the body indexes in execution order (the cached plan).
+        n_slots: size of the flat environment.
+        sources: ``(body_index, atom, bound_columns, kind)`` per
+            relation-touching step, in execution order; ``kind`` is
+            ``"probe"``, ``"scan"`` or ``"neg"``.  :meth:`execute`
+            resolves each to a probe target through ``fetch``.
+    """
+
+    __slots__ = ("rule", "order", "n_slots", "sources", "_entry",
+                 "_head_fn", "_slot_items", "_step_notes")
+
+    def __init__(self, rule: Rule, sizes: Sizes,
+                 keep_atom_order: bool = False) -> None:
+        self.rule = rule
+        self.order = plan_body(rule, sizes, keep_atom_order=keep_atom_order)
+        slot_of: dict[Variable, int] = {}
+
+        def slot(var: Variable) -> int:
+            found = slot_of.get(var)
+            if found is None:
+                found = len(slot_of)
+                slot_of[var] = found
+            return found
+
+        # First pass: describe each step with compile-time data.
+        plans: list[tuple] = []  # (tag, payload...)
+        self.sources: list[tuple[int, Atom, tuple[int, ...], str]] = []
+        self._step_notes: list[str] = []
+        bound: set[Variable] = set()
+        for index in self.order:
+            lit = rule.body[index]
+            if isinstance(lit, Comparison):
+                can_check = builtins.can_check(lit, bound)
+                if not can_check and builtins.can_bind(lit, bound):
+                    # ``=`` in binding position: assign one new slot.
+                    if isinstance(lit.lhs, Variable) \
+                            and lit.lhs not in bound:
+                        target, source = lit.lhs, lit.rhs
+                    else:
+                        target, source = lit.rhs, lit.lhs
+                    getter = _term_getter(source, slot_of)
+                    plans.append(("bind", slot(target), getter))
+                    self._step_notes.append(f"bind         {lit}")
+                else:
+                    lhs = _term_getter(lit.lhs, slot_of)
+                    rhs = _term_getter(lit.rhs, slot_of)
+                    plans.append(("check", lit.op, lhs, rhs))
+                    self._step_notes.append(f"check        {lit}")
+                bound.update(lit.variable_set())
+                continue
+            if isinstance(lit, Negation):
+                _check_atom_args(lit.atom)
+                getters = tuple(_term_getter(arg, slot_of)
+                                for arg in lit.atom.args)
+                src = len(self.sources)
+                self.sources.append((index, lit.atom, (), "neg"))
+                plans.append(("neg", src, getters))
+                self._step_notes.append(f"absent       {lit}")
+                continue
+            # Database atom.
+            _check_atom_args(lit)
+            cols: list[int] = []
+            key_getters: list = []
+            writes: list[tuple[int, int]] = []
+            checks: list[tuple[int, int]] = []
+            atom_new: set[Variable] = set()
+            for column, arg in enumerate(lit.args):
+                if isinstance(arg, Constant):
+                    cols.append(column)
+                    key_getters.append(_term_getter(arg, slot_of))
+                elif arg in bound:
+                    cols.append(column)
+                    key_getters.append(_term_getter(arg, slot_of))
+                elif arg in atom_new:
+                    # Repeated within this atom: first occurrence binds,
+                    # later ones must match the just-written slot.
+                    checks.append((column, slot_of[arg]))
+                else:
+                    atom_new.add(arg)
+                    writes.append((column, slot(arg)))
+            src = len(self.sources)
+            kind = "probe" if cols else "scan"
+            self.sources.append((index, lit, tuple(cols), kind))
+            plans.append(("atom", src,
+                          tuple(key_getters) if cols else None,
+                          tuple(writes), tuple(checks)))
+            detail = f"probe[{','.join(map(str, cols))}]" if cols \
+                else "scan"
+            self._step_notes.append(f"{detail:12} {lit}")
+            bound.update(lit.variable_set())
+
+        # Head constructor: every head variable must have a slot.
+        head_getters = []
+        for arg in rule.head.args:
+            for var in variables_of(arg):
+                if var not in slot_of:
+                    raise EvaluationError(
+                        f"head variable {var} unbound in rule "
+                        f"{rule.label or rule}; rule is not range "
+                        "restricted")
+            head_getters.append(_term_getter(arg, slot_of))
+        head_getters = tuple(head_getters)
+
+        def head_fn(env, _getters=head_getters):
+            return tuple(g(env) for g in _getters)
+
+        self._head_fn = head_fn
+        self.n_slots = len(slot_of)
+        self._slot_items = tuple(slot_of.items())
+
+        # Second pass: chain the closures innermost-first.
+        def emit_solution(env, ctx):
+            ctx.emit(env)
+
+        cont = emit_solution
+        for plan in reversed(plans):
+            tag = plan[0]
+            if tag == "atom":
+                _, src, key_getters, writes, checks = plan
+                cont = _make_atom_step(src, key_getters, writes, checks,
+                                       cont)
+            elif tag == "check":
+                _, op, lhs, rhs = plan
+                cont = _make_check_step(op, lhs, rhs, cont)
+            elif tag == "bind":
+                _, target_slot, getter = plan
+                cont = _make_bind_step(target_slot, getter, cont)
+            else:  # neg
+                _, src, getters = plan
+                cont = _make_negation_step(src, getters, cont)
+        self._entry = cont
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, fetch: Fetch, stats: EvalStats,
+                hook: Optional[Hook] = None,
+                round_index: int = 0) -> list[Row]:
+        """Run the kernel and return the derived head rows (buffered).
+
+        ``fetch`` resolves each atom occurrence to its relation exactly
+        as for the interpreter, so delta redirection works unchanged;
+        probe targets (index dict or row container) are resolved once
+        per call, not per tuple.  When ``hook`` is given, a ``Binding``
+        dict view of the slot environment is materialized per solution
+        and the hook may veto the row — the fast path never builds it.
+        """
+        ctx = _Ctx()
+        rels = ctx.rels
+        for body_index, atom, cols, kind in self.sources:
+            relation = fetch(atom, body_index)
+            if kind == "probe":
+                rels.append(relation.index_for(cols))
+            else:  # scan / neg: the raw (read-only) row container
+                rels.append(relation.lookup(()))
+        out: list[Row] = []
+        head_fn = self._head_fn
+        if hook is None:
+            def emit(env) -> None:
+                out.append(head_fn(env))
+        else:
+            rule = self.rule
+            slot_items = self._slot_items
+
+            def emit(env) -> None:
+                binding = {var: env[s] for var, s in slot_items}
+                if hook(rule, binding, round_index):
+                    out.append(head_fn(env))
+        ctx.emit = emit
+        env: list = [None] * self.n_slots
+        self._entry(env, ctx)
+        stats.atom_lookups += ctx.lookups
+        stats.rows_matched += ctx.rows
+        stats.comparisons_checked += ctx.cmps
+        stats.negation_checks += ctx.negs
+        return out
+
+    # -- introspection -------------------------------------------------------
+    def describe(self) -> str:
+        """Render the compiled step program (one line per step)."""
+        lines = [f"{self.rule.label or '?'}: {self.rule} "
+                 f"[{self.n_slots} slots]"]
+        for number, note in enumerate(self._step_notes, start=1):
+            lines.append(f"  {number}. {note}")
+        if not self._step_notes:
+            lines.append("  (empty body: emits the ground head once)")
+        return "\n".join(lines)
+
+
+class KernelCache:
+    """Per-evaluation cache of compiled kernels.
+
+    Kernels are keyed by ``(rule, variant)`` where ``variant`` is the
+    engine's delta-redirection tag (``None`` for the base plan, the
+    redirected body index for a semi-naive delta variant), so each
+    (stratum, delta-variant) pair compiles exactly once and is reused
+    across all rounds.
+    """
+
+    __slots__ = ("keep_atom_order", "_kernels")
+
+    def __init__(self, keep_atom_order: bool = False) -> None:
+        self.keep_atom_order = keep_atom_order
+        self._kernels: dict[tuple[Rule, object], CompiledKernel] = {}
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def kernel(self, rule: Rule, variant: object,
+               sizes: Sizes) -> CompiledKernel:
+        key = (rule, variant)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = CompiledKernel(
+                rule, sizes, keep_atom_order=self.keep_atom_order)
+            self._kernels[key] = kernel
+        return kernel
+
+
+def compile_rule(rule: Rule, sizes: Sizes,
+                 keep_atom_order: bool = False) -> CompiledKernel:
+    """Compile one rule body into a :class:`CompiledKernel`."""
+    return CompiledKernel(rule, sizes, keep_atom_order=keep_atom_order)

@@ -20,6 +20,7 @@ from ..errors import EvaluationError
 from ..facts.database import Database
 from ..runtime.budget import Budget, resolve_budget
 from .bindings import EvalStats
+from .compile import EXECUTORS, validate_executor
 from .magic import MagicProgram, adornment_of, magic_rewrite
 from .naive import naive_evaluate
 from .seminaive import DerivationHook, answers, seminaive_evaluate
@@ -39,6 +40,7 @@ class EvaluationResult:
     elapsed_seconds: float
     method: str = "seminaive"
     magic: Optional[MagicProgram] = field(default=None, repr=False)
+    executor: str = "compiled"
 
     def facts(self, pred: str) -> frozenset[tuple]:
         """All derived tuples of an IDB predicate."""
@@ -64,7 +66,8 @@ class EvaluationResult:
 def evaluate(program: Program, edb: Database, method: str = "seminaive",
              hook: Optional[DerivationHook] = None,
              planner: str = "greedy",
-             budget: Budget | None = None) -> EvaluationResult:
+             budget: Budget | None = None,
+             executor: str = "compiled") -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``edb``.
 
     Args:
@@ -79,26 +82,35 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
         budget: optional :class:`repro.runtime.Budget` bounding the run;
             exhaustion or cancellation raises the typed errors of
             :mod:`repro.errors` carrying the partial stats.
+        executor: ``"compiled"`` (default) runs rule bodies as cached
+            slot-based kernels (:mod:`repro.engine.compile`);
+            ``"interpreted"`` uses the reference interpreter.  Both
+            derive identical databases.
     """
     stats = EvalStats()
+    validate_executor(executor)
     budget = resolve_budget(budget)
     start = time.perf_counter()
     if method == "seminaive":
         idb = seminaive_evaluate(program, edb, stats, hook=hook,
-                                 planner=planner, budget=budget)
+                                 planner=planner, budget=budget,
+                                 executor=executor)
     elif method == "naive":
         if hook is not None:
             raise EvaluationError("hooks require the semi-naive method")
-        idb = naive_evaluate(program, edb, stats, budget=budget)
+        idb = naive_evaluate(program, edb, stats, budget=budget,
+                             executor=executor)
     else:
         raise EvaluationError(
             f"unknown method {method!r}; expected one of {METHODS}")
     elapsed = time.perf_counter() - start
-    return EvaluationResult(program, edb, idb, stats, elapsed, method)
+    return EvaluationResult(program, edb, idb, stats, elapsed, method,
+                            executor=executor)
 
 
 def evaluate_with_magic(program: Program, edb: Database, query: Atom,
-                        budget: Budget | None = None) -> EvaluationResult:
+                        budget: Budget | None = None,
+                        executor: str = "compiled") -> EvaluationResult:
     """Magic-rewrite ``program`` for ``query`` and evaluate the result.
 
     The returned result's :meth:`EvaluationResult.facts` must be asked for
@@ -110,16 +122,20 @@ def evaluate_with_magic(program: Program, edb: Database, query: Atom,
     rewritten = magic_rewrite(program, query, budget=budget)
     stats = EvalStats()
     start = time.perf_counter()
-    idb = seminaive_evaluate(rewritten.program, edb, stats, budget=budget)
+    idb = seminaive_evaluate(rewritten.program, edb, stats, budget=budget,
+                             executor=executor)
     elapsed = time.perf_counter() - start
     return EvaluationResult(rewritten.program, edb, idb, stats, elapsed,
-                            method="seminaive+magic", magic=rewritten)
+                            method="seminaive+magic", magic=rewritten,
+                            executor=executor)
 
 
 def magic_answers(program: Program, edb: Database, query: Atom,
-                  budget: Budget | None = None) -> frozenset[tuple]:
+                  budget: Budget | None = None,
+                  executor: str = "compiled") -> frozenset[tuple]:
     """Answers to ``query`` (full tuples) computed via magic sets."""
-    result = evaluate_with_magic(program, edb, query, budget=budget)
+    result = evaluate_with_magic(program, edb, query, budget=budget,
+                                 executor=executor)
     assert result.magic is not None
     rows = result.magic.answers(result.idb)
     # Filter on the query's constant positions (magic guarantees relevance
@@ -137,9 +153,10 @@ def magic_answers(program: Program, edb: Database, query: Atom,
 
 
 def query_answers(program: Program, edb: Database, query: Atom,
-                  method: str = "seminaive") -> frozenset[tuple]:
+                  method: str = "seminaive",
+                  executor: str = "compiled") -> frozenset[tuple]:
     """Answers to a single-atom query without magic rewriting."""
-    result = evaluate(program, edb, method=method)
+    result = evaluate(program, edb, method=method, executor=executor)
     rows = result.facts(query.pred) if query.pred in \
         program.idb_predicates else edb.facts(query.pred)
     wanted = []

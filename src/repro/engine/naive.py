@@ -16,6 +16,7 @@ from ..facts.relation import Relation
 from ..runtime import chaos
 from ..runtime.budget import Budget, resolve_budget
 from .bindings import EvalStats, instantiate_head, solve_body
+from .compile import KernelCache, validate_executor
 from .stratify import stratify
 
 #: Safety valve for runaway fixpoints (e.g. value-inventing arithmetic).
@@ -25,15 +26,21 @@ DEFAULT_MAX_ITERATIONS = 100_000
 def naive_evaluate(program: Program, edb: Database,
                    stats: EvalStats | None = None,
                    max_iterations: int = DEFAULT_MAX_ITERATIONS,
-                   budget: Budget | None = None) -> Database:
+                   budget: Budget | None = None,
+                   executor: str = "compiled") -> Database:
     """Compute the IDB of ``program`` over ``edb`` naively.
 
     Returns a new :class:`Database` containing only IDB relations; the EDB
     is never mutated.  ``budget`` (explicit or ambient, see
     :mod:`repro.runtime.budget`) bounds the run; exhaustion raises
     :class:`BudgetExceededError` carrying the partial stats.
+
+    ``executor="compiled"`` (default) lowers each rule once into a
+    slot-based kernel (:mod:`repro.engine.compile`) reused across all
+    rounds; ``"interpreted"`` keeps the reference interpreter.
     """
     stats = stats if stats is not None else EvalStats()
+    validate_executor(executor)
     budget = resolve_budget(budget)
     chaos_plan = chaos.active_plan()
     arities = program.predicate_arities()
@@ -46,6 +53,10 @@ def naive_evaluate(program: Program, edb: Database,
             return idb.relation(atom.pred)
         return edb.relation_or_empty(atom.pred, atom.arity)
 
+    def sizes(atom: Atom, index: int) -> int:
+        return len(fetch(atom, index))
+
+    kernels = KernelCache() if executor == "compiled" else None
     for stratum in stratify(program):
         rules = [r for r in program if r.head.pred in stratum]
         changed = True
@@ -65,8 +76,16 @@ def naive_evaluate(program: Program, edb: Database,
                 stats.rules_fired += 1
                 target = idb.relation(rule.head.pred)
                 # Buffer insertions so the body scan sees a snapshot.
-                derived = [instantiate_head(rule, binding)
-                           for binding in solve_body(rule, fetch, stats)]
+                if kernels is not None:
+                    derived = kernels.kernel(rule, None, sizes) \
+                        .execute(fetch, stats)
+                else:
+                    derived = [instantiate_head(rule, binding)
+                               for binding in solve_body(rule, fetch,
+                                                         stats)]
+                countdown = budget.checkpoint(stats,
+                                              last_round=rounds - 1) \
+                    if budget is not None else 0
                 for row in derived:
                     if chaos_plan is not None:
                         chaos_plan.derivation()
@@ -76,5 +95,8 @@ def naive_evaluate(program: Program, edb: Database,
                     else:
                         stats.duplicate_derivations += 1
                     if budget is not None:
-                        budget.tick(stats, last_round=rounds - 1)
+                        countdown -= 1
+                        if countdown <= 0:
+                            countdown = budget.checkpoint(
+                                stats, last_round=rounds - 1)
     return idb

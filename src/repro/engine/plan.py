@@ -115,3 +115,28 @@ def explain_plan(program: Program, edb: Database,
     return "\n\n".join(
         plan_rule(rule, program, edb, idb, planner).render()
         for rule in program)
+
+
+def explain_kernels(program: Program, edb: Database,
+                    idb: Database | None = None,
+                    planner: str = "greedy") -> str:
+    """Render the compiled kernel of every rule of the program.
+
+    This is the compiled-executor counterpart of :func:`explain_plan`:
+    it shows the step program each rule is lowered to (probe patterns,
+    slot binds, checks), compiled against the same size estimates
+    :func:`plan_rule` uses.
+    """
+    from .compile import compile_rule
+
+    def relation_size(atom: Atom, index: int) -> int:
+        if atom.pred in program.idb_predicates:
+            if idb is not None and atom.pred in idb:
+                return len(idb.relation(atom.pred))
+            return 0
+        return len(edb.relation_or_empty(atom.pred, atom.arity))
+
+    return "\n\n".join(
+        compile_rule(rule, relation_size,
+                     keep_atom_order=(planner == "source")).describe()
+        for rule in program)

@@ -29,6 +29,7 @@ from ..facts.relation import Relation
 from ..runtime import chaos
 from ..runtime.budget import Budget, resolve_budget
 from .bindings import Binding, EvalStats, instantiate_head, solve_body
+from .compile import KernelCache, validate_executor
 from .naive import DEFAULT_MAX_ITERATIONS
 from .stratify import stratify
 
@@ -45,7 +46,8 @@ def seminaive_evaluate(program: Program, edb: Database,
                        max_iterations: int = DEFAULT_MAX_ITERATIONS,
                        hook: Optional[DerivationHook] = None,
                        planner: str = "greedy",
-                       budget: Budget | None = None) -> Database:
+                       budget: Budget | None = None,
+                       executor: str = "compiled") -> Database:
     """Compute the IDB of ``program`` over ``edb`` semi-naively.
 
     Returns a new :class:`Database` of IDB relations.  ``hook``, when
@@ -53,8 +55,17 @@ def seminaive_evaluate(program: Program, edb: Database,
     ``budget`` (explicit or ambient, see :mod:`repro.runtime.budget`)
     bounds the run; exhaustion raises :class:`BudgetExceededError`
     carrying the partial stats and the last completed delta round.
+
+    ``executor`` selects how rule bodies run: ``"compiled"`` (default)
+    lowers each rule once per (stratum, delta-variant) into a
+    slot-based kernel (:mod:`repro.engine.compile`) reused across all
+    rounds; ``"interpreted"`` keeps the reference
+    :func:`~repro.engine.bindings.solve_body` interpreter, the
+    semantics oracle.  Both derive identical databases; hooks, chaos
+    injection and budgets behave identically under either.
     """
     stats = stats if stats is not None else EvalStats()
+    validate_executor(executor)
     budget = resolve_budget(budget)
     arities = program.predicate_arities()
     idb = Database()
@@ -62,9 +73,12 @@ def seminaive_evaluate(program: Program, edb: Database,
         idb.ensure(pred, arities[pred])
 
     keep_atom_order = planner == "source"
+    kernels = KernelCache(keep_atom_order=keep_atom_order) \
+        if executor == "compiled" else None
     for stratum in stratify(program):
         _evaluate_stratum(program, stratum, edb, idb, stats,
-                          max_iterations, hook, keep_atom_order, budget)
+                          max_iterations, hook, keep_atom_order, budget,
+                          kernels)
     return idb
 
 
@@ -73,9 +87,15 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                       max_iterations: int,
                       hook: Optional[DerivationHook],
                       keep_atom_order: bool = False,
-                      budget: Budget | None = None) -> None:
+                      budget: Budget | None = None,
+                      kernels: KernelCache | None = None) -> None:
     chaos_plan = chaos.active_plan()
     rules = [r for r in program if r.head.pred in stratum]
+    # Unlabeled rules must not collapse into one per-head bucket: key
+    # rule_rows by label when present, else by head predicate and the
+    # rule's position within the stratum.
+    rule_keys = {id(rule): rule.label or f"{rule.head.pred}#{index}"
+                 for index, rule in enumerate(rules)}
     deltas: dict[str, Relation] = {
         pred: Relation(pred, idb.relation(pred).arity) for pred in stratum}
 
@@ -84,22 +104,40 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
             return idb.relation(atom.pred)
         return edb.relation_or_empty(atom.pred, atom.arity)
 
-    def fire(rule: Rule, fetch, round_index: int) -> None:
+    def sizes(atom: Atom, index: int) -> int:
+        return len(base_fetch(atom, index))
+
+    def fire(rule: Rule, fetch, round_index: int,
+             variant: object = None) -> None:
         stats.rules_fired += 1
         target = idb.relation(rule.head.pred)
         delta = next_deltas[rule.head.pred]
         rows_before = stats.rows_matched
         # Buffer insertions so the body scan sees a snapshot of the
         # relations (a rule may read the relation it writes).
-        derived: list = []
-        for binding in solve_body(rule, fetch, stats,
-                                  keep_atom_order=keep_atom_order):
-            if hook is not None and not hook(rule, binding, round_index):
-                continue
-            derived.append(instantiate_head(rule, binding))
-        label = rule.label or str(rule.head.pred)
-        stats.rule_rows[label] = stats.rule_rows.get(label, 0) \
+        if kernels is not None:
+            kernel = kernels.kernel(rule, variant, sizes)
+            derived = kernel.execute(fetch, stats, hook=hook,
+                                     round_index=round_index)
+        else:
+            derived = []
+            for binding in solve_body(rule, fetch, stats,
+                                      keep_atom_order=keep_atom_order):
+                if hook is not None \
+                        and not hook(rule, binding, round_index):
+                    continue
+                derived.append(instantiate_head(rule, binding))
+        key = rule_keys[id(rule)]
+        stats.rule_rows[key] = stats.rule_rows.get(key, 0) \
             + stats.rows_matched - rows_before
+        # Budget ticks are amortized: `checkpoint` returns how many
+        # derivation events may pass before the next check without a
+        # counter limit being crossed, so exhaustion payloads stay
+        # exact while the hot insert loop pays one Python call per
+        # ~interval events instead of one per event.
+        last_round = max(round_index - 1, 0)
+        countdown = budget.checkpoint(stats, last_round=last_round) \
+            if budget is not None else 0
         for row in derived:
             if chaos_plan is not None:
                 chaos_plan.derivation()
@@ -110,7 +148,10 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
             else:
                 stats.duplicate_derivations += 1
             if budget is not None:
-                budget.tick(stats, last_round=max(round_index - 1, 0))
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = budget.checkpoint(
+                        stats, last_round=last_round)
 
     # Initialization round.
     next_deltas: dict[str, Relation] = {
@@ -130,6 +171,8 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                 resource="rounds", limit=max_iterations,
                 spent=rounds - 1, stats=stats, last_round=rounds - 1)
         if budget is not None:
+            # Exact round-boundary check: deadline, rounds, cancellation
+            # (checkpoint above keeps the counters exact mid-round).
             budget.check_round(stats, last_round=rounds - 1)
         next_deltas = {
             pred: Relation(pred, idb.relation(pred).arity)
@@ -149,7 +192,7 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                         return deltas[atom.pred]
                     return base_fetch(atom, index)
 
-                fire(rule, fetch, rounds)
+                fire(rule, fetch, rounds, variant=delta_index)
         deltas = next_deltas
 
 

@@ -9,11 +9,14 @@ which turns the engine's literal-at-a-time joins into hash joins.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Collection, Iterable, Iterator
 
 from ..datalog.terms import ConstValue
 
 Row = tuple[ConstValue, ...]
+
+#: A hash index: bound-column values -> list of rows with those values.
+Index = dict[tuple, list[Row]]
 
 
 class Relation:
@@ -60,8 +63,31 @@ class Relation:
         return True
 
     def add_all(self, rows: Iterable[Iterable[ConstValue]]) -> int:
-        """Insert many tuples; returns the number of new ones."""
-        return sum(1 for row in rows if self.add(row))
+        """Insert many tuples; returns the number of new ones.
+
+        Bulk path: rows land in the backing set first and every live
+        index is extended once at the end, instead of per row as
+        :meth:`add` does.
+        """
+        arity = self.arity
+        store = self._rows
+        new_rows: list[Row] = []
+        for row in rows:
+            materialized = tuple(row)
+            if len(materialized) != arity:
+                raise ValueError(
+                    f"{self.name}: expected arity {arity}, "
+                    f"got {len(materialized)}")
+            if materialized not in store:
+                store.add(materialized)
+                new_rows.append(materialized)
+        if new_rows:
+            for columns, index in self._indexes.items():
+                for materialized in new_rows:
+                    index.setdefault(
+                        tuple(materialized[c] for c in columns),
+                        []).append(materialized)
+        return len(new_rows)
 
     def clear(self) -> None:
         self._rows.clear()
@@ -71,26 +97,50 @@ class Relation:
     def rows(self) -> frozenset[Row]:
         return frozenset(self._rows)
 
-    def lookup(self, bound: tuple[tuple[int, ConstValue], ...]) -> Iterator[Row]:
-        """Yield rows matching the bound-column pattern.
+    def lookup(self, bound: tuple[tuple[int, ConstValue], ...]
+               ) -> Collection[Row]:
+        """Rows matching the bound-column pattern.
 
         ``bound`` is a tuple of ``(column, value)`` pairs; columns must be
         sorted ascending and unique.  With an empty pattern this is a full
         scan.
+
+        Returns the relation's *internal* container (an index bucket, or
+        the backing row set for a full scan) to avoid a per-call copy:
+        callers must treat the result as read-only and must not hold it
+        across mutations of the relation.
         """
         if not bound:
-            yield from self._rows
-            return
+            return self._rows
         columns = tuple(c for c, _ in bound)
         key = tuple(v for _, v in bound)
         index = self._indexes.get(columns)
         if index is None:
-            index = {}
-            for row in self._rows:
-                index.setdefault(
-                    tuple(row[c] for c in columns), []).append(row)
-            self._indexes[columns] = index
-        yield from index.get(key, ())
+            index = self._build_index(columns)
+        return index.get(key, ())
+
+    def index_for(self, columns: tuple[int, ...]) -> Index:
+        """The hash index over ``columns`` (built on first use).
+
+        ``columns`` must be sorted ascending and unique.  The returned
+        dict maps a tuple of values (one per column) to the list of rows
+        carrying those values.  It is the live index — kept up to date by
+        subsequent :meth:`add` calls — and must be treated as read-only.
+        The kernel compiler pre-resolves this once per rule firing
+        instead of re-deriving it per probe.
+        """
+        index = self._indexes.get(columns)
+        if index is None:
+            index = self._build_index(columns)
+        return index
+
+    def _build_index(self, columns: tuple[int, ...]) -> Index:
+        index: Index = {}
+        for row in self._rows:
+            index.setdefault(
+                tuple(row[c] for c in columns), []).append(row)
+        self._indexes[columns] = index
+        return index
 
     def copy(self) -> "Relation":
         out = Relation(self.name, self.arity)

@@ -149,28 +149,72 @@ class Budget:
         if self._cancel_event.is_set():
             raise EvaluationCancelledError(
                 "evaluation cancelled", stats=stats, last_round=last_round)
-        if stats is not None:
-            if self.max_derivations is not None:
-                events = stats.derivations + stats.duplicate_derivations
-                if events >= self.max_derivations:
-                    raise BudgetExceededError(
-                        f"derivation budget exhausted after {events} "
-                        f"derivation events (limit {self.max_derivations})",
-                        resource="derivations",
-                        limit=self.max_derivations, spent=events,
-                        stats=stats, last_round=last_round)
-            if self.max_facts is not None \
-                    and stats.derivations >= self.max_facts:
-                raise BudgetExceededError(
-                    f"materialized-fact budget exhausted after "
-                    f"{stats.derivations} facts (limit {self.max_facts})",
-                    resource="facts", limit=self.max_facts,
-                    spent=stats.derivations, stats=stats,
-                    last_round=last_round)
+        self._check_counters(stats, last_round)
         self._ticks += 1
         if self._deadline is not None \
                 and self._ticks % self._interval == 0:
             self._check_deadline(stats, last_round)
+
+    def checkpoint(self, stats=None,
+                   last_round: int | None = None) -> int:
+        """Amortized checkpoint for tight insert loops.
+
+        Performs the full check (cancellation, counter limits, deadline —
+        the clock is read unconditionally, unlike :meth:`tick`) and
+        returns the number of derivation events that may safely pass
+        before the next checkpoint is due.  Engines count that many
+        events down and call :meth:`checkpoint` again at zero, which
+        keeps counter limits *exact* — the distance returned never
+        crosses a configured limit — while paying one clock read per
+        ~``deadline_check_interval`` events instead of one Python call
+        per event.  Exhaustion raises exactly the same typed errors with
+        the same payloads as :meth:`tick`.
+        """
+        if self._cancel_event.is_set():
+            raise EvaluationCancelledError(
+                "evaluation cancelled", stats=stats, last_round=last_round)
+        self._check_counters(stats, last_round)
+        self._check_deadline(stats, last_round)
+        return self.events_until_check(stats)
+
+    def events_until_check(self, stats=None) -> int:
+        """Derivation events until the next required :meth:`checkpoint`.
+
+        The amortization window (``deadline_check_interval``), shortened
+        so that no counter limit can be crossed in between: with
+        ``max_derivations`` or ``max_facts`` configured the distance to
+        the nearest limit is returned instead, making amortized budget
+        accounting raise at exactly the same event as per-event ticking.
+        """
+        nxt = self._interval
+        if stats is not None:
+            if self.max_derivations is not None:
+                events = stats.derivations + stats.duplicate_derivations
+                nxt = min(nxt, self.max_derivations - events)
+            if self.max_facts is not None:
+                nxt = min(nxt, self.max_facts - stats.derivations)
+        return nxt if nxt > 0 else 1
+
+    def _check_counters(self, stats, last_round: int | None) -> None:
+        if stats is None:
+            return
+        if self.max_derivations is not None:
+            events = stats.derivations + stats.duplicate_derivations
+            if events >= self.max_derivations:
+                raise BudgetExceededError(
+                    f"derivation budget exhausted after {events} "
+                    f"derivation events (limit {self.max_derivations})",
+                    resource="derivations",
+                    limit=self.max_derivations, spent=events,
+                    stats=stats, last_round=last_round)
+        if self.max_facts is not None \
+                and stats.derivations >= self.max_facts:
+            raise BudgetExceededError(
+                f"materialized-fact budget exhausted after "
+                f"{stats.derivations} facts (limit {self.max_facts})",
+                resource="facts", limit=self.max_facts,
+                spent=stats.derivations, stats=stats,
+                last_round=last_round)
 
     def check_round(self, stats=None,
                     last_round: int | None = None) -> None:

@@ -1,0 +1,72 @@
+"""Engine benchmark baseline: workload construction and the CI gate.
+
+The full benchmark runs in CI's bench-smoke job; here we keep the cheap
+invariants — the workload corpus is well-formed and the regression gate
+trips on exactly the conditions it documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.engine_bench import (build_workloads,
+                                      regression_failures)
+
+
+def test_build_workloads_covers_the_three_scenarios():
+    workloads = build_workloads("smoke")
+    assert [w.name for w in workloads] == [
+        "transitive_closure", "same_generation", "magic"]
+    for workload in workloads:
+        assert workload.edb.total_facts() > 0
+        assert workload.query.pred == workload.answer_pred
+
+
+def test_build_workloads_rejects_unknown_scale():
+    with pytest.raises(ValueError, match="unknown scale"):
+        build_workloads("galactic")
+
+
+def _report(speedup, agreement_ok=True):
+    return {
+        "workloads": [{
+            "name": "transitive_closure",
+            "methods": {"seminaive": {"speedup": speedup}},
+            "agreement": {
+                "methods_agree": agreement_ok,
+                "executors_agree": True,
+                "naive_matches_seminaive": True,
+            },
+        }],
+    }
+
+
+def test_regression_gate_passes_when_compiled_is_faster():
+    assert regression_failures(_report(2.4)) == []
+
+
+def test_regression_gate_allows_slowdown_within_ratio():
+    # 1.2x slower than interpreted is inside the default 1.5x allowance.
+    assert regression_failures(_report(1 / 1.2)) == []
+
+
+def test_regression_gate_fails_on_excessive_slowdown():
+    failures = regression_failures(_report(1 / 2.0))
+    assert failures and "slower than interpreted" in failures[0]
+
+
+def test_regression_gate_fails_on_disagreement():
+    failures = regression_failures(_report(2.0, agreement_ok=False))
+    assert failures == ["transitive_closure: methods_agree is false"]
+
+
+def test_regression_gate_fails_on_missing_workload():
+    assert regression_failures({"workloads": []}) == \
+        ["workload 'transitive_closure' missing from report"]
+
+
+def test_regression_gate_fails_on_timeout_row():
+    report = _report(2.0)
+    del report["workloads"][0]["methods"]["seminaive"]["speedup"]
+    failures = regression_failures(report)
+    assert failures and "no compiled-vs-interpreted timing" in failures[0]
