@@ -50,8 +50,20 @@ from ..workloads.generators import (random_digraph, tree_edges,
 #: Executors compared on every bottom-up method.
 EXECUTORS = ("compiled", "interpreted")
 
+#: Semi-naive compiled-executor configurations compared per workload:
+#: the plain columnless baseline against every interning x planner
+#: combination.  ``baseline`` (greedy planner, raw storage) is the
+#: reference the ``interned_speedup`` metric and the CI gate divide by;
+#: ``interned_adaptive`` is the full fast path.
+SEMINAIVE_CONFIGS = (
+    ("baseline", {"planner": "greedy", "interning": "off"}),
+    ("interned_greedy", {"planner": "greedy", "interning": "on"}),
+    ("adaptive", {"planner": "adaptive", "interning": "off"}),
+    ("interned_adaptive", {"planner": "adaptive", "interning": "on"}),
+)
+
 #: Report format version (bump when the JSON shape changes).
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 #: Default artifact filename.
 DEFAULT_REPORT_PATH = "BENCH_engine.json"
@@ -106,7 +118,14 @@ SCALES: dict[str, dict[str, tuple]] = {
 }
 
 
-def build_workloads(scale: str = "default") -> list[EngineWorkload]:
+#: Default RNG seed for the generated EDBs: fixed so every run of a
+#: given (scale, seed) measures the identical database and fingerprints
+#: are comparable across machines and CI runs.
+DEFAULT_SEED = 7
+
+
+def build_workloads(scale: str = "default",
+                    seed: int = DEFAULT_SEED) -> list[EngineWorkload]:
     """The benchmark scenarios at the given scale preset."""
     try:
         params = SCALES[scale]
@@ -123,7 +142,7 @@ def build_workloads(scale: str = "default") -> list[EngineWorkload]:
         EngineWorkload(
             name="transitive_closure",
             program=tc_program,
-            edb=_digraph(nodes, edges, seed=7),
+            edb=_digraph(nodes, edges, seed=seed),
             query=free,
             answer_pred="reach"),
         EngineWorkload(
@@ -135,7 +154,7 @@ def build_workloads(scale: str = "default") -> list[EngineWorkload]:
         EngineWorkload(
             name="magic",
             program=tc_program,
-            edb=_digraph(magic_nodes, magic_edges, seed=23),
+            edb=_digraph(magic_nodes, magic_edges, seed=seed + 16),
             query=Atom("reach", (Constant("n0"), Variable("Y"))),
             answer_pred="reach"),
     ]
@@ -204,22 +223,28 @@ def _entry(seconds: list[float],
 
 
 def run_engine_benchmark(scale: str = "default", repeats: int = 3,
-                         timeout_s: float | None = 120.0) -> dict:
+                         timeout_s: float | None = 120.0,
+                         seed: int = DEFAULT_SEED) -> dict:
     """Run the engine baseline and return the report dict.
 
     Per workload: every bottom-up method (naive, seminaive, magic) runs
-    under both executors; top-down runs once (it has no compiled path).
-    The report carries per-entry timings/counters and an ``agreement``
-    block recording the differential checks.
+    under both executors; top-down runs once (it has no compiled path);
+    the semi-naive compiled executor additionally runs under every
+    :data:`SEMINAIVE_CONFIGS` interning x planner combination.  The
+    report carries per-entry timings/counters, an ``agreement`` block
+    recording the differential checks, and per-workload
+    ``interned_speedup`` — baseline wall time over the
+    interned+adaptive configuration's.
     """
     report: dict = {
         "version": REPORT_VERSION,
         "scale": scale,
         "repeats": repeats,
+        "seed": seed,
         "python": platform.python_version(),
         "workloads": [],
     }
-    for workload in build_workloads(scale):
+    for workload in build_workloads(scale, seed=seed):
         block: dict = {
             "name": workload.name,
             "edb_facts": workload.edb.total_facts(),
@@ -273,6 +298,32 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
             workload.program, workload.edb, workload.query,
             executor=executor))
 
+        # Semi-naive compiled executor across interning x planner.  The
+        # baseline configuration equals the seminaive/compiled entry
+        # above (greedy planner, raw storage), so its measurement is
+        # reused rather than re-timed.
+        configs: dict = {}
+        config_fingerprints: dict[str, str] = {}
+        for config_name, knobs in SEMINAIVE_CONFIGS:
+            if config_name == "baseline":
+                entry = dict(block["methods"]["seminaive"]["compiled"])
+            else:
+                seconds, result = _timed(
+                    lambda _knobs=knobs: evaluate(
+                        workload.program, workload.edb,
+                        executor="compiled", **_knobs),
+                    repeats, timeout_s)
+                entry = _entry(seconds, result)
+            configs[config_name] = entry
+            if "fingerprint" in entry:
+                config_fingerprints[config_name] = entry["fingerprint"]
+        block["seminaive_configs"] = configs
+        baseline = configs["baseline"]
+        fast = configs["interned_adaptive"]
+        if "fingerprint" in baseline and "fingerprint" in fast:
+            block["interned_speedup"] = round(
+                baseline["wall_ms"] / max(fast["wall_ms"], 1e-6), 3)
+
         seconds, topdown = _timed_topdown(workload, repeats, timeout_s)
         td_entry: dict = {
             "wall_ms": round(statistics.median(seconds) * 1000, 3)}
@@ -294,6 +345,9 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
             "naive_matches_seminaive": fingerprints.get(
                 ("naive", "compiled")) == fingerprints.get(
                 ("seminaive", "compiled")),
+            "configs_agree": len(set(
+                config_fingerprints.values())) <= 1,
+            "configs_compared": sorted(config_fingerprints),
         }
         report["workloads"].append(block)
 
@@ -304,6 +358,12 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
             speedup = tc["methods"].get(method, {}).get("speedup")
             if speedup is not None:
                 summary[f"tc_{method}_speedup"] = speedup
+    for name, key in (("transitive_closure", "tc"),
+                      ("same_generation", "sg"), ("magic", "magic")):
+        block = _workload_block(report, name)
+        if block is not None and "interned_speedup" in block:
+            summary[f"{key}_interned_speedup"] = \
+                block["interned_speedup"]
     report["summary"] = summary
     return report
 
@@ -346,13 +406,18 @@ def write_engine_benchmark(report: dict,
 
 
 def regression_failures(report: dict, max_slowdown: float = 1.5,
-                        workload: str = "transitive_closure"
+                        workload: str = "transitive_closure",
+                        min_interned_speedup: float | None = None
                         ) -> list[str]:
     """Check the report against the CI gate; returns failure messages.
 
     Fails when the compiled executor is slower than the interpreted one
     by more than ``max_slowdown``× on the semi-naive ``workload`` row,
-    or when any differential agreement flag is false.
+    or when any differential agreement flag is false.  With
+    ``min_interned_speedup`` set, additionally fails when the
+    interned+adaptive configuration is not at least that many times
+    faster than the compiled baseline on the transitive-closure and
+    same-generation workloads.
     """
     failures: list[str] = []
     block = _workload_block(report, workload)
@@ -371,7 +436,22 @@ def regression_failures(report: dict, max_slowdown: float = 1.5,
     for entry in report["workloads"]:
         agreement = entry.get("agreement", {})
         for flag in ("methods_agree", "executors_agree",
-                     "naive_matches_seminaive"):
+                     "naive_matches_seminaive", "configs_agree"):
             if agreement.get(flag) is False:
                 failures.append(f"{entry['name']}: {flag} is false")
+    if min_interned_speedup is not None:
+        for name in ("transitive_closure", "same_generation"):
+            entry = _workload_block(report, name)
+            if entry is None:
+                continue
+            interned = entry.get("interned_speedup")
+            if interned is None:
+                failures.append(
+                    f"{name}: no interned_speedup measurement "
+                    "(budget exceeded?)")
+            elif interned < min_interned_speedup:
+                failures.append(
+                    f"{name}: interned+adaptive is only {interned:.2f}x "
+                    f"the compiled baseline (required "
+                    f"{min_interned_speedup:.2f}x)")
     return failures

@@ -3,6 +3,9 @@
 Commands:
 
 - ``evaluate PROGRAM DB [--query Q]`` — run a program over a database.
+- ``explain PROGRAM [DB]`` — show the join plans (or compiled kernels)
+  every rule would run with; ``--stats`` adds selectivity estimates and
+  per-relation statistics.
 - ``optimize PROGRAM --ics ICS`` — print the optimization report and the
   transformed program.
 - ``residues PROGRAM --ics ICS`` — print the residues of Algorithm 3.1.
@@ -90,7 +93,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     result = evaluate(program, db, method=args.method,
                       planner=args.planner,
                       budget=_budget_from_args(args),
-                      executor=args.executor)
+                      executor=args.executor,
+                      interning=args.interning)
     if args.query:
         for row in sorted(result.query(args.query), key=str):
             print("\t".join(str(v) for v in row))
@@ -106,6 +110,20 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             print(f"# {key}: {value}", file=sys.stderr)
         print(f"# elapsed: {result.elapsed_seconds * 1000:.2f}ms",
               file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .engine import explain_kernels, explain_plan
+
+    program = _load_program(args)
+    db = Database.from_text(_read(args.database)) if args.database \
+        else Database()
+    if args.interning == "on":
+        db = db.interned()
+    render = explain_kernels if args.kernels else explain_plan
+    print(render(program, db, planner=args.planner,
+                 show_stats=args.stats))
     return 0
 
 
@@ -185,10 +203,11 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
                                      write_engine_benchmark)
 
     report = run_engine_benchmark(scale=args.scale, repeats=args.repeats,
-                                  timeout_s=args.timeout_s)
+                                  timeout_s=args.timeout_s,
+                                  seed=args.seed)
     write_engine_benchmark(report, args.out)
     print(f"wrote {args.out} (scale={args.scale}, "
-          f"repeats={args.repeats})")
+          f"repeats={args.repeats}, seed={args.seed})")
     for workload in report["workloads"]:
         methods = workload["methods"]
         parts = []
@@ -196,14 +215,20 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
             speedup = methods.get(method, {}).get("speedup")
             if speedup is not None:
                 parts.append(f"{method} {speedup:.2f}x")
+        interned = workload.get("interned_speedup")
+        if interned is not None:
+            parts.append(f"interned+adaptive {interned:.2f}x")
         agreement = workload["agreement"]
-        ok = agreement["methods_agree"] and agreement["executors_agree"]
-        print(f"  {workload['name']:20} compiled speedup: "
+        ok = agreement["methods_agree"] \
+            and agreement["executors_agree"] \
+            and agreement.get("configs_agree", True)
+        print(f"  {workload['name']:20} speedups: "
               f"{', '.join(parts) or 'n/a'}  "
               f"agreement: {'ok' if ok else 'MISMATCH'}")
     if args.check:
-        failures = regression_failures(report,
-                                       max_slowdown=args.max_slowdown)
+        failures = regression_failures(
+            report, max_slowdown=args.max_slowdown,
+            min_interned_speedup=args.min_interned_speedup)
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:
@@ -244,15 +269,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--method", default="seminaive",
                         choices=["seminaive", "naive"])
     p_eval.add_argument("--planner", default="greedy",
-                        choices=["greedy", "source"])
+                        choices=["greedy", "adaptive", "source"],
+                        help="join order: boundness+size (greedy), "
+                             "statistics-driven with replanning "
+                             "(adaptive), or rule order (source)")
     p_eval.add_argument("--executor", default="compiled",
                         choices=["compiled", "interpreted"],
                         help="compiled slot-based kernels (default) or "
                              "the reference interpreter")
+    p_eval.add_argument("--interning", default="off",
+                        choices=["on", "off"],
+                        help="intern constants to dense ints and join "
+                             "over codes (on) or evaluate values as-is "
+                             "(off, default)")
     p_eval.add_argument("--stats", action="store_true",
                         help="print counters to stderr")
     _add_budget_flags(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_explain = sub.add_parser(
+        "explain", help="show join plans / compiled kernels")
+    p_explain.add_argument("program")
+    p_explain.add_argument("database", nargs="?",
+                           help="facts file (optional; sizes read 0 "
+                                "without it)")
+    p_explain.add_argument("--planner", default="greedy",
+                           choices=["greedy", "adaptive", "source"])
+    p_explain.add_argument("--kernels", action="store_true",
+                           help="show the compiled step programs "
+                                "instead of the planner view")
+    p_explain.add_argument("--interning", default="off",
+                           choices=["on", "off"],
+                           help="explain against interned storage")
+    p_explain.add_argument("--stats", action="store_true",
+                           help="include selectivity estimates' source "
+                                "statistics (cardinality, distinct "
+                                "counts, epoch) per relation")
+    p_explain.set_defaults(func=cmd_explain)
 
     p_opt = sub.add_parser("optimize", help="push IC residues")
     p_opt.add_argument("program")
@@ -316,6 +369,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--max-slowdown", type=float, default=1.5,
                          help="allowed compiled/interpreted ratio for "
                               "--check (default 1.5)")
+    p_bench.add_argument("--min-interned-speedup", type=float,
+                         default=None, metavar="X",
+                         help="with --check, require interned+adaptive "
+                              "to be at least X times the compiled "
+                              "baseline on transitive closure and "
+                              "same generation")
+    p_bench.add_argument("--seed", type=int, default=7,
+                         help="RNG seed for the generated EDBs "
+                              "(default 7; fixed for reproducibility)")
     p_bench.set_defaults(func=cmd_bench_engine)
 
     p_shell = sub.add_parser("shell", help="interactive Datalog shell")

@@ -1,9 +1,10 @@
 """Bottom-up evaluation: naive, semi-naive, stratification, magic sets."""
 
-from .bindings import EvalStats
+from .bindings import EvalStats, PLANNERS, validate_planner
 from .builtins import holds
 from .compile import (EXECUTORS, CompiledKernel, KernelCache,
                       compile_rule)
+from .stats import RelationStats
 from .engine import (EvaluationResult, consistent_answers, evaluate,
                      evaluate_with_magic, magic_answers, query_answers)
 from .magic import MagicProgram, adornment_of, magic_rewrite
@@ -16,8 +17,9 @@ from .plan import PlanStep, RulePlan, explain_kernels, explain_plan, \
     plan_rule
 
 __all__ = [
-    "EvalStats", "holds",
+    "EvalStats", "PLANNERS", "validate_planner", "holds",
     "EXECUTORS", "CompiledKernel", "KernelCache", "compile_rule",
+    "RelationStats",
     "EvaluationResult", "consistent_answers", "evaluate",
     "evaluate_with_magic", "magic_answers", "query_answers",
     "MagicProgram", "adornment_of", "magic_rewrite",

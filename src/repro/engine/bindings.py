@@ -29,7 +29,23 @@ from . import builtins
 #: the relation it should scan (full relation, delta, EDB, ...).
 Fetch = Callable[[Atom, int], Relation]
 
+#: ``cost(atom, body_index, bound_columns) -> float`` — estimated rows
+#: one placement of the atom would match, given the columns bound so
+#: far.  Supplied by the adaptive planner from live relation statistics.
+Cost = Callable[[Atom, int, tuple[int, ...]], float]
+
+#: Known join planners: ``greedy`` orders by boundness then raw size,
+#: ``adaptive`` by statistics-estimated selectivity, ``source`` keeps
+#: database atoms in rule order.
+PLANNERS = ("greedy", "adaptive", "source")
+
 Binding = dict[Variable, ConstValue]
+
+
+def validate_planner(planner: str) -> None:
+    if planner not in PLANNERS:
+        raise EvaluationError(
+            f"unknown planner {planner!r}; expected one of {PLANNERS}")
 
 
 @dataclass
@@ -50,6 +66,8 @@ class EvalStats:
     iterations: int = 0
     rules_fired: int = 0
     residue_checks: int = 0
+    #: Adaptive-planner recompilations triggered by cardinality drift.
+    replans: int = 0
     #: Matched rows attributed to each rule label (semi-naive only).
     rule_rows: dict = field(default_factory=dict)
 
@@ -68,6 +86,7 @@ class EvalStats:
         self.iterations += other.iterations
         self.rules_fired += other.rules_fired
         self.residue_checks += other.residue_checks
+        self.replans += other.replans
         for label, rows in other.rule_rows.items():
             self.rule_rows[label] = self.rule_rows.get(label, 0) + rows
 
@@ -82,6 +101,7 @@ class EvalStats:
             "iterations": self.iterations,
             "rules_fired": self.rules_fired,
             "residue_checks": self.residue_checks,
+            "replans": self.replans,
         }
 
 
@@ -93,14 +113,30 @@ def _check_atom_args(atom: Atom) -> None:
                 f"atoms: {atom}")
 
 
+def bound_columns_of(atom: Atom, bound: set[Variable]) -> tuple[int, ...]:
+    """The atom's columns that would be bound given ``bound`` variables."""
+    return tuple(
+        column for column, arg in enumerate(atom.args)
+        if isinstance(arg, Constant)
+        or (isinstance(arg, Variable) and arg in bound))
+
+
 def plan_body(rule: Rule, sizes: Callable[[Atom, int], int],
-              keep_atom_order: bool = False) -> list[int]:
+              keep_atom_order: bool = False,
+              cost: Cost | None = None) -> list[int]:
     """Order body literal indexes greedily (see module docstring).
 
     With ``keep_atom_order`` database atoms stay in source order (the
     1995-style fixed-join-order evaluator the paper assumes); evaluable
     literals still run as soon as their variables are bound, since no
     reasonable evaluator defers a ready selection.
+
+    When ``cost`` is given (the adaptive planner) the next database
+    atom is the one with the smallest estimated match count — size
+    scaled by the selectivity of its bound columns — instead of the
+    boundness/size heuristic; boundness is implicit in the estimate,
+    since every bound column divides it by the column's distinct count.
+    Ties break by source order, keeping plans deterministic.
     """
     remaining = set(range(len(rule.body)))
     bound: set[Variable] = set()
@@ -128,9 +164,10 @@ def plan_body(rule: Rule, sizes: Callable[[Atom, int], int],
                 bound.update(lit.variable_set())
             continue
         # Pick the database atom with the most bound variables, breaking
-        # ties by smaller relation size, then by source order — or simply
-        # the next atom in source order under keep_atom_order.
-        best: tuple[int, int, int] | None = None
+        # ties by smaller relation size, then by source order — or by
+        # smallest estimated match count under the adaptive planner — or
+        # simply the next atom in source order under keep_atom_order.
+        best: tuple | None = None
         best_index: Optional[int] = None
         for index in sorted(remaining):
             lit = rule.body[index]
@@ -139,11 +176,15 @@ def plan_body(rule: Rule, sizes: Callable[[Atom, int], int],
             if keep_atom_order:
                 best_index = index
                 break
-            bound_count = sum(
-                1 for arg in lit.args
-                if isinstance(arg, Constant)
-                or (isinstance(arg, Variable) and arg in bound))
-            key = (-bound_count, sizes(lit, index), index)
+            if cost is not None:
+                key = (cost(lit, index, bound_columns_of(lit, bound)),
+                       index)
+            else:
+                bound_count = sum(
+                    1 for arg in lit.args
+                    if isinstance(arg, Constant)
+                    or (isinstance(arg, Variable) and arg in bound))
+                key = (-bound_count, sizes(lit, index), index)
             if best is None or key < best:
                 best = key
                 best_index = index

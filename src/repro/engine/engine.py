@@ -18,6 +18,7 @@ from ..datalog.program import Program
 from ..datalog.terms import Constant, Variable
 from ..errors import EvaluationError
 from ..facts.database import Database
+from ..facts.symbols import validate_interning
 from ..runtime.budget import Budget, resolve_budget
 from .bindings import EvalStats
 from .compile import EXECUTORS, validate_executor
@@ -67,7 +68,8 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
              hook: Optional[DerivationHook] = None,
              planner: str = "greedy",
              budget: Budget | None = None,
-             executor: str = "compiled") -> EvaluationResult:
+             executor: str = "compiled",
+             interning: str = "off") -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``edb``.
 
     Args:
@@ -77,8 +79,11 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
         hook: optional per-derivation veto hook (semi-naive only); used by
             the residue-guided baseline.
         planner: ``"greedy"`` reorders joins by boundness and size;
-            ``"source"`` keeps database atoms in rule order (the fixed
-            join orders the paper's era assumed; used by experiment E2).
+            ``"adaptive"`` by live cardinality statistics, replanning
+            mid-fixpoint when delta sizes drift from the plan-time
+            estimate; ``"source"`` keeps database atoms in rule order
+            (the fixed join orders the paper's era assumed; used by
+            experiment E2).
         budget: optional :class:`repro.runtime.Budget` bounding the run;
             exhaustion or cancellation raises the typed errors of
             :mod:`repro.errors` carrying the partial stats.
@@ -86,10 +91,19 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
             slot-based kernels (:mod:`repro.engine.compile`);
             ``"interpreted"`` uses the reference interpreter.  Both
             derive identical databases.
+        interning: ``"on"`` re-encodes the EDB over a shared
+            :class:`~repro.facts.symbols.SymbolTable` (one pass) so the
+            whole fixpoint joins over dense ``int`` codes; ``"off"``
+            (default) evaluates in whatever mode ``edb`` already is —
+            an EDB loaded with ``load_directory(..., interning=True)``
+            stays interned either way.
     """
     stats = EvalStats()
     validate_executor(executor)
+    validate_interning(interning)
     budget = resolve_budget(budget)
+    if interning == "on":
+        edb = edb.interned()
     start = time.perf_counter()
     if method == "seminaive":
         idb = seminaive_evaluate(program, edb, stats, hook=hook,
@@ -99,7 +113,7 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
         if hook is not None:
             raise EvaluationError("hooks require the semi-naive method")
         idb = naive_evaluate(program, edb, stats, budget=budget,
-                             executor=executor)
+                             executor=executor, planner=planner)
     else:
         raise EvaluationError(
             f"unknown method {method!r}; expected one of {METHODS}")
@@ -110,20 +124,26 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
 
 def evaluate_with_magic(program: Program, edb: Database, query: Atom,
                         budget: Budget | None = None,
-                        executor: str = "compiled") -> EvaluationResult:
+                        executor: str = "compiled",
+                        planner: str = "greedy",
+                        interning: str = "off") -> EvaluationResult:
     """Magic-rewrite ``program`` for ``query`` and evaluate the result.
 
     The returned result's :meth:`EvaluationResult.facts` must be asked for
     the *adorned* query predicate; use :attr:`EvaluationResult.magic` or
     the convenience :func:`magic_answers`.  ``budget`` covers the
     rewriting *and* the evaluation of the rewritten program.
+    ``planner`` and ``interning`` are as in :func:`evaluate`.
     """
     budget = resolve_budget(budget)
+    validate_interning(interning)
+    if interning == "on":
+        edb = edb.interned()
     rewritten = magic_rewrite(program, query, budget=budget)
     stats = EvalStats()
     start = time.perf_counter()
     idb = seminaive_evaluate(rewritten.program, edb, stats, budget=budget,
-                             executor=executor)
+                             executor=executor, planner=planner)
     elapsed = time.perf_counter() - start
     return EvaluationResult(rewritten.program, edb, idb, stats, elapsed,
                             method="seminaive+magic", magic=rewritten,
@@ -132,10 +152,13 @@ def evaluate_with_magic(program: Program, edb: Database, query: Atom,
 
 def magic_answers(program: Program, edb: Database, query: Atom,
                   budget: Budget | None = None,
-                  executor: str = "compiled") -> frozenset[tuple]:
+                  executor: str = "compiled",
+                  planner: str = "greedy",
+                  interning: str = "off") -> frozenset[tuple]:
     """Answers to ``query`` (full tuples) computed via magic sets."""
     result = evaluate_with_magic(program, edb, query, budget=budget,
-                                 executor=executor)
+                                 executor=executor, planner=planner,
+                                 interning=interning)
     assert result.magic is not None
     rows = result.magic.answers(result.idb)
     # Filter on the query's constant positions (magic guarantees relevance

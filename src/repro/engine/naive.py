@@ -15,7 +15,8 @@ from ..facts.database import Database
 from ..facts.relation import Relation
 from ..runtime import chaos
 from ..runtime.budget import Budget, resolve_budget
-from .bindings import EvalStats, instantiate_head, solve_body
+from .bindings import (EvalStats, instantiate_head, solve_body,
+                       validate_planner)
 from .compile import KernelCache, validate_executor
 from .stratify import stratify
 
@@ -27,7 +28,8 @@ def naive_evaluate(program: Program, edb: Database,
                    stats: EvalStats | None = None,
                    max_iterations: int = DEFAULT_MAX_ITERATIONS,
                    budget: Budget | None = None,
-                   executor: str = "compiled") -> Database:
+                   executor: str = "compiled",
+                   planner: str = "greedy") -> Database:
     """Compute the IDB of ``program`` over ``edb`` naively.
 
     Returns a new :class:`Database` containing only IDB relations; the EDB
@@ -38,13 +40,17 @@ def naive_evaluate(program: Program, edb: Database,
     ``executor="compiled"`` (default) lowers each rule once into a
     slot-based kernel (:mod:`repro.engine.compile`) reused across all
     rounds; ``"interpreted"`` keeps the reference interpreter.
+    ``planner`` is as in :func:`~repro.engine.seminaive
+    .seminaive_evaluate`.  Storage follows the EDB: an interned EDB
+    yields an interned IDB sharing its symbol table.
     """
     stats = stats if stats is not None else EvalStats()
     validate_executor(executor)
+    validate_planner(planner)
     budget = resolve_budget(budget)
     chaos_plan = chaos.active_plan()
     arities = program.predicate_arities()
-    idb = Database()
+    idb = Database(symbols=edb.symbols)
     for pred in program.idb_predicates:
         idb.ensure(pred, arities[pred])
 
@@ -56,7 +62,16 @@ def naive_evaluate(program: Program, edb: Database,
     def sizes(atom: Atom, index: int) -> int:
         return len(fetch(atom, index))
 
-    kernels = KernelCache() if executor == "compiled" else None
+    def cost(atom: Atom, index: int,
+             bound_cols: tuple[int, ...]) -> float:
+        return fetch(atom, index).probe_estimate(bound_cols)
+
+    keep_atom_order = planner == "source"
+    adaptive = planner == "adaptive"
+    kernels = None
+    if executor == "compiled":
+        kernels = KernelCache(keep_atom_order=keep_atom_order,
+                              symbols=edb.symbols, adaptive=adaptive)
     for stratum in stratify(program):
         rules = [r for r in program if r.head.pred in stratum]
         changed = True
@@ -77,19 +92,46 @@ def naive_evaluate(program: Program, edb: Database,
                 target = idb.relation(rule.head.pred)
                 # Buffer insertions so the body scan sees a snapshot.
                 if kernels is not None:
-                    derived = kernels.kernel(rule, None, sizes) \
-                        .execute(fetch, stats)
+                    kernel = kernels.kernel(
+                        rule, None, sizes,
+                        cost=cost if adaptive else None)
+                    derived = kernel.execute(fetch, stats)
+                    target_add = target.raw_add
                 else:
                     derived = [instantiate_head(rule, binding)
-                               for binding in solve_body(rule, fetch,
-                                                         stats)]
+                               for binding in solve_body(
+                                   rule, fetch, stats,
+                                   keep_atom_order=keep_atom_order)]
+                    target_add = target.add
+                if kernels is not None and chaos_plan is None:
+                    # Bulk insert (see the semi-naive engine): one
+                    # C-level set difference per budget window, same
+                    # counter totals as the sequential path.
+                    position, total = 0, len(derived)
+                    while position < total:
+                        if budget is not None:
+                            countdown = budget.checkpoint(
+                                stats, last_round=rounds - 1)
+                            chunk = derived[position:position
+                                            + max(countdown, 1)]
+                        else:
+                            chunk = derived if position == 0 \
+                                else derived[position:]
+                        position += len(chunk)
+                        new_rows = target.raw_merge_new(chunk)
+                        if new_rows:
+                            stats.derivations += len(new_rows)
+                            changed = True
+                        stats.duplicate_derivations += \
+                            len(chunk) - len(new_rows)
+                    continue
                 countdown = budget.checkpoint(stats,
                                               last_round=rounds - 1) \
                     if budget is not None else 0
                 for row in derived:
                     if chaos_plan is not None:
                         chaos_plan.derivation()
-                    if target.add(row):
+                    if target_add(row):
                         stats.derivations += 1
                         changed = True
                     else:
@@ -99,4 +141,6 @@ def naive_evaluate(program: Program, edb: Database,
                         if countdown <= 0:
                             countdown = budget.checkpoint(
                                 stats, last_round=rounds - 1)
+    if kernels is not None:
+        stats.replans += kernels.replans
     return idb

@@ -28,7 +28,8 @@ from ..facts.database import Database
 from ..facts.relation import Relation
 from ..runtime import chaos
 from ..runtime.budget import Budget, resolve_budget
-from .bindings import Binding, EvalStats, instantiate_head, solve_body
+from .bindings import (Binding, EvalStats, instantiate_head, solve_body,
+                       validate_planner)
 from .compile import KernelCache, validate_executor
 from .naive import DEFAULT_MAX_ITERATIONS
 from .stratify import stratify
@@ -63,22 +64,39 @@ def seminaive_evaluate(program: Program, edb: Database,
     :func:`~repro.engine.bindings.solve_body` interpreter, the
     semantics oracle.  Both derive identical databases; hooks, chaos
     injection and budgets behave identically under either.
+
+    ``planner`` orders joins: ``"greedy"`` (default) by boundness and
+    relation size, ``"adaptive"`` by statistics-estimated selectivity
+    with drift-triggered replanning (compiled executor; falls back to
+    greedy order under the interpreter), ``"source"`` keeps atoms in
+    rule order.
+
+    Storage follows the EDB: when ``edb`` is interned (carries a
+    :class:`~repro.facts.symbols.SymbolTable`) the IDB and deltas share
+    its table and compiled kernels join over dense ``int`` codes,
+    inserting derived rows without ever decoding them.
     """
     stats = stats if stats is not None else EvalStats()
     validate_executor(executor)
+    validate_planner(planner)
     budget = resolve_budget(budget)
     arities = program.predicate_arities()
-    idb = Database()
+    idb = Database(symbols=edb.symbols)
     for pred in program.idb_predicates:
         idb.ensure(pred, arities[pred])
 
     keep_atom_order = planner == "source"
-    kernels = KernelCache(keep_atom_order=keep_atom_order) \
-        if executor == "compiled" else None
+    kernels = None
+    if executor == "compiled":
+        kernels = KernelCache(keep_atom_order=keep_atom_order,
+                              symbols=edb.symbols,
+                              adaptive=planner == "adaptive")
     for stratum in stratify(program):
         _evaluate_stratum(program, stratum, edb, idb, stats,
                           max_iterations, hook, keep_atom_order, budget,
                           kernels)
+    if kernels is not None:
+        stats.replans += kernels.replans
     return idb
 
 
@@ -96,8 +114,10 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
     # rule's position within the stratum.
     rule_keys = {id(rule): rule.label or f"{rule.head.pred}#{index}"
                  for index, rule in enumerate(rules)}
+    symbols = idb.symbols
     deltas: dict[str, Relation] = {
-        pred: Relation(pred, idb.relation(pred).arity) for pred in stratum}
+        pred: Relation(pred, idb.relation(pred).arity, symbols=symbols)
+        for pred in stratum}
 
     def base_fetch(atom: Atom, index: int) -> Relation:
         if atom.pred in program.idb_predicates:
@@ -106,6 +126,8 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
 
     def sizes(atom: Atom, index: int) -> int:
         return len(base_fetch(atom, index))
+
+    adaptive = kernels is not None and kernels.adaptive
 
     def fire(rule: Rule, fetch, round_index: int,
              variant: object = None) -> None:
@@ -116,9 +138,40 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
         # Buffer insertions so the body scan sees a snapshot of the
         # relations (a rule may read the relation it writes).
         if kernels is not None:
-            kernel = kernels.kernel(rule, variant, sizes)
+            if adaptive:
+                # Delta-aware: the adaptive planner costs each atom
+                # against the relation this occurrence will actually
+                # read (the delta for the redirected one), using live
+                # cardinality/distinct statistics.
+                def sizes_now(atom: Atom, index: int) -> int:
+                    return len(fetch(atom, index))
+
+                def cost_now(atom: Atom, index: int,
+                             bound_cols: tuple[int, ...],
+                             _target: object = variant) -> float:
+                    estimate = fetch(atom, index) \
+                        .probe_estimate(bound_cols)
+                    if index == _target and not bound_cols:
+                        # Frontier-anchoring bias: strongly prefer
+                        # scanning the delta occurrence.  Every delta
+                        # row is new, so join paths rooted there are
+                        # exactly the ones that can produce new facts,
+                        # while anchoring elsewhere re-enumerates old
+                        # paths; and the delta is a fresh relation each
+                        # round, so probing it instead would build a
+                        # throwaway hash index per round.
+                        estimate *= 0.05
+                    return estimate
+
+                kernel = kernels.kernel(rule, variant, sizes_now,
+                                        cost=cost_now)
+            else:
+                kernel = kernels.kernel(rule, variant, sizes)
             derived = kernel.execute(fetch, stats, hook=hook,
                                      round_index=round_index)
+            # Kernel rows are storage-domain already (codes when
+            # interned): insert through the raw path, no re-encoding.
+            target_add, delta_add = target.raw_add, delta.raw_add
         else:
             derived = []
             for binding in solve_body(rule, fetch, stats,
@@ -127,6 +180,7 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                         and not hook(rule, binding, round_index):
                     continue
                 derived.append(instantiate_head(rule, binding))
+            target_add, delta_add = target.add, delta.add
         key = rule_keys[id(rule)]
         stats.rule_rows[key] = stats.rule_rows.get(key, 0) \
             + stats.rows_matched - rows_before
@@ -136,14 +190,37 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
         # exact while the hot insert loop pays one Python call per
         # ~interval events instead of one per event.
         last_round = max(round_index - 1, 0)
+        if kernels is not None and chaos_plan is None:
+            # Bulk insert: the duplicate screen is one C-level set
+            # difference per budget window instead of a Python call per
+            # derived row.  Counter totals (derivations, duplicates)
+            # match the sequential path exactly; the chaos path stays
+            # per-row because fault ordinals are per-derivation-event.
+            position, total = 0, len(derived)
+            while position < total:
+                if budget is not None:
+                    countdown = budget.checkpoint(stats,
+                                                  last_round=last_round)
+                    chunk = derived[position:position
+                                    + max(countdown, 1)]
+                else:
+                    chunk = derived if position == 0 \
+                        else derived[position:]
+                position += len(chunk)
+                new_rows = target.raw_merge_new(chunk)
+                if new_rows:
+                    delta.raw_merge(new_rows)
+                    stats.derivations += len(new_rows)
+                stats.duplicate_derivations += \
+                    len(chunk) - len(new_rows)
+            return
         countdown = budget.checkpoint(stats, last_round=last_round) \
             if budget is not None else 0
         for row in derived:
             if chaos_plan is not None:
                 chaos_plan.derivation()
-            if row not in target:
-                target.add(row)
-                delta.add(row)
+            if target_add(row):
+                delta_add(row)
                 stats.derivations += 1
             else:
                 stats.duplicate_derivations += 1
@@ -155,7 +232,8 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
 
     # Initialization round.
     next_deltas: dict[str, Relation] = {
-        pred: Relation(pred, idb.relation(pred).arity) for pred in stratum}
+        pred: Relation(pred, idb.relation(pred).arity, symbols=symbols)
+        for pred in stratum}
     stats.iterations += 1
     for rule in rules:
         fire(rule, base_fetch, 0)
@@ -175,7 +253,8 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
             # (checkpoint above keeps the counters exact mid-round).
             budget.check_round(stats, last_round=rounds - 1)
         next_deltas = {
-            pred: Relation(pred, idb.relation(pred).arity)
+            pred: Relation(pred, idb.relation(pred).arity,
+                           symbols=symbols)
             for pred in stratum}
         for rule in rules:
             occurrences = [index for index, lit in enumerate(rule.body)

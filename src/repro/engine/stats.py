@@ -1,0 +1,106 @@
+"""Cardinality statistics for selectivity-based join planning.
+
+The greedy planner orders joins by boundness and raw relation size —
+a blunt cost model: a million-row relation probed on a near-key column
+is cheaper than a thousand-row scan, and a delta relation that was empty
+at plan time may carry the whole frontier three rounds later.
+
+:class:`RelationStats` maintains, per relation, the row count and a
+per-column distinct-count estimate, updated incrementally as rows are
+inserted (``Relation.add`` / ``add_all`` / the raw kernel insert path
+feed :meth:`observe`).  From those two quantities the classic
+independence-assumption estimate follows: probing with columns ``B``
+bound is expected to match
+
+    ``cardinality / prod(distinct(c) for c in B)``
+
+rows per probe.  :meth:`probe_estimate` is the cost the adaptive
+planner (``planner="adaptive"``) minimizes when choosing the next body
+atom, and the quantity ``explain --stats`` reports per plan step.
+
+The ``epoch`` counter advances once per observed insert; plans record
+the epochs of the statistics they consulted, so introspection can tell
+*which* state of the world a join order was derived from, and the
+kernel cache can cheaply decide whether a cached plan is stale (see
+``KernelCache`` in :mod:`repro.engine.compile` for the drift rule).
+
+The module is deliberately free of imports from :mod:`repro.facts`:
+relations attach a :class:`RelationStats` lazily (``enable_stats``)
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class RelationStats:
+    """Incrementally-maintained cardinality + distinct-count estimates.
+
+    Distinct counts are exact (one value set per column); for the
+    workload sizes this engine targets the sets are cheaper than the
+    sampling sketches a disk-based system would use, and exactness keeps
+    the planner deterministic.
+    """
+
+    __slots__ = ("arity", "cardinality", "epoch", "_columns")
+
+    def __init__(self, arity: int,
+                 rows: Iterable[Sequence] = ()) -> None:
+        self.arity = arity
+        self.cardinality = 0
+        #: Advances once per observed insert since the stats were
+        #: enabled; plans snapshot it to date their estimates.
+        self.epoch = 0
+        self._columns: tuple[set, ...] = tuple(
+            set() for _ in range(arity))
+        for row in rows:
+            self.observe(row)
+
+    def __repr__(self) -> str:
+        distincts = [len(column) for column in self._columns]
+        return (f"RelationStats(n={self.cardinality}, "
+                f"distinct={distincts}, epoch={self.epoch})")
+
+    # -- maintenance ---------------------------------------------------------
+    def observe(self, row: Sequence) -> None:
+        """Account for one newly inserted row."""
+        self.cardinality += 1
+        self.epoch += 1
+        for column, value in zip(self._columns, row):
+            column.add(value)
+
+    def observe_all(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.observe(row)
+
+    def reset(self) -> None:
+        """Forget everything (the relation was cleared)."""
+        self.cardinality = 0
+        self.epoch += 1
+        for column in self._columns:
+            column.clear()
+
+    # -- estimates -----------------------------------------------------------
+    def distinct(self, column: int) -> int:
+        """Estimated number of distinct values in ``column``."""
+        return len(self._columns[column])
+
+    def probe_estimate(self, bound_columns: Sequence[int]) -> float:
+        """Expected rows matched by one probe with ``bound_columns``.
+
+        Independence assumption: each bound column divides the
+        cardinality by its distinct count.  With no bound columns this
+        is the full scan cost (the cardinality); an empty relation
+        estimates 0 regardless of the pattern.
+        """
+        estimate = float(self.cardinality)
+        for column in bound_columns:
+            estimate /= max(1, len(self._columns[column]))
+        return estimate
+
+    def selectivity(self, bound_columns: Sequence[int]) -> float:
+        """Fraction of the relation one probe is expected to match."""
+        if self.cardinality == 0:
+            return 0.0
+        return self.probe_estimate(bound_columns) / self.cardinality

@@ -1,8 +1,10 @@
-"""EDB storage: indexed relations, databases, CSV import/export."""
+"""EDB storage: indexed relations, databases, interning, CSV I/O."""
 
+from .symbols import INTERNING_MODES, SymbolTable, validate_interning
 from .relation import Relation, Row
 from .database import Database
 from .io import load_csv, load_directory, save_csv, save_directory
 
-__all__ = ["Relation", "Row", "Database",
+__all__ = ["INTERNING_MODES", "SymbolTable", "validate_interning",
+           "Relation", "Row", "Database",
            "load_csv", "load_directory", "save_csv", "save_directory"]

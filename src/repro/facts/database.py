@@ -10,6 +10,7 @@ from ..datalog.rules import Rule
 from ..datalog.terms import Constant, ConstValue
 from ..errors import EvaluationError
 from .relation import Relation, Row
+from .symbols import SymbolTable
 
 
 class Database:
@@ -17,11 +18,21 @@ class Database:
 
     Databases are mutable; evaluation engines never mutate the EDB they are
     given (IDB results are accumulated in a separate database).
+
+    A database constructed with a :class:`SymbolTable` (``symbols=``)
+    stores every relation in interned mode: rows are dense ``int``
+    codes, with values encoded/decoded at the value-level API boundary.
+    The table is shared across all relations of the database — and with
+    the IDB/delta databases the engines derive from it — so codes are
+    comparable everywhere.
     """
 
     def __init__(self,
-                 relations: Mapping[str, Iterable[Row]] | None = None) -> None:
+                 relations: Mapping[str, Iterable[Row]] | None = None,
+                 symbols: SymbolTable | None = None) -> None:
         self._relations: dict[str, Relation] = {}
+        #: The shared intern table, or None for raw storage.
+        self.symbols = symbols
         if relations:
             for name, rows in relations.items():
                 for row in rows:
@@ -54,14 +65,14 @@ class Database:
         """The relation for ``name`` or a fresh empty one of ``arity``."""
         rel = self._relations.get(name)
         if rel is None:
-            return Relation(name, arity)
+            return Relation(name, arity, symbols=self.symbols)
         return rel
 
     def ensure(self, name: str, arity: int) -> Relation:
         """Get-or-create the relation for ``name``."""
         rel = self._relations.get(name)
         if rel is None:
-            rel = Relation(name, arity)
+            rel = Relation(name, arity, symbols=self.symbols)
             self._relations[name] = rel
         elif rel.arity != arity:
             raise EvaluationError(
@@ -94,9 +105,26 @@ class Database:
         return rel.rows() if rel is not None else frozenset()
 
     def copy(self) -> "Database":
-        out = Database()
+        out = Database(symbols=self.symbols)
         for name, rel in self._relations.items():
             out._relations[name] = rel.copy()
+        return out
+
+    def interned(self, symbols: SymbolTable | None = None) -> "Database":
+        """This database re-encoded over a :class:`SymbolTable`.
+
+        Returns ``self`` unchanged when already interned; otherwise a
+        new database sharing no storage with this one, with every
+        constant interned into ``symbols`` (a fresh table by default).
+        Cost is one pass over the facts; evaluation entry points call
+        this once per run when ``interning="on"``.
+        """
+        if self.symbols is not None:
+            return self
+        out = Database(symbols=symbols if symbols is not None
+                       else SymbolTable())
+        for name, rel in self._relations.items():
+            out.ensure(name, rel.arity).add_all(rel)
         return out
 
     def merge(self, other: "Database") -> int:

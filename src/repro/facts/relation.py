@@ -1,17 +1,44 @@
 """An indexed in-memory relation.
 
-Relations store ground tuples of Python values (the ``value`` field of
-:class:`repro.datalog.terms.Constant`).  Lookups during joins supply a
+Relations store ground tuples.  Lookups during joins supply a
 *bound-column pattern*: a sorted tuple of (column, value) pairs.  The
 relation lazily builds and caches a hash index per set of bound columns,
 which turns the engine's literal-at-a-time joins into hash joins.
+
+Storage comes in two modes:
+
+- **raw** (the default): rows are tuples of Python values (the ``value``
+  field of :class:`repro.datalog.terms.Constant`), exactly as stored by
+  the original engine.
+- **interned**: the relation is bound to a shared
+  :class:`~repro.facts.symbols.SymbolTable` and rows are tuples of dense
+  ``int`` codes.  The value-level API below (``add``, ``lookup``,
+  iteration, ...) is unchanged — values are encoded/decoded at the call
+  boundary — while the *raw* API (:meth:`raw_rows`, :meth:`raw_add`,
+  :meth:`index_for`) exposes the coded storage that the compiled
+  kernels join over directly.
+
+In both modes :meth:`index_for` returns the live index over the
+*storage domain* (values in raw mode, codes in interned mode); callers
+that obtained their probe keys from the same storage domain — the
+kernels — never pay an encode/decode per probe.
+
+When :meth:`enable_stats` has been called the relation also maintains a
+:class:`~repro.engine.stats.RelationStats` (cardinality + per-column
+distinct counts) incrementally on every insert, which feeds the
+adaptive join planner.
 """
 
 from __future__ import annotations
 
-from typing import Collection, Iterable, Iterator
+import warnings
+from typing import TYPE_CHECKING, Collection, Iterable, Iterator, Optional
 
 from ..datalog.terms import ConstValue
+from .symbols import SymbolTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.stats import RelationStats
 
 Row = tuple[ConstValue, ...]
 
@@ -22,54 +49,94 @@ Index = dict[tuple, list[Row]]
 class Relation:
     """A set of fixed-arity ground tuples with on-demand hash indexes."""
 
+    __slots__ = ("name", "arity", "symbols", "_rows", "_indexes",
+                 "_stats", "_distinct_cache")
+
     def __init__(self, name: str, arity: int,
-                 rows: Iterable[Row] | None = None) -> None:
+                 rows: Iterable[Row] | None = None,
+                 symbols: SymbolTable | None = None) -> None:
         if arity < 0:
             raise ValueError("arity must be non-negative")
         self.name = name
         self.arity = arity
+        #: The shared intern table, or None in raw mode.
+        self.symbols = symbols
         self._rows: set[Row] = set()
         self._indexes: dict[tuple[int, ...], dict[tuple, list[Row]]] = {}
+        self._stats: Optional["RelationStats"] = None
+        #: column -> (cardinality the count was taken at, count); the
+        #: scan fallback of :meth:`distinct_count`.
+        self._distinct_cache: dict[int, tuple[int, int]] = {}
         if rows:
             self.add_all(rows)
+
+    @property
+    def interned(self) -> bool:
+        return self.symbols is not None
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
         return len(self._rows)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        if self.symbols is None:
+            return iter(self._rows)
+        values = self.symbols.values
+        return (tuple(values[code] for code in row) for row in self._rows)
 
     def __contains__(self, row: Row) -> bool:
-        return tuple(row) in self._rows
+        materialized = tuple(row)
+        if self.symbols is None:
+            return materialized in self._rows
+        coded = self.symbols.code_row(materialized)
+        return coded is not None and coded in self._rows
 
     def __repr__(self) -> str:
-        return f"Relation({self.name!r}/{self.arity}, {len(self)} rows)"
+        mode = ", interned" if self.symbols is not None else ""
+        return f"Relation({self.name!r}/{self.arity}, {len(self)} rows{mode})"
 
     # -- mutation ------------------------------------------------------------
     def add(self, row: Iterable[ConstValue]) -> bool:
-        """Insert one tuple; returns True when it was new."""
+        """Insert one tuple of *values*; returns True when it was new."""
         materialized = tuple(row)
         if len(materialized) != self.arity:
             raise ValueError(
                 f"{self.name}: expected arity {self.arity}, "
                 f"got {len(materialized)}")
+        if self.symbols is not None:
+            materialized = self.symbols.intern_row(materialized)
+        return self._insert(materialized)
+
+    def raw_add(self, row: Row) -> bool:
+        """Insert one storage-domain tuple (codes when interned).
+
+        The fast path for the compiled kernels, which derive rows in the
+        storage domain already: no re-encoding, no arity re-check (the
+        kernel's head constructor fixes the arity).  In raw mode this is
+        :meth:`add` minus the validation.
+        """
+        return self._insert(row)
+
+    def _insert(self, materialized: Row) -> bool:
         if materialized in self._rows:
             return False
         self._rows.add(materialized)
         for columns, index in self._indexes.items():
             key = tuple(materialized[c] for c in columns)
             index.setdefault(key, []).append(materialized)
+        if self._stats is not None:
+            self._stats.observe(materialized)
         return True
 
     def add_all(self, rows: Iterable[Iterable[ConstValue]]) -> int:
-        """Insert many tuples; returns the number of new ones.
+        """Insert many value tuples; returns the number of new ones.
 
         Bulk path: rows land in the backing set first and every live
         index is extended once at the end, instead of per row as
         :meth:`add` does.
         """
         arity = self.arity
+        symbols = self.symbols
         store = self._rows
         new_rows: list[Row] = []
         for row in rows:
@@ -78,56 +145,202 @@ class Relation:
                 raise ValueError(
                     f"{self.name}: expected arity {arity}, "
                     f"got {len(materialized)}")
+            if symbols is not None:
+                materialized = symbols.intern_row(materialized)
             if materialized not in store:
                 store.add(materialized)
                 new_rows.append(materialized)
-        if new_rows:
-            for columns, index in self._indexes.items():
-                for materialized in new_rows:
-                    index.setdefault(
-                        tuple(materialized[c] for c in columns),
-                        []).append(materialized)
+        self._extend_indexes(new_rows)
         return len(new_rows)
+
+    def raw_add_all(self, rows: Iterable[Row]) -> int:
+        """Bulk :meth:`raw_add`: storage-domain rows, one index sweep."""
+        store = self._rows
+        new_rows: list[Row] = []
+        for row in rows:
+            if row not in store:
+                store.add(row)
+                new_rows.append(row)
+        self._extend_indexes(new_rows)
+        return len(new_rows)
+
+    def raw_merge_new(self, rows: Collection[Row]) -> list[Row]:
+        """Bulk raw insert via set difference; returns the new rows.
+
+        The duplicate screen runs as one C-level set difference instead
+        of a per-row membership probe, so the engines' insert loops pay
+        Python call overhead per *batch* rather than per derived row.
+        Rows that collide with existing ones (or repeat within ``rows``)
+        are silently dropped, exactly as a sequence of :meth:`raw_add`
+        calls would drop them.
+        """
+        fresh = set(rows)
+        fresh.difference_update(self._rows)
+        if not fresh:
+            return []
+        new_rows = list(fresh)
+        self._rows.update(new_rows)
+        self._extend_indexes(new_rows)
+        return new_rows
+
+    def raw_merge(self, rows: list[Row]) -> None:
+        """Bulk raw insert of rows known to be absent from the relation.
+
+        Caller guarantees ``rows`` is duplicate-free and disjoint from
+        the current contents (e.g. the return value of another
+        relation's :meth:`raw_merge_new`); skipping the membership
+        screen makes this the cheapest insert path.
+        """
+        self._rows.update(rows)
+        self._extend_indexes(rows)
+
+    def _extend_indexes(self, new_rows: list[Row]) -> None:
+        if not new_rows:
+            return
+        for columns, index in self._indexes.items():
+            for materialized in new_rows:
+                index.setdefault(
+                    tuple(materialized[c] for c in columns),
+                    []).append(materialized)
+        if self._stats is not None:
+            self._stats.observe_all(new_rows)
 
     def clear(self) -> None:
         self._rows.clear()
         self._indexes.clear()
+        self._distinct_cache.clear()
+        if self._stats is not None:
+            self._stats.reset()
+
+    # -- statistics ------------------------------------------------------------
+    def enable_stats(self) -> "RelationStats":
+        """Attach (or return) incrementally-maintained statistics.
+
+        The first call builds cardinality and per-column distinct counts
+        from the current rows in one pass; afterwards every insert keeps
+        them current.  Idempotent.  (Lazy import: :mod:`repro.engine`
+        imports this module at package load.)
+        """
+        if self._stats is None:
+            from ..engine.stats import RelationStats
+
+            self._stats = RelationStats(self.arity, self._rows)
+        return self._stats
+
+    @property
+    def stats(self) -> Optional["RelationStats"]:
+        """The live statistics, or None when never enabled."""
+        return self._stats
+
+    def distinct_count(self, column: int) -> int:
+        """Number of distinct values in ``column``, at zero hot-path cost.
+
+        When a live single-column hash index over ``column`` exists —
+        and for columns the joins probe, it does — its key count *is*
+        the distinct count, maintained incrementally by the very same
+        index upkeep every insert already pays.  Otherwise one scan
+        computes it, cached until the cardinality changes (relations
+        only grow between :meth:`clear` calls, so the cardinality is a
+        perfect version stamp).  This is what keeps the adaptive
+        planner's cost model off the insert hot path.
+        """
+        index = self._indexes.get((column,))
+        if index is not None:
+            return len(index)
+        cardinality = len(self._rows)
+        cached = self._distinct_cache.get(column)
+        if cached is not None and cached[0] == cardinality:
+            return cached[1]
+        count = len({row[column] for row in self._rows})
+        self._distinct_cache[column] = (cardinality, count)
+        return count
+
+    def probe_estimate(self, bound_columns: Collection[int]) -> float:
+        """Expected rows matched by one probe with ``bound_columns``.
+
+        The independence-assumption estimate of
+        :meth:`repro.engine.stats.RelationStats.probe_estimate`, but
+        computed from :meth:`distinct_count` — the engines' adaptive
+        planner uses this form so that evaluation never pays per-insert
+        statistics maintenance.
+        """
+        estimate = float(len(self._rows))
+        for column in bound_columns:
+            estimate /= max(1, self.distinct_count(column))
+        return estimate
 
     # -- lookup ----------------------------------------------------------------
     def rows(self) -> frozenset[Row]:
-        return frozenset(self._rows)
+        if self.symbols is None:
+            return frozenset(self._rows)
+        values = self.symbols.values
+        return frozenset(tuple(values[code] for code in row)
+                         for row in self._rows)
+
+    def raw_rows(self) -> Collection[Row]:
+        """The internal storage-domain row container, read-only.
+
+        Codes when interned, values in raw mode.  This is what kernel
+        scans and negation membership tests iterate/probe; callers must
+        not mutate it or hold it across mutations.
+        """
+        return self._rows
 
     def lookup(self, bound: tuple[tuple[int, ConstValue], ...]
                ) -> Collection[Row]:
-        """Rows matching the bound-column pattern.
+        """Rows (as *values*) matching the bound-column pattern.
 
         ``bound`` is a tuple of ``(column, value)`` pairs; columns must be
         sorted ascending and unique.  With an empty pattern this is a full
         scan.
 
-        Returns the relation's *internal* container (an index bucket, or
-        the backing row set for a full scan) to avoid a per-call copy:
-        callers must treat the result as read-only and must not hold it
-        across mutations of the relation.
+        In raw mode this returns the relation's *internal* container (an
+        index bucket, or the backing row set for a full scan) to avoid a
+        per-call copy: callers must treat the result as read-only and
+        must not hold it across mutations of the relation.  In interned
+        mode the pattern is encoded, the coded index is probed, and the
+        matching rows are decoded into a fresh list (bucket order
+        preserved); a pattern mentioning a never-interned value matches
+        nothing.
         """
+        symbols = self.symbols
         if not bound:
-            return self._rows
+            if symbols is None:
+                return self._rows
+            values = symbols.values
+            return [tuple(values[code] for code in row)
+                    for row in self._rows]
         columns = tuple(c for c, _ in bound)
-        key = tuple(v for _, v in bound)
+        if symbols is None:
+            key = tuple(v for _, v in bound)
+        else:
+            get = symbols.code
+            encoded = []
+            for _, value in bound:
+                code = get(value)
+                if code is None:
+                    return ()
+                encoded.append(code)
+            key = tuple(encoded)
         index = self._indexes.get(columns)
         if index is None:
             index = self._build_index(columns)
-        return index.get(key, ())
+        bucket = index.get(key, ())
+        if symbols is None or not bucket:
+            return bucket
+        values = symbols.values
+        return [tuple(values[code] for code in row) for row in bucket]
 
     def index_for(self, columns: tuple[int, ...]) -> Index:
         """The hash index over ``columns`` (built on first use).
 
         ``columns`` must be sorted ascending and unique.  The returned
-        dict maps a tuple of values (one per column) to the list of rows
-        carrying those values.  It is the live index — kept up to date by
-        subsequent :meth:`add` calls — and must be treated as read-only.
-        The kernel compiler pre-resolves this once per rule firing
-        instead of re-deriving it per probe.
+        dict maps a tuple of storage-domain keys (values in raw mode,
+        codes when interned) — one per column — to the list of rows
+        carrying those values.  It is the live index — kept up to date
+        by subsequent :meth:`add` calls — and must be treated as
+        read-only.  The kernel compiler pre-resolves this once per rule
+        firing instead of re-deriving it per probe.
         """
         index = self._indexes.get(columns)
         if index is None:
@@ -142,13 +355,48 @@ class Relation:
         self._indexes[columns] = index
         return index
 
+    def column_view(self, column: int):
+        """A dense snapshot of one column, in the storage domain.
+
+        In interned mode this is an ``array('q')`` of codes — a compact,
+        cache-friendly columnar view suitable for bulk scans; in raw
+        mode it is a plain list of values.  A snapshot, not a live view.
+        """
+        if self.symbols is not None:
+            from array import array
+
+            return array("q", (row[column] for row in self._rows))
+        return [row[column] for row in self._rows]
+
     def copy(self) -> "Relation":
-        out = Relation(self.name, self.arity)
+        out = Relation(self.name, self.arity, symbols=self.symbols)
         out._rows = set(self._rows)
         return out
 
-    def difference_update_into(self, other: "Relation") -> "Relation":
-        """Return a relation with this one's rows that are not in ``other``."""
-        out = Relation(self.name, self.arity)
-        out.add_all(row for row in self._rows if row not in other._rows)
+    def difference(self, other: "Relation") -> "Relation":
+        """A new relation with this one's rows that are not in ``other``.
+
+        Neither operand is modified.  When both relations share the same
+        symbol table (or both are raw) the set difference runs directly
+        over the storage domain; otherwise rows are compared by value.
+        """
+        out = Relation(self.name, self.arity, symbols=self.symbols)
+        if self.symbols is other.symbols:
+            out.raw_add_all(row for row in self._rows
+                            if row not in other._rows)
+        else:
+            out.add_all(row for row in self if row not in other)
         return out
+
+    def difference_update_into(self, other: "Relation") -> "Relation":
+        """Deprecated alias of :meth:`difference`.
+
+        The historical name suggested an in-place update; the method has
+        always returned a fresh relation.  Will be removed in a future
+        release.
+        """
+        warnings.warn(
+            "Relation.difference_update_into is deprecated (it never "
+            "updated in place); use Relation.difference",
+            DeprecationWarning, stacklevel=2)
+        return self.difference(other)

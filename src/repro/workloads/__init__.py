@@ -4,6 +4,7 @@ from .paper_examples import (ALL_EXAMPLES, PaperExample, example_2_1,
                              example_3_2, example_4_1, example_4_3,
                              example_5_1, load)
 from .generators import (chain_edges, layered_digraph, random_digraph,
+                         random_linear_program,
                          transitive_closure_program, tree_edges,
                          unary_subset)
 from .university import UniversityParams, generate_university
@@ -14,6 +15,7 @@ __all__ = [
     "ALL_EXAMPLES", "PaperExample", "example_2_1", "example_3_2",
     "example_4_1", "example_4_3", "example_5_1", "load",
     "chain_edges", "layered_digraph", "random_digraph",
+    "random_linear_program",
     "transitive_closure_program", "tree_edges", "unary_subset",
     "UniversityParams", "generate_university",
     "OrganizationParams", "generate_organization",

@@ -57,6 +57,33 @@ class TestEvaluate:
         assert main(["evaluate", "/no/such/file", "/none"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_interning_on_same_output(self, files, capsys):
+        main(["evaluate", files["program"], files["db"]])
+        plain = capsys.readouterr().out
+        assert main(["evaluate", files["program"], files["db"],
+                     "--interning", "on",
+                     "--planner", "adaptive"]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestExplainCommand:
+    def test_plan_rendering(self, files, capsys):
+        assert main(["explain", files["program"], files["db"]]) == 0
+        out = capsys.readouterr().out
+        assert "r1" in out and ("scan" in out or "probe" in out)
+
+    def test_stats_flag_adds_statistics_section(self, files, capsys):
+        assert main(["explain", files["program"], files["db"],
+                     "--planner", "adaptive", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "statistics" in out.lower()
+        assert "par/4" in out
+
+    def test_kernels_interned(self, files, capsys):
+        assert main(["explain", files["program"], files["db"],
+                     "--kernels", "--interning", "on"]) == 0
+        assert "interned" in capsys.readouterr().out
+
 
 class TestOptimize:
     def test_pushes_pruning(self, files, capsys):

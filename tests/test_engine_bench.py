@@ -27,18 +27,22 @@ def test_build_workloads_rejects_unknown_scale():
         build_workloads("galactic")
 
 
-def _report(speedup, agreement_ok=True):
-    return {
-        "workloads": [{
-            "name": "transitive_closure",
+def _report(speedup, agreement_ok=True, configs_ok=True,
+            interned_speedup=2.0):
+    def block(name):
+        return {
+            "name": name,
             "methods": {"seminaive": {"speedup": speedup}},
+            "interned_speedup": interned_speedup,
             "agreement": {
                 "methods_agree": agreement_ok,
                 "executors_agree": True,
                 "naive_matches_seminaive": True,
+                "configs_agree": configs_ok,
             },
-        }],
-    }
+        }
+    return {"workloads": [block("transitive_closure"),
+                          block("same_generation")]}
 
 
 def test_regression_gate_passes_when_compiled_is_faster():
@@ -57,7 +61,38 @@ def test_regression_gate_fails_on_excessive_slowdown():
 
 def test_regression_gate_fails_on_disagreement():
     failures = regression_failures(_report(2.0, agreement_ok=False))
-    assert failures == ["transitive_closure: methods_agree is false"]
+    assert failures == ["transitive_closure: methods_agree is false",
+                        "same_generation: methods_agree is false"]
+
+
+def test_regression_gate_fails_on_config_disagreement():
+    failures = regression_failures(_report(2.0, configs_ok=False))
+    assert "transitive_closure: configs_agree is false" in failures
+
+
+def test_interned_gate_off_by_default():
+    assert regression_failures(_report(2.0, interned_speedup=0.5)) == []
+
+
+def test_interned_gate_passes_at_threshold():
+    report = _report(2.0, interned_speedup=1.6)
+    assert regression_failures(report, min_interned_speedup=1.5) == []
+
+
+def test_interned_gate_fails_below_threshold():
+    report = _report(2.0, interned_speedup=1.1)
+    failures = regression_failures(report, min_interned_speedup=1.5)
+    # Both gated workloads report the miss.
+    assert len(failures) == 2
+    assert all("interned+adaptive is only 1.10x" in f for f in failures)
+
+
+def test_interned_gate_fails_on_missing_measurement():
+    report = _report(2.0)
+    for block in report["workloads"]:
+        del block["interned_speedup"]
+    failures = regression_failures(report, min_interned_speedup=1.5)
+    assert failures and "no interned_speedup" in failures[0]
 
 
 def test_regression_gate_fails_on_missing_workload():
