@@ -25,6 +25,9 @@ Quickstart::
 Subpackages:
 
 - :mod:`repro.datalog` — AST, parser, analysis (the substrate);
+- :mod:`repro.analysis` — the diagnostics engine behind ``repro lint``:
+  the paper's assumptions and the engine preconditions as stable,
+  span-carrying diagnostic codes;
 - :mod:`repro.facts` — indexed relations and databases;
 - :mod:`repro.engine` — naive/semi-naive evaluation, stratification,
   magic sets;
@@ -44,10 +47,12 @@ from .errors import (BudgetExceededError, ConstraintError,
                      EvaluationCancelledError, EvaluationError, ParseError,
                      ProgramError, ReproError, TransformError)
 from .runtime import Budget, ChaosPlan, ResilienceReport, StageFailure
-from .datalog import (Atom, Comparison, Constant, Program, Rule,
+from .datalog import (Atom, Comparison, Constant, Program, Rule, Span,
                       Variable, atom, comparison, format_program,
                       parse_atom, parse_ic, parse_program, parse_query,
                       parse_rule, rule, validate_program)
+from .analysis import (AnalysisReport, Diagnostic, analyze_program,
+                       lint_program, lint_source)
 from .facts import Database, Relation
 from .engine import (EvaluationResult, evaluate, evaluate_with_magic,
                      magic_answers, magic_rewrite, naive_evaluate,
@@ -68,10 +73,12 @@ __all__ = [
     "EvaluationError", "ParseError", "ProgramError",
     "ReproError", "TransformError",
     "Budget", "ChaosPlan", "ResilienceReport", "StageFailure",
-    "Atom", "Comparison", "Constant", "Program", "Rule", "Variable",
-    "atom", "comparison", "format_program", "parse_atom", "parse_ic",
-    "parse_program", "parse_query", "parse_rule", "rule",
+    "Atom", "Comparison", "Constant", "Program", "Rule", "Span",
+    "Variable", "atom", "comparison", "format_program", "parse_atom",
+    "parse_ic", "parse_program", "parse_query", "parse_rule", "rule",
     "validate_program",
+    "AnalysisReport", "Diagnostic", "analyze_program", "lint_program",
+    "lint_source",
     "Database", "Relation",
     "EvaluationResult", "evaluate", "evaluate_with_magic",
     "magic_answers", "magic_rewrite", "naive_evaluate", "query_answers",

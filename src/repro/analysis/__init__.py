@@ -1,0 +1,26 @@
+"""Static analysis: the diagnostics engine and the lint passes.
+
+``repro.analysis`` turns the paper's standing assumptions (Section 1)
+and the engines' runtime preconditions into a single battery of
+re-runnable checks with stable diagnostic codes and source spans.  The
+``lint`` CLI subcommand, the shell's ``:lint`` command, and the
+program-loading precondition checks all route through here, so a
+violation is reported identically everywhere — and *before* the
+optimizer or an engine trips over it.
+"""
+
+from .diagnostics import SEVERITIES, AnalysisReport, Diagnostic
+from .linter import (LintTarget, bundled_reports, bundled_targets,
+                     lint_file, lint_program, lint_source, lint_target)
+from .passes import (CODES, PRECONDITION_PASSES, REGISTRY, AnalysisContext,
+                     AnalysisPass, analyze_program, make_diagnostic,
+                     run_passes, severity_of)
+
+__all__ = [
+    "SEVERITIES", "AnalysisReport", "Diagnostic",
+    "LintTarget", "bundled_reports", "bundled_targets",
+    "lint_file", "lint_program", "lint_source", "lint_target",
+    "CODES", "PRECONDITION_PASSES", "REGISTRY", "AnalysisContext",
+    "AnalysisPass", "analyze_program", "make_diagnostic", "run_passes",
+    "severity_of",
+]

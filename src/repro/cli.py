@@ -10,6 +10,9 @@ Commands:
   transformed program.
 - ``residues PROGRAM --ics ICS`` — print the residues of Algorithm 3.1.
 - ``describe PROGRAM "describe ... where ..."`` — intelligent answering.
+- ``lint PROGRAM [--ics F] [--query Q]`` — static analysis: check the
+  paper's assumptions and the engine preconditions, with stable codes
+  and source spans; ``--bundled`` lints every shipped workload.
 - ``experiments [IDS ...]`` — run the reproduction experiments.
 - ``shell`` — interactive Datalog shell (rules, facts, ICs, queries).
 - ``examples [NAME]`` — list or show the paper's worked examples.
@@ -28,7 +31,7 @@ from .baselines import optimize_rule_level
 from .bench.experiments import ALL_EXPERIMENTS
 from .constraints import ics_from_text
 from .core import SemanticOptimizer, generate_residues, rule_level_residues
-from .datalog import format_program, parse_program, validate_program
+from .datalog import format_program, parse_program
 from .errors import BudgetExceededError, ParseError, ReproError
 from .engine import evaluate
 from .facts import Database
@@ -38,10 +41,12 @@ from .runtime import Budget
 from .workloads import ALL_EXAMPLES, load
 
 #: Distinct exit codes for scripting (`repro ... || handle $?`); each
-#: failure prints a one-line diagnostic to stderr, never a traceback.
+#: failure prints a diagnostic (with a caret-annotated source excerpt
+#: for parse errors) to stderr, never a traceback.
 EXIT_ERROR = 2          # generic library failure / missing file
 EXIT_PARSE = 3          # ParseError: malformed program/IC/database text
 EXIT_BUDGET = 4         # BudgetExceededError: deadline or limit hit
+EXIT_LINT = 5           # lint found error-severity diagnostics
 
 
 def _read(path: str) -> str:
@@ -52,10 +57,23 @@ def _read(path: str) -> str:
 
 
 def _load_program(args: argparse.Namespace):
-    program = parse_program(_read(args.program))
-    report = validate_program(program)
-    if not report.ok:
-        raise ReproError(f"invalid program: {report.summary()}")
+    """Parse a program and enforce the evaluation preconditions.
+
+    The checks are the error-severity analysis passes (the same ones
+    ``repro lint`` runs), so a program the CLI rejects here is exactly a
+    program ``lint`` reports errors for — with the same messages.
+    """
+    from .analysis import PRECONDITION_PASSES, analyze_program
+
+    source = _read(args.program)
+    program = parse_program(source)
+    report = analyze_program(program, source=source,
+                             names=PRECONDITION_PASSES)
+    if report.has_errors:
+        details = "; ".join(
+            f"{d.code}[{d.rule_label or d.subject or '-'}]: {d.message}"
+            for d in report.errors)
+        raise ReproError(f"invalid program: {details}")
     return program
 
 
@@ -176,6 +194,65 @@ def cmd_describe(args: argparse.Namespace) -> int:
     result = iqa_describe(program, query)
     print(result.summary())
     return 0
+
+
+def _lint_bundled(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .analysis import bundled_reports
+
+    examples_dir = args.examples_dir
+    if examples_dir is None:
+        candidate = pathlib.Path(__file__).resolve().parents[2] / "examples"
+        examples_dir = candidate if candidate.is_dir() else None
+    failed = False
+    lines: list[str] = []
+    payload: list[dict] = []
+    for target, report in bundled_reports(examples_dir=examples_dir):
+        failed = failed or report.has_errors
+        if args.format == "json":
+            payload.append({"target": target.name, **report.to_dict()})
+        else:
+            lines.append(f"{target.name}: {report.summary()}")
+            lines.extend("  " + e.render() for e in report.errors)
+    if args.format == "json":
+        text = json.dumps({"targets": payload,
+                           "ok": not failed}, indent=2)
+    else:
+        verdict = "FAIL: bundled programs have lint errors" if failed \
+            else "ok: no bundled program has lint errors"
+        text = "\n".join([*lines, verdict])
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return EXIT_LINT if failed else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .analysis import lint_source
+
+    if args.bundled:
+        return _lint_bundled(args)
+    if not args.program:
+        raise ReproError("lint needs a PROGRAM file (or --bundled)")
+    report = lint_source(_read(args.program),
+                         ic_text=_read(args.ics) if args.ics else None,
+                         query_text=args.query,
+                         names=args.passes or None)
+    if args.format == "json":
+        text = json.dumps(report.to_dict(), indent=2)
+    else:
+        text = report.render()
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return EXIT_LINT if report.has_errors else 0
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -343,6 +420,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_desc.add_argument("query",
                         help='e.g. "describe honors(S) where ..."')
     p_desc.set_defaults(func=cmd_describe)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis with stable diagnostic codes")
+    p_lint.add_argument("program", nargs="?",
+                        help="program file (may mix rules, ICs and a "
+                             "query; - reads stdin)")
+    p_lint.add_argument("--ics", help="integrity constraints file")
+    p_lint.add_argument("--query",
+                        help="query atom enabling the reachability and "
+                             "residue-usefulness passes")
+    p_lint.add_argument("--format", default="text",
+                        choices=["text", "json"])
+    p_lint.add_argument("--out",
+                        help="write the report to this file instead of "
+                             "stdout")
+    p_lint.add_argument("--passes", nargs="*", metavar="PASS",
+                        help="run only the named passes")
+    p_lint.add_argument("--bundled", action="store_true",
+                        help="lint every bundled workload and examples/ "
+                             "program instead of a file")
+    p_lint.add_argument("--examples-dir",
+                        help="with --bundled, where to find the "
+                             "examples/ scripts (default: auto-detect)")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_exp = sub.add_parser("experiments",
                            help="run the reproduction experiments")

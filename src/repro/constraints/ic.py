@@ -19,6 +19,7 @@ from ..datalog.atoms import Atom, Comparison, Literal, literal_variables
 from ..datalog.parser import ParsedIC, parse_ic
 from ..datalog.program import Program
 from ..datalog.rules import is_connected
+from ..datalog.spans import Span
 from ..datalog.terms import Variable
 from ..datalog.unify import Substitution
 from ..errors import ConstraintError
@@ -31,6 +32,7 @@ class IntegrityConstraint:
     body: tuple[Literal, ...]
     head: Literal | None = None
     label: str | None = field(default=None, compare=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.body:
@@ -73,7 +75,7 @@ class IntegrityConstraint:
         head = subst.apply_literal(self.head) if self.head is not None \
             else None
         return IntegrityConstraint(subst.apply_literals(self.body), head,
-                                   label=self.label)
+                                   label=self.label, span=self.span)
 
     # -- the paper's well-formedness conditions ---------------------------------
     def is_connected(self) -> bool:
@@ -118,7 +120,8 @@ class IntegrityConstraint:
 
 def from_parsed(parsed: ParsedIC) -> IntegrityConstraint:
     """Convert a :class:`repro.datalog.parser.ParsedIC`."""
-    return IntegrityConstraint(parsed.body, parsed.head, label=parsed.label)
+    return IntegrityConstraint(parsed.body, parsed.head, label=parsed.label,
+                               span=parsed.span)
 
 
 def ic_from_text(text: str) -> IntegrityConstraint:

@@ -1,5 +1,6 @@
 """Datalog substrate: terms, atoms, rules, programs, parsing, analysis."""
 
+from .spans import Span, caret_excerpt
 from .terms import (ArithExpr, Constant, FreshVariableSupply, Term,
                     Variable, mk_term)
 from .atoms import (Atom, Comparison, Literal, Negation, atom, comparison,
@@ -16,6 +17,7 @@ from .analysis import (ProgramReport, is_range_restricted, is_safe,
 from .pretty import format_program, format_rule, format_table, side_by_side
 
 __all__ = [
+    "Span", "caret_excerpt",
     "ArithExpr", "Constant", "FreshVariableSupply", "Term", "Variable",
     "mk_term",
     "Atom", "Comparison", "Literal", "Negation", "atom", "comparison",

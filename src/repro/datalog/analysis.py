@@ -28,9 +28,18 @@ def is_range_restricted(rule: Rule) -> bool:
 
 
 def bound_variables(rule: Rule) -> frozenset[Variable]:
-    """Variables guaranteed bound when the body is evaluated left-to-right
-    in any order: those in positive database atoms, closed under propagation
-    through ``=`` comparisons with one side computable.
+    """Variables guaranteed bound when the body is evaluated in any order:
+    those in positive database atoms, closed under propagation through
+    ``=`` comparisons with one side computable.
+
+    The propagation rule mirrors the engine's binding builtin
+    (:func:`repro.engine.builtins.can_bind`) exactly: an ``=`` binds when
+    one side is a *bare* unbound variable and every variable of the other
+    side — which may be a compound arithmetic term such as ``X + 1`` — is
+    already bound, in either orientation (``Y = X + 1`` and
+    ``X + 1 = Y`` are equivalent).  Keeping the two definitions in
+    lock-step guarantees that :func:`is_safe` accepts a rule if and only
+    if the join planner can order its body.
     """
     bound: set[Variable] = set()
     for lit in rule.body:
@@ -38,20 +47,23 @@ def bound_variables(rule: Rule) -> frozenset[Variable]:
             bound.update(lit.variables())
     equalities = [lit for lit in rule.body
                   if isinstance(lit, Comparison) and lit.op == "="]
+
+    def newly_bound(eq: Comparison) -> Variable | None:
+        """The variable this ``=`` would bind given ``bound``, if any."""
+        for target, source in ((eq.lhs, eq.rhs), (eq.rhs, eq.lhs)):
+            if (isinstance(target, Variable) and target not in bound
+                    and set(variables_of(source)) <= bound):
+                return target
+        return None
+
     changed = True
     while changed:
         changed = False
         for eq in equalities:
-            lhs_vars = set(variables_of(eq.lhs))
-            rhs_vars = set(variables_of(eq.rhs))
-            if lhs_vars <= bound and not rhs_vars <= bound:
-                if isinstance(eq.rhs, Variable):
-                    bound.add(eq.rhs)
-                    changed = True
-            elif rhs_vars <= bound and not lhs_vars <= bound:
-                if isinstance(eq.lhs, Variable):
-                    bound.add(eq.lhs)
-                    changed = True
+            var = newly_bound(eq)
+            if var is not None:
+                bound.add(var)
+                changed = True
     return frozenset(bound)
 
 

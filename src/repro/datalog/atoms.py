@@ -14,18 +14,25 @@ needed for the optimizer's own output, see DESIGN.md) wraps an atom in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence, Union
 
+from .spans import Span
 from .terms import ArithExpr, Constant, Term, Variable, mk_term, variables_of
 
 
 @dataclass(frozen=True, slots=True)
 class Atom:
-    """A database atom ``pred(t1, ..., tn)``."""
+    """A database atom ``pred(t1, ..., tn)``.
+
+    ``span`` ties the atom back to its source text when it came from the
+    parser; it never participates in equality or hashing, so transformed
+    and hand-built atoms compare as before.
+    """
 
     pred: str
     args: tuple[Term, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         if not self.args:
@@ -73,6 +80,7 @@ class Comparison:
     op: str
     lhs: Term
     rhs: Term
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_COMPLEMENT:
@@ -94,11 +102,13 @@ class Comparison:
         This is what makes the optimizer's conditional splits executable
         without negation support: ``not (X > 5)`` is just ``X <= 5``.
         """
-        return Comparison(COMPARISON_COMPLEMENT[self.op], self.lhs, self.rhs)
+        return Comparison(COMPARISON_COMPLEMENT[self.op], self.lhs,
+                          self.rhs, span=self.span)
 
     def converse(self) -> "Comparison":
         """Return the same constraint with operands swapped."""
-        return Comparison(COMPARISON_CONVERSE[self.op], self.rhs, self.lhs)
+        return Comparison(COMPARISON_CONVERSE[self.op], self.rhs,
+                          self.lhs, span=self.span)
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,6 +116,7 @@ class Negation:
     """Negation of a database atom (stratified-negation extension)."""
 
     atom: Atom
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"not {self.atom}"

@@ -31,6 +31,7 @@ from ..errors import ParseError
 from .atoms import Atom, Comparison, Literal, Negation
 from .rules import Rule
 from .program import Program
+from .spans import Span, caret_excerpt
 from .terms import ArithExpr, Constant, Term, Variable
 
 _PUNCT = (":-", "?-", "->", "<=", ">=", "!=", "=<", "=>",
@@ -44,6 +45,21 @@ class Token:
     text: str
     line: int
     column: int
+    #: Exclusive end column; defaults to ``column + len(text)``.
+    end_column: int = -1
+
+    @property
+    def end(self) -> int:
+        if self.end_column >= 0:
+            return self.end_column
+        return self.column + len(self.text)
+
+    def span(self) -> Span:
+        return Span(self.line, self.column, self.line, self.end)
+
+
+def _excerpt(text: str, line: int, column: int, width: int = 1) -> str:
+    return caret_excerpt(text, Span(line, column, line, column + width))
 
 
 def tokenize(text: str) -> Iterator[Token]:
@@ -107,16 +123,21 @@ def tokenize(text: str) -> Iterator[Token]:
                     continue
                 if text[index] == "\n":
                     raise ParseError("unterminated string",
-                                     start_line, start_col)
+                                     start_line, start_col,
+                                     excerpt=_excerpt(text, start_line,
+                                                      start_col))
                 chars.append(text[index])
                 index += 1
                 column += 1
             if index >= length:
                 raise ParseError("unterminated string",
-                                 start_line, start_col)
+                                 start_line, start_col,
+                                 excerpt=_excerpt(text, start_line,
+                                                  start_col))
             index += 1
             column += 1
-            yield Token("STRING", "".join(chars), start_line, start_col)
+            yield Token("STRING", "".join(chars), start_line, start_col,
+                        end_column=column)
             continue
         for punct in _PUNCT:
             if text.startswith(punct, index):
@@ -126,7 +147,8 @@ def tokenize(text: str) -> Iterator[Token]:
                 column += len(punct)
                 break
         else:
-            raise ParseError(f"unexpected character {ch!r}", line, column)
+            raise ParseError(f"unexpected character {ch!r}", line, column,
+                             excerpt=_excerpt(text, line, column))
     yield Token("EOF", "", line, column)
 
 
@@ -137,6 +159,7 @@ class ParsedIC:
     body: tuple[Literal, ...]
     head: Literal | None
     label: str | None = None
+    span: Span | None = None
 
 
 @dataclass(frozen=True)
@@ -144,6 +167,7 @@ class ParsedQuery:
     """A parsed query ``?- literals.``"""
 
     literals: tuple[Literal, ...]
+    span: Span | None = None
 
 
 Statement = Union[Rule, ParsedIC, ParsedQuery]
@@ -153,6 +177,7 @@ _COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
 
 class _Parser:
     def __init__(self, text: str) -> None:
+        self._text = text
         self._tokens = list(tokenize(text))
         self._pos = 0
 
@@ -167,13 +192,27 @@ class _Parser:
             self._pos += 1
         return token
 
+    def _last(self) -> Token:
+        """The most recently consumed token (for span ends)."""
+        return self._tokens[max(self._pos - 1, 0)]
+
+    def _span_from(self, start: Token) -> Span:
+        end = self._last()
+        return Span(start.line, start.column, end.line, end.end)
+
+    def _fail(self, message: str, token: Token) -> "ParseError":
+        width = max(len(token.text), 1)
+        return ParseError(message, token.line, token.column,
+                          excerpt=_excerpt(self._text, token.line,
+                                           token.column, width))
+
     def _expect(self, kind: str, text: str | None = None) -> Token:
         token = self._peek()
         if token.kind != kind or (text is not None and token.text != text):
             want = text if text is not None else kind
-            raise ParseError(
+            raise self._fail(
                 f"expected {want!r}, found {token.text or token.kind!r}",
-                token.line, token.column)
+                token)
         return self._next()
 
     def _at_punct(self, text: str, offset: int = 0) -> bool:
@@ -189,6 +228,7 @@ class _Parser:
 
     def parse_statement(self) -> Statement:
         label = None
+        start = self._peek()
         if (self._peek().kind == "IDENT" and self._at_punct(":", 1)
                 and not self._at_punct(":-", 1)):
             label = self._next().text
@@ -197,17 +237,18 @@ class _Parser:
             self._next()
             literals = self._parse_literals()
             self._expect("PUNCT", ".")
-            return ParsedQuery(tuple(literals))
+            return ParsedQuery(tuple(literals), span=self._span_from(start))
+        head_start = self._peek()
         literals = self._parse_literals()
         if self._at_punct(":-"):
             self._next()
             if len(literals) != 1 or not isinstance(literals[0], Atom):
-                token = self._peek()
-                raise ParseError("rule head must be a single database atom",
-                                 token.line, token.column)
+                raise self._fail("rule head must be a single database atom",
+                                 head_start)
             body = self._parse_literals()
             self._expect("PUNCT", ".")
-            return Rule(literals[0], tuple(body), label=label)
+            return Rule(literals[0], tuple(body), label=label,
+                        span=self._span_from(start))
         if self._at_punct("->"):
             self._next()
             head: Literal | None = None
@@ -219,14 +260,15 @@ class _Parser:
                 else:
                     head = self._parse_literal()
             self._expect("PUNCT", ".")
-            return ParsedIC(tuple(literals), head, label=label)
+            return ParsedIC(tuple(literals), head, label=label,
+                            span=self._span_from(start))
         # A bare atom followed by '.' is a fact.
         self._expect("PUNCT", ".")
         if len(literals) != 1 or not isinstance(literals[0], Atom):
-            token = self._peek()
-            raise ParseError("a fact must be a single database atom",
-                             token.line, token.column)
-        return Rule(literals[0], (), label=label)
+            raise self._fail("a fact must be a single database atom",
+                             head_start)
+        return Rule(literals[0], (), label=label,
+                    span=self._span_from(start))
 
     def _parse_literals(self) -> list[Literal]:
         literals = [self._parse_literal()]
@@ -241,9 +283,9 @@ class _Parser:
             self._next()
             inner = self._parse_literal()
             if not isinstance(inner, Atom):
-                raise ParseError("'not' applies to database atoms only",
-                                 token.line, token.column)
-            return Negation(inner)
+                raise self._fail("'not' applies to database atoms only",
+                                 token)
+            return Negation(inner, span=self._span_from(token))
         # An identifier followed by '(' is a database atom...
         if token.kind == "IDENT" and self._at_punct("(", 1):
             return self._parse_atom()
@@ -252,20 +294,22 @@ class _Parser:
                 self._at_punct(",", 1) or self._at_punct(".", 1)
                 or self._at_punct(":-", 1) or self._at_punct("->", 1)):
             self._next()
-            return Atom(token.text, ())
+            return Atom(token.text, (), span=token.span())
         # ... otherwise we are looking at a comparison.
         lhs = self._parse_expr()
         op_token = self._peek()
         if op_token.kind != "PUNCT" or op_token.text not in _COMPARISON_OPS:
-            raise ParseError(
+            raise self._fail(
                 f"expected comparison operator, found "
                 f"{op_token.text or op_token.kind!r}",
-                op_token.line, op_token.column)
+                op_token)
         self._next()
         rhs = self._parse_expr()
-        return Comparison(op_token.text, lhs, rhs)
+        return Comparison(op_token.text, lhs, rhs,
+                          span=self._span_from(token))
 
     def _parse_atom(self) -> Atom:
+        start = self._peek()
         name = self._expect("IDENT").text
         args: list[Term] = []
         if self._at_punct("("):
@@ -276,7 +320,7 @@ class _Parser:
                     self._next()
                     args.append(self._parse_expr())
             self._expect("PUNCT", ")")
-        return Atom(name, tuple(args))
+        return Atom(name, tuple(args), span=self._span_from(start))
 
     def _parse_expr(self) -> Term:
         left = self._parse_product()
@@ -317,8 +361,8 @@ class _Parser:
         if token.kind == "IDENT":
             self._next()
             return Constant(token.text)
-        raise ParseError(f"expected a term, found {token.text or token.kind!r}",
-                         token.line, token.column)
+        raise self._fail(
+            f"expected a term, found {token.text or token.kind!r}", token)
 
 
 def _to_number(text: str) -> int | float:
@@ -335,8 +379,12 @@ def parse_program(text: str, edb_hint: tuple[str, ...] = ()) -> Program:
     rules: list[Rule] = []
     for statement in parse_statements(text):
         if not isinstance(statement, Rule):
+            span = statement.span
             raise ParseError(
-                f"expected only rules, found {type(statement).__name__}")
+                f"expected only rules, found {type(statement).__name__}",
+                span.line if span else None,
+                span.column if span else None,
+                excerpt=caret_excerpt(text, span) if span else None)
         rules.append(statement)
     return Program(rules, edb_hint=edb_hint)
 
@@ -376,8 +424,8 @@ def parse_atom(text: str) -> Atom:
     result = parser._parse_atom()
     if parser._peek().kind != "EOF":
         token = parser._peek()
-        raise ParseError(f"trailing input after atom: {token.text!r}",
-                         token.line, token.column)
+        raise parser._fail(f"trailing input after atom: {token.text!r}",
+                           token)
     return result
 
 
@@ -387,6 +435,6 @@ def parse_literal(text: str) -> Literal:
     result = parser._parse_literal()
     if parser._peek().kind != "EOF":
         token = parser._peek()
-        raise ParseError(f"trailing input after literal: {token.text!r}",
-                         token.line, token.column)
+        raise parser._fail(f"trailing input after literal: {token.text!r}",
+                           token)
     return result

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from .atoms import Atom, Comparison, Literal, Negation, is_database
+from .spans import Span
 from .terms import Variable
 from .unify import Substitution
 
@@ -25,11 +26,14 @@ class Rule:
         body: the body literals, in source order.
         label: an optional name such as ``r0`` used in reports and when
             referring to rules inside expansion sequences.
+        span: the source range of the whole statement when the rule came
+            from the parser; excluded from equality like ``label``.
     """
 
     head: Atom
     body: tuple[Literal, ...]
     label: str | None = field(default=None, compare=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         if not self.body:
@@ -92,25 +96,26 @@ class Rule:
         """Apply a substitution to head and body, keeping the label."""
         return Rule(subst.apply(self.head),
                     subst.apply_literals(self.body),
-                    label=self.label)
+                    label=self.label, span=self.span)
 
     def with_body(self, body: tuple[Literal, ...]) -> "Rule":
-        return Rule(self.head, body, label=self.label)
+        return Rule(self.head, body, label=self.label, span=self.span)
 
     def with_head(self, head: Atom) -> "Rule":
-        return Rule(head, self.body, label=self.label)
+        return Rule(head, self.body, label=self.label, span=self.span)
 
     def with_label(self, label: str | None) -> "Rule":
-        return Rule(self.head, self.body, label=label)
+        return Rule(self.head, self.body, label=label, span=self.span)
 
     def add_literals(self, *literals: Literal) -> "Rule":
-        return Rule(self.head, self.body + tuple(literals), label=self.label)
+        return Rule(self.head, self.body + tuple(literals),
+                    label=self.label, span=self.span)
 
     def remove_body_index(self, index: int) -> "Rule":
         if not 0 <= index < len(self.body):
             raise IndexError(f"body index {index} out of range")
         body = self.body[:index] + self.body[index + 1:]
-        return Rule(self.head, body, label=self.label)
+        return Rule(self.head, body, label=self.label, span=self.span)
 
 
 def rule(head: Atom, *body: Literal, label: str | None = None) -> Rule:

@@ -1,0 +1,80 @@
+"""Source spans: line/column ranges tying AST nodes back to source text.
+
+The parser attaches a :class:`Span` to every atom, comparison, negation,
+rule and integrity constraint it builds, so that diagnostics (parse
+errors, lint findings, optimizer precondition failures) can point at the
+offending source text instead of merely naming a rule label.
+
+Spans use 1-based lines and columns; ``end_column`` is exclusive, so a
+single-character token at column 5 has ``column=5, end_column=6``.
+Programmatically built AST nodes carry no span (``span=None``) and
+diagnostics degrade gracefully to label-only reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A half-open source range ``[start, end)`` in 1-based coordinates."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    @property
+    def location(self) -> str:
+        """The human-facing ``line:column`` of the span's start."""
+        return f"line {self.line}, column {self.column}"
+
+    def merge(self, other: "Span | None") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max((self.end_line, self.end_column),
+                  (other.end_line, other.end_column))
+        return Span(start[0], start[1], end[0], end[1])
+
+    def to_dict(self) -> dict[str, int]:
+        return {"line": self.line, "column": self.column,
+                "end_line": self.end_line, "end_column": self.end_column}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "Span":
+        return cls(data["line"], data["column"],
+                   data["end_line"], data["end_column"])
+
+    def excerpt(self, source: str) -> str:
+        """A caret-annotated extract of ``source`` marking this span.
+
+        Renders the span's first line with a gutter and underlines the
+        spanned columns::
+
+              3 | anc(X, Y) :- anc(X, Z).
+                |              ^^^^^^^^^
+        """
+        return caret_excerpt(source, self)
+
+
+def caret_excerpt(source: str, span: Span) -> str:
+    """Render ``span``'s first source line with a caret underline."""
+    lines = source.splitlines()
+    if not 1 <= span.line <= len(lines):
+        return ""
+    text = lines[span.line - 1]
+    gutter = f"{span.line:>4} | "
+    start = max(span.column - 1, 0)
+    if span.end_line == span.line:
+        width = max(span.end_column - span.column, 1)
+    else:
+        width = max(len(text) - start, 1)
+    width = max(min(width, max(len(text) - start, 1)), 1)
+    underline = " " * start + "^" * width
+    return f"{gutter}{text}\n{' ' * (len(gutter) - 2)}| {underline}"

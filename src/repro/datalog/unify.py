@@ -87,15 +87,17 @@ class Substitution:
         return term
 
     def apply(self, atom: Atom) -> Atom:
-        return Atom(atom.pred, tuple(self.apply_term(a) for a in atom.args))
+        return Atom(atom.pred, tuple(self.apply_term(a) for a in atom.args),
+                    span=atom.span)
 
     def apply_literal(self, literal: Literal) -> Literal:
         if isinstance(literal, Atom):
             return self.apply(literal)
         if isinstance(literal, Comparison):
             return Comparison(literal.op, self.apply_term(literal.lhs),
-                              self.apply_term(literal.rhs))
-        return Negation(self.apply(literal.atom))
+                              self.apply_term(literal.rhs),
+                              span=literal.span)
+        return Negation(self.apply(literal.atom), span=literal.span)
 
     def apply_literals(self, literals: Iterable[Literal]) -> tuple[Literal, ...]:
         return tuple(self.apply_literal(lit) for lit in literals)

@@ -18,18 +18,26 @@ class ParseError(ReproError):
     Attributes:
         line: 1-based line number of the offending token, if known.
         column: 1-based column number of the offending token, if known.
+        excerpt: a caret-annotated extract of the offending source line,
+            when the parser had the source text at hand; rendered on the
+            lines following the message.
     """
 
     def __init__(self, message: str, line: int | None = None,
-                 column: int | None = None) -> None:
+                 column: int | None = None,
+                 excerpt: str | None = None) -> None:
         location = ""
         if line is not None:
             location = f" at line {line}"
             if column is not None:
                 location += f", column {column}"
-        super().__init__(message + location)
+        text = message + location
+        if excerpt:
+            text += "\n" + excerpt
+        super().__init__(text)
         self.line = line
         self.column = column
+        self.excerpt = excerpt
 
 
 class ProgramError(ReproError):

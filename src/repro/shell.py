@@ -12,6 +12,8 @@ evaluate immediately.  Meta-commands begin with a dot:
 ``.load FILE``     read statements from a file
 ``.csv PRED FILE`` load a CSV file into a relation
 ``.validate``      check the program against the paper's assumptions
+``.lint``          run the analysis passes over the program, ICs and
+                   last query (also reachable as ``:lint``)
 ``.residues``      show the residues of the registered ICs
 ``.optimize``      push the residues; the shell switches to the
                    transformed program (``.original`` switches back)
@@ -22,6 +24,9 @@ evaluate immediately.  Meta-commands begin with a dot:
 ``.help``          this text
 ``.quit``          leave the shell
 =================  =====================================================
+
+Meta-commands also accept a leading colon (``:lint``, ``:program``,
+...), matching the convention of other Datalog shells.
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ class Shell:
         self.edb = Database()
         self._buffer = ""
         self._optimized: Program | None = None
+        self._last_query = None  # query atom for query-dependent lints
 
     # -- program state -------------------------------------------------------
     @property
@@ -79,6 +85,9 @@ class Shell:
             return
         if stripped.startswith("."):
             yield from self._meta(stripped)
+            return
+        if stripped.startswith(":"):
+            yield from self._meta("." + stripped[1:])
             return
         if not stripped.endswith("."):
             self._buffer = stripped
@@ -112,6 +121,10 @@ class Shell:
                     yield f"rule added [{label}]: {statement}"
 
     def _answer(self, query: ParsedQuery) -> Iterator[str]:
+        from .datalog.atoms import Atom
+
+        if query.literals and isinstance(query.literals[0], Atom):
+            self._last_query = query.literals[0]
         try:
             result = evaluate(self.program, self.edb)
             rows = sorted(result.query(query.literals), key=str)
@@ -136,6 +149,7 @@ class Shell:
             ".load": self._cmd_load,
             ".csv": self._cmd_csv,
             ".validate": self._cmd_validate,
+            ".lint": self._cmd_lint,
             ".residues": self._cmd_residues,
             ".optimize": self._cmd_optimize,
             ".original": self._cmd_original,
@@ -197,6 +211,21 @@ class Shell:
 
     def _cmd_validate(self, _: str) -> Iterator[str]:
         yield validate_program(self.program).summary()
+
+    def _cmd_lint(self, argument: str) -> Iterator[str]:
+        from .analysis import lint_program
+
+        query = self._last_query
+        if argument:
+            query = parse_atom(argument)
+        report = lint_program(self.program, ics=tuple(self.ics),
+                              query=query)
+        if report.clean:
+            yield "no findings"
+            return
+        for diagnostic in report:
+            yield diagnostic.render()
+        yield report.summary()
 
     def _cmd_residues(self, _: str) -> Iterator[str]:
         if not self.ics:

@@ -188,7 +188,9 @@ class TestBudgetFlags:
         bad.write_text("p(X :-")
         assert main(["evaluate", str(bad), files["db"]]) == 3
         err = capsys.readouterr().err
-        assert "parse error" in err and err.count("\n") <= 1
+        assert "parse error" in err and "Traceback" not in err
+        # the caret excerpt points at the offending token
+        assert "^" in err and "p(X :-" in err
 
     def test_safe_optimize(self, files, capsys):
         code = main(["optimize", files["program"], "--ics", files["ics"],
@@ -215,3 +217,81 @@ class TestExperimentCSV:
                      str(tmp_path / "out")]) == 0
         written = (tmp_path / "out" / "E7.csv").read_text()
         assert "sequence-level" in written
+
+
+MULTI_VIOLATION = """
+p(X, Y) :- q(X).
+a(X) :- e(X). a(X) :- b(X). b(X) :- a(X).
+s(X) :- t(X), X > Z.
+u(X) :- v(X), not w(X). w(X) :- u(X).
+"""
+
+
+class TestLint:
+    def test_multi_violation_program_all_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text(MULTI_VIOLATION)
+        assert main(["lint", str(bad)]) == 5
+        out = capsys.readouterr().out
+        # one run reports every violated assumption, with locations
+        for code in ("RR001", "LIN001", "SAFE001", "STRAT001"):
+            assert code in out, out
+        assert "error" in out and ":" in out
+
+    def test_warnings_only_exit_zero(self, tmp_path, capsys):
+        warn = tmp_path / "warn.dl"
+        warn.write_text("p(X) :- q(X, Y).")  # singleton Y
+        assert main(["lint", str(warn)]) == 0
+        out = capsys.readouterr().out
+        assert "VAR001" in out
+
+    def test_clean_program_exit_zero(self, files, capsys):
+        assert main(["lint", files["program"]]) == 0
+
+    def test_json_round_trips(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis import AnalysisReport
+
+        bad = tmp_path / "bad.dl"
+        bad.write_text(MULTI_VIOLATION)
+        assert main(["lint", str(bad), "--format", "json"]) == 5
+        payload = json.loads(capsys.readouterr().out)
+        report = AnalysisReport.from_dict(payload)
+        assert report.has_errors
+        assert payload["ok"] is False
+        spans = [d["span"] for d in payload["diagnostics"] if d["span"]]
+        assert spans and all("line" in s and "column" in s for s in spans)
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.dl"
+        bad.write_text(MULTI_VIOLATION)
+        out_file = tmp_path / "report.json"
+        assert main(["lint", str(bad), "--format", "json",
+                     "--out", str(out_file)]) == 5
+        assert json.loads(out_file.read_text())["ok"] is False
+
+    def test_ics_and_query_flags(self, files, capsys):
+        assert main(["lint", files["program"],
+                     "--ics", files["ics"],
+                     "--query", "anc(X, Xa, Y, Ya)"]) == 0
+
+    def test_parse_error_is_lint_error(self, tmp_path, capsys):
+        bad = tmp_path / "broken.dl"
+        bad.write_text("p(X :-")
+        assert main(["lint", str(bad)]) == 5
+        assert "PARSE001" in capsys.readouterr().out
+
+    def test_pass_selection(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text(MULTI_VIOLATION)
+        assert main(["lint", str(bad),
+                     "--passes", "singleton-variables"]) == 0
+        out = capsys.readouterr().out
+        assert "VAR001" in out and "RR001" not in out
+
+    def test_bundled_targets_clean(self, capsys):
+        assert main(["lint", "--bundled"]) == 0
+        assert "no bundled program has lint errors" in capsys.readouterr().out

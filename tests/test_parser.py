@@ -167,6 +167,81 @@ class TestMixedUnits:
         assert again == tc_program
 
 
+class TestSpans:
+    def test_rule_span_covers_statement(self):
+        r = parse_rule("anc(X, Y) :- par(X, Y).")
+        assert r.span is not None
+        assert (r.span.line, r.span.column) == (1, 1)
+        assert r.span.end_column >= len("anc(X, Y) :- par(X, Y).")
+
+    def test_atom_spans(self):
+        r = parse_rule("anc(X, Y) :- par(X, Y).")
+        assert (r.head.span.line, r.head.span.column) == (1, 1)
+        body_atom = r.body[0]
+        assert (body_atom.span.line, body_atom.span.column) == (1, 14)
+
+    def test_spans_across_lines(self):
+        r = parse_statements("e(a).\nanc(X, Y) :- par(X, Y).")[1]
+        assert r.span.line == 2
+
+    def test_negation_and_comparison_spans(self):
+        r = parse_rule("p(X) :- q(X), not r(X), X > 3.")
+        neg = r.negated_atoms()[0]
+        cmp_ = r.evaluable_atoms()[0]
+        assert (neg.span.line, neg.span.column) == (1, 15)
+        assert (cmp_.span.line, cmp_.span.column) == (1, 25)
+
+    def test_span_excluded_from_equality(self):
+        assert parse_rule("p(X) :- q(X).") == parse_rule("  p(X) :- q(X).")
+
+    def test_ic_and_query_spans(self):
+        ic, query = parse_statements("a(X) -> b(X).\n?- a(X).")
+        assert ic.span.line == 1
+        assert query.span.line == 2
+
+    def test_substitution_preserves_spans(self):
+        from repro.datalog.unify import Substitution
+
+        r = parse_rule("p(X) :- q(X).")
+        ground = r.apply(Substitution({Variable("X"): Constant(1)}))
+        assert ground.span == r.span
+        assert ground.body[0].span == r.body[0].span
+
+
+class TestParseErrorExcerpts:
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(ParseError) as err:
+            parse_rule("p(X) :- q(X)")
+        assert err.value.line == 1
+        assert err.value.column == 13
+
+    def test_caret_excerpt_in_message(self):
+        with pytest.raises(ParseError) as err:
+            parse_rule("p(X) :- q(X)")
+        text = str(err.value)
+        assert "line 1" in text and "column 13" in text
+        assert "p(X) :- q(X)" in text and "^" in text
+
+    def test_excerpt_points_at_offending_token(self):
+        with pytest.raises(ParseError) as err:
+            parse_statements("e(a).\np(X) := q(X).")
+        text = str(err.value)
+        assert "line 2" in text
+        gutter, caret_line = text.splitlines()[-2:]
+        assert "p(X) := q(X)" in gutter
+        assert caret_line.index("^") > caret_line.index("|")
+
+    def test_unterminated_string_has_excerpt(self):
+        with pytest.raises(ParseError) as err:
+            list(tokenize("p('oops"))
+        assert "unterminated" in str(err.value) and "^" in str(err.value)
+
+    def test_head_must_be_atom_location(self):
+        with pytest.raises(ParseError) as err:
+            parse_rule("X > 3 :- q(X).")
+        assert err.value.line == 1 and err.value.column == 1
+
+
 class TestSingleItemHelpers:
     def test_parse_atom(self):
         assert parse_atom("par(X, 30)") == atom("par", "X", 30)

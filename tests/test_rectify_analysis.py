@@ -87,6 +87,54 @@ class TestSafety:
         assert not is_safe(parse_rule("p(Z) :- e(X), not q(Z)."))
 
 
+class TestBoundVariablesCompoundEqualities:
+    """``=`` with a compound side must bind the bare-variable side in
+    either orientation, exactly as the planner's ``can_bind`` does."""
+
+    def test_compound_on_left_binds_right(self):
+        rule = parse_rule("p(Y) :- q(X), X + 1 = Y.")
+        assert Variable("Y") in bound_variables(rule)
+        assert is_safe(rule)
+
+    def test_compound_on_right_binds_left(self):
+        rule = parse_rule("p(Y) :- q(X), Y = X + 1.")
+        assert Variable("Y") in bound_variables(rule)
+        assert is_safe(rule)
+
+    def test_chain_through_compounds(self):
+        rule = parse_rule("p(B) :- q(X), X * 2 = A, A - 1 = B.")
+        assert bound_variables(rule) >= {Variable("A"), Variable("B")}
+        assert is_safe(rule)
+
+    def test_chain_order_independent(self):
+        rule = parse_rule("p(B) :- A - 1 = B, q(X), X * 2 = A.")
+        assert bound_variables(rule) >= {Variable("A"), Variable("B")}
+
+    def test_compound_with_unbound_source_does_not_bind(self):
+        rule = parse_rule("p(Y) :- q(X), Z + 1 = Y.")
+        bound = bound_variables(rule)
+        assert Variable("Y") not in bound and Variable("Z") not in bound
+        assert not is_safe(rule)
+
+    def test_compound_both_sides_never_binds(self):
+        # No bare variable side: the engine cannot invert X + 1 = Y - 1.
+        rule = parse_rule("p(X, Y) :- q(X), X + 1 = Y - 1.")
+        assert Variable("Y") not in bound_variables(rule)
+        assert not is_safe(rule)
+
+    def test_ground_compound_binds(self):
+        rule = parse_rule("p(X, Y) :- q(X), Y = 2 + 3.")
+        assert Variable("Y") in bound_variables(rule)
+
+    def test_parity_with_planner_can_bind(self):
+        from repro.engine import builtins
+
+        rule = parse_rule("p(Y) :- q(X), X + 1 = Y.")
+        eq = rule.evaluable_atoms()[0]
+        assert builtins.can_bind(eq, {Variable("X")})
+        assert Variable("Y") in bound_variables(rule)
+
+
 class TestValidateProgram:
     def test_clean_program(self, tc_program):
         report = validate_program(tc_program)

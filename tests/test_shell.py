@@ -91,6 +91,35 @@ class TestMetaCommands:
         assert "edge(a, b)." in out
 
 
+class TestLintCommand:
+    def test_clean_program(self):
+        out = script(".lint")
+        assert any("no findings" in line for line in out)
+
+    def test_colon_alias(self):
+        out = script(":lint")
+        assert any("no findings" in line for line in out)
+
+    def test_findings_reported_with_codes(self):
+        out = run(["p(X, Y) :- q(X).", ".lint"])
+        assert any("RR001" in line for line in out)
+        assert any("error" in line for line in out)
+
+    def test_ics_included(self):
+        out = run(PROGRAM_LINES + [IC_LINE.replace("par(Z, Za", "anc(Z, Za"),
+                                   ".lint"])
+        assert any("IC001" in line for line in out)
+
+    def test_query_argument_drives_reachability(self):
+        out = run(["p(X) :- e(X).", "stray(X) :- f(X).", ".lint p(X)"])
+        assert any("DEAD001" in line for line in out)
+
+    def test_last_query_reused(self):
+        out = run(["p(X) :- e(X).", "stray(X) :- f(X).", "e(a).",
+                   "?- p(X).", ".lint"])
+        assert any("DEAD001" in line for line in out)
+
+
 class TestOptimizeFlow:
     def test_residues_listed(self):
         out = script(IC_LINE, ".residues")
