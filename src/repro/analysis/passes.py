@@ -60,6 +60,8 @@ CODES: dict[str, tuple[str, str]] = {
     "PERF001": ("info", "recursive rule misses whole-body fusion"),
     "PERF002": ("warning", "positive atoms form a guaranteed cross product"),
     "PERF003": ("warning", "source-order evaluation forces a cross product"),
+    "PERF004": ("warning",
+                "recursive existence guard degrades deletion maintenance"),
     "PARSE001": ("error", "source text could not be parsed"),
 }
 
@@ -580,12 +582,18 @@ def _fusion_blockers(rule: Rule) -> list[str]:
     return blockers
 
 
-@register("perf", ["PERF001", "PERF002", "PERF003"],
-          "hot-loop shape: whole-body fusion eligibility and "
-          "cross-product-shaped join orders")
+@register("perf", ["PERF001", "PERF002", "PERF003", "PERF004"],
+          "hot-loop shape: whole-body fusion eligibility, "
+          "cross-product-shaped join orders, and existence guards that "
+          "degrade deletion maintenance")
 def check_perf(context: AnalysisContext) -> Iterator[Diagnostic]:
     program = context.program
     recursive = program.recursion_info().recursive_predicates
+    scc_of: dict[str, int] = {}
+    for number, component in enumerate(
+            nx.strongly_connected_components(program.dependency_graph())):
+        for pred in component:
+            scc_of[pred] = number
     for rule in program:
         if not rule.body:
             continue
@@ -599,6 +607,7 @@ def check_perf(context: AnalysisContext) -> Iterator[Diagnostic]:
                     "generic closure path every round",
                     span=_rule_span(rule), rule=rule.label,
                     subject=rule.head.pred)
+        yield from _existence_guards(rule, recursive, scc_of)
         atoms = rule.database_atoms()
         if len(atoms) > 1 and not is_connected(atoms):
             yield make_diagnostic(
@@ -618,6 +627,40 @@ def check_perf(context: AnalysisContext) -> Iterator[Diagnostic]:
                 "reordering the body",
                 span=cross.span or _rule_span(rule), rule=rule.label,
                 subject=rule.head.pred)
+
+
+def _existence_guards(rule: Rule, recursive: frozenset[str],
+                      scc_of: dict[str, int]) -> Iterator[Diagnostic]:
+    """PERF004: recursive atoms whose bindings reach nothing else.
+
+    A positive atom from the head's own recursive component whose
+    variables touch neither the head nor any other body literal only
+    *gates* the rule — any single row satisfies it.  Deletion
+    maintenance (DRed) is degenerate on such a guard: removing one
+    guard row overdeletes every head fact this rule derived, and the
+    rederivation pass then restores almost all of them.
+    """
+    head_scc = scc_of.get(rule.head.pred)
+    for position, lit in enumerate(rule.body):
+        if not isinstance(lit, Atom) or lit.pred not in recursive:
+            continue
+        if scc_of.get(lit.pred) != head_scc:
+            continue
+        elsewhere: set[Variable] = set(rule.head.variable_set())
+        for other_position, other in enumerate(rule.body):
+            if other_position != position:
+                elsewhere.update(other.variable_set())
+        if lit.variable_set() & elsewhere:
+            continue
+        yield make_diagnostic(
+            "PERF004",
+            f"{lit} only gates the rule (its variables bind nothing "
+            "else); deleting any of its rows makes DRed overdelete "
+            f"every {rule.head.pred} fact from this rule before "
+            "rederiving them — bind a shared variable or move the "
+            "guard to a non-recursive predicate",
+            span=lit.span or _rule_span(rule), rule=rule.label,
+            subject=rule.head.pred)
 
 
 def _source_order_cross_product(rule: Rule) -> Atom | None:

@@ -405,24 +405,37 @@ def write_engine_benchmark(report: dict,
         handle.write("\n")
 
 
+#: Gates refuse reports measured with fewer repeats than this: medians
+#: over >=3 runs are what keep speedup thresholds from flapping.
+MIN_GATE_REPEATS = 3
+
+
 def regression_failures(report: dict, max_slowdown: float = 1.5,
                         workload: str = "transitive_closure",
-                        min_interned_speedup: float | None = None
+                        min_interned_speedup: float | None = None,
+                        min_repeats: int = MIN_GATE_REPEATS
                         ) -> list[str]:
     """Check the report against the CI gate; returns failure messages.
 
-    Fails when the compiled executor is slower than the interpreted one
-    by more than ``max_slowdown``× on the semi-naive ``workload`` row,
-    or when any differential agreement flag is false.  With
-    ``min_interned_speedup`` set, additionally fails when the
+    Fails when the report was measured with fewer than ``min_repeats``
+    repeats (single-run medians make every threshold below noise-
+    sensitive), when the compiled executor is slower than the
+    interpreted one by more than ``max_slowdown``× on the semi-naive
+    ``workload`` row, or when any differential agreement flag is false.
+    With ``min_interned_speedup`` set, additionally fails when the
     interned+adaptive configuration is not at least that many times
     faster than the compiled baseline on the transitive-closure and
     same-generation workloads.
     """
     failures: list[str] = []
+    repeats = report.get("repeats", 0)
+    if repeats < min_repeats:
+        failures.append(
+            f"report measured with repeats={repeats}; gates need "
+            f">= {min_repeats} for stable medians")
     block = _workload_block(report, workload)
     if block is None:
-        return [f"workload {workload!r} missing from report"]
+        return [*failures, f"workload {workload!r} missing from report"]
     seminaive = block["methods"].get("seminaive", {})
     speedup = seminaive.get("speedup")
     if speedup is None:

@@ -1,0 +1,287 @@
+"""Incremental maintenance benchmark: the ``BENCH_incremental.json``
+artifact.
+
+For every engine-bench workload (transitive closure, same-generation,
+and the magic-rewritten bound-argument query) this harness measures what
+serving update traffic actually costs: starting from a converged
+materialization, apply a small EDB changeset (1% insert batch, 1%
+delete batch) and time
+
+* **incremental maintenance** — :func:`repro.incremental.maintain`
+  over the net changeset, with support counts and a warm kernel cache
+  (steady-state serving), against
+* **full recomputation** — a from-scratch semi-naive evaluation of the
+  post-changeset database, which is what every query would pay without
+  the maintenance engine.
+
+Each mode runs ``repeats`` times and reports the median; the maintained
+IDB must fingerprint identically to the recomputed one — the
+differential guarantee checked where the speedup is claimed.
+:func:`regression_failures` turns the report into the CI gate
+(`bench-incremental --check`): minimum insert/delete speedups on the
+transitive-closure row, fingerprint agreement everywhere, and at least
+:data:`MIN_GATE_REPEATS` repeats so single-run timing noise cannot pass
+or fail a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import statistics
+import time
+
+from ..engine.bindings import EvalStats
+from ..engine.compile import KernelCache
+from ..engine.magic import magic_rewrite
+from ..engine.seminaive import seminaive_evaluate
+from ..errors import BudgetExceededError
+from ..facts.changelog import Changeset, VersionedDatabase, \
+    random_changeset
+from ..facts.database import Database
+from ..incremental.maintain import SupportCounts, maintain, \
+    support_counts
+from ..incremental.serving import relation_fingerprint
+from ..runtime.budget import Budget
+from .engine_bench import DEFAULT_SEED, EngineWorkload, build_workloads
+
+#: Report format version (bump when the JSON shape changes).
+REPORT_VERSION = 1
+
+#: Default artifact filename.
+DEFAULT_REPORT_PATH = "BENCH_incremental.json"
+
+#: Fraction of each EDB relation changed per benchmark batch.
+CHANGE_FRACTION = 0.01
+
+#: Gates refuse reports measured with fewer repeats than this: medians
+#: over >=3 runs are what keep speedup thresholds from flapping.
+MIN_GATE_REPEATS = 3
+
+
+def _copy_counts(counts: SupportCounts) -> SupportCounts:
+    out = SupportCounts()
+    for pred, counter in counts.by_pred.items():
+        out.by_pred[pred] = dict(counter)
+    return out
+
+
+def _maintenance_workloads(scale: str,
+                           seed: int) -> list[EngineWorkload]:
+    """Engine-bench workloads with magic pre-rewritten for serving.
+
+    A served magic view materializes the *rewritten* program — the
+    rewrite is part of view construction, not of each refresh — so the
+    benchmark maintains ``magic_rewrite(program, query)`` directly.
+    """
+    out: list[EngineWorkload] = []
+    for workload in build_workloads(scale, seed=seed):
+        if workload.name == "magic":
+            rewritten = magic_rewrite(workload.program, workload.query)
+            workload = EngineWorkload(
+                name=workload.name, program=rewritten.program,
+                edb=workload.edb, query=workload.query,
+                answer_pred=workload.answer_pred)
+        out.append(workload)
+    return out
+
+
+def _bench_mode(workload: EngineWorkload, counts: SupportCounts,
+                changeset: Changeset, repeats: int,
+                timeout_s: float | None) -> dict:
+    """Measure one changeset: maintenance vs recomputation medians."""
+    program = workload.program
+    versioned = VersionedDatabase(workload.edb.copy())
+    versioned.apply(changeset, idb_predicates=program.idb_predicates)
+    effective = versioned.changes_since(0)
+    post_db = versioned.db
+
+    entry: dict = {
+        "inserts": effective.total_inserts(),
+        "deletes": effective.total_deletes(),
+    }
+
+    # Steady-state serving: one live IDB across every repeat, exactly
+    # like a MaterializedView absorbing an update stream.  Between
+    # timed runs the *inverse* changeset is maintained (untimed) to
+    # restore the pre state — maintenance is exact in both directions,
+    # so the state round-trips.  An untimed warm-up pair first absorbs
+    # the per-view one-time costs (kernel compilation, hash index
+    # construction); refreshes only ever pay index *maintenance*.
+    kernels = KernelCache(symbols=post_db.symbols)
+    inverse = Changeset(
+        inserts={p: set(r) for p, r in effective.deletes.items()},
+        deletes={p: set(r) for p, r in effective.inserts.items()})
+    idb = seminaive_evaluate(program, workload.edb)
+    run_counts = _copy_counts(counts)
+    maintain(program, post_db, idb, effective, counts=run_counts,
+             stats=EvalStats(), kernels=kernels)
+    maintain(program, workload.edb, idb, inverse, counts=run_counts,
+             stats=EvalStats(), kernels=kernels)
+    incremental_s: list[float] = []
+    maintained: Database | None = None
+    stats = EvalStats()
+    for repeat in range(max(1, repeats)):
+        stats = EvalStats()
+        budget = Budget(timeout_s=timeout_s)
+        start = time.perf_counter()
+        try:
+            with budget.activate():
+                maintain(program, post_db, idb, effective,
+                         counts=run_counts, stats=stats,
+                         kernels=kernels)
+        except BudgetExceededError:
+            entry["budget_exceeded"] = True
+            entry["incremental_runs_ms"] = [
+                round(s * 1000, 3) for s in incremental_s]
+            return entry
+        incremental_s.append(time.perf_counter() - start)
+        maintained = idb
+        if repeat < max(1, repeats) - 1:
+            maintain(program, workload.edb, idb, inverse,
+                     counts=run_counts, stats=EvalStats(),
+                     kernels=kernels)
+    entry["incremental_ms"] = round(
+        statistics.median(incremental_s) * 1000, 3)
+    entry["incremental_runs_ms"] = [round(s * 1000, 3)
+                                    for s in incremental_s]
+    entry["stats"] = stats.as_dict()
+
+    recompute_s: list[float] = []
+    recomputed: Database | None = None
+    for _ in range(max(1, repeats)):
+        budget = Budget(timeout_s=timeout_s)
+        start = time.perf_counter()
+        try:
+            with budget.activate():
+                recomputed = seminaive_evaluate(program, post_db)
+        except BudgetExceededError:
+            entry["budget_exceeded"] = True
+            return entry
+        recompute_s.append(time.perf_counter() - start)
+    entry["recompute_ms"] = round(
+        statistics.median(recompute_s) * 1000, 3)
+    entry["recompute_runs_ms"] = [round(s * 1000, 3)
+                                  for s in recompute_s]
+    entry["speedup"] = round(
+        entry["recompute_ms"] / max(entry["incremental_ms"], 1e-6), 3)
+    assert maintained is not None and recomputed is not None
+    entry["fingerprints_agree"] = (
+        relation_fingerprint(maintained)
+        == relation_fingerprint(recomputed))
+    return entry
+
+
+def run_incremental_benchmark(scale: str = "default", repeats: int = 3,
+                              timeout_s: float | None = 120.0,
+                              seed: int = DEFAULT_SEED,
+                              fraction: float = CHANGE_FRACTION
+                              ) -> dict:
+    """Run the maintenance benchmark and return the report dict.
+
+    Per workload, a ``fraction`` insert batch and a ``fraction`` delete
+    batch are generated deterministically from ``seed`` (recombined
+    column values for inserts, sampled existing rows for deletes), and
+    each batch is measured separately — update-vs-recompute behaviour
+    differs fundamentally between the semi-naive insertion path and the
+    counting/DRed deletion path, so the report keeps them apart.
+    """
+    report: dict = {
+        "version": REPORT_VERSION,
+        "scale": scale,
+        "repeats": repeats,
+        "seed": seed,
+        "change_fraction": fraction,
+        "python": platform.python_version(),
+        "workloads": [],
+    }
+    for workload in _maintenance_workloads(scale, seed=seed):
+        pre_idb = seminaive_evaluate(workload.program, workload.edb)
+        counts = support_counts(workload.program, workload.edb, pre_idb)
+        rng = random.Random(seed + 101)
+        insert_batch = random_changeset(workload.edb, rng,
+                                        insert_fraction=fraction)
+        delete_batch = random_changeset(workload.edb, rng,
+                                        delete_fraction=fraction)
+        block = {
+            "name": workload.name,
+            "edb_facts": workload.edb.total_facts(),
+            "idb_facts": pre_idb.total_facts(),
+            "insert": _bench_mode(workload, counts, insert_batch,
+                                  repeats, timeout_s),
+            "delete": _bench_mode(workload, counts, delete_batch,
+                                  repeats, timeout_s),
+        }
+        report["workloads"].append(block)
+
+    summary: dict = {}
+    for block in report["workloads"]:
+        key = {"transitive_closure": "tc", "same_generation": "sg",
+               "magic": "magic"}.get(block["name"], block["name"])
+        for mode in ("insert", "delete"):
+            speedup = block[mode].get("speedup")
+            if speedup is not None:
+                summary[f"{key}_{mode}_speedup"] = speedup
+    report["summary"] = summary
+    return report
+
+
+def write_incremental_benchmark(report: dict,
+                                path: str = DEFAULT_REPORT_PATH
+                                ) -> None:
+    """Write the report as ``BENCH_incremental.json``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def regression_failures(report: dict,
+                        min_insert_speedup: float | None = None,
+                        min_delete_speedup: float | None = None,
+                        workload: str = "transitive_closure",
+                        min_repeats: int = MIN_GATE_REPEATS
+                        ) -> list[str]:
+    """Check the report against the CI gate; returns failure messages.
+
+    Fails when the report was measured with fewer than ``min_repeats``
+    repeats, when any maintained IDB disagrees with the from-scratch
+    recomputation, or when the ``workload`` row's insert/delete speedup
+    is below the respective threshold.
+    """
+    failures: list[str] = []
+    repeats = report.get("repeats", 0)
+    if repeats < min_repeats:
+        failures.append(
+            f"report measured with repeats={repeats}; gates need "
+            f">= {min_repeats} for stable medians")
+    gate_block = None
+    for block in report.get("workloads", []):
+        if block["name"] == workload:
+            gate_block = block
+        for mode in ("insert", "delete"):
+            entry = block.get(mode, {})
+            if entry.get("budget_exceeded"):
+                failures.append(
+                    f"{block['name']}/{mode}: budget exceeded")
+            elif entry.get("fingerprints_agree") is False:
+                failures.append(
+                    f"{block['name']}/{mode}: maintained IDB disagrees "
+                    "with from-scratch recomputation")
+    if gate_block is None:
+        failures.append(f"workload {workload!r} missing from report")
+        return failures
+    for mode, minimum in (("insert", min_insert_speedup),
+                          ("delete", min_delete_speedup)):
+        if minimum is None:
+            continue
+        speedup = gate_block[mode].get("speedup")
+        if speedup is None:
+            failures.append(
+                f"{workload}/{mode}: no speedup measurement")
+        elif speedup < minimum:
+            failures.append(
+                f"{workload}/{mode}: maintenance is only "
+                f"{speedup:.2f}x faster than recomputation "
+                f"(required {minimum:.2f}x)")
+    return failures

@@ -13,6 +13,11 @@ Commands:
 - ``lint PROGRAM [--ics F] [--query Q]`` — static analysis: check the
   paper's assumptions and the engine preconditions, with stable codes
   and source spans; ``--bundled`` lints every shipped workload.
+- ``serve PROGRAM DB --query Q [--update F ...]`` — materialize the
+  program once, answer the query, then apply each changeset file and
+  re-answer from the incrementally maintained view.
+- ``update DB CHANGESET [...]`` — apply changeset files (``+fact.`` /
+  ``-fact.`` statements) to a database and print/write the result.
 - ``experiments [IDS ...]`` — run the reproduction experiments.
 - ``shell`` — interactive Datalog shell (rules, facts, ICs, queries).
 - ``examples [NAME]`` — list or show the paper's worked examples.
@@ -314,6 +319,110 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_query_rows(rows) -> None:
+    for row in sorted(rows, key=str):
+        print("\t".join(str(v) for v in row))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .facts.changelog import Changeset
+    from .incremental import Server
+
+    program = _load_program(args)
+    db = Database.from_text(_read(args.database))
+    if args.interning == "on":
+        db = db.interned()
+    server = Server(db)
+    budget = _budget_from_args(args)
+    view = server.view(program, planner=args.planner,
+                       executor=args.executor)
+    _print_query_rows(server.serve(program, args.query,
+                                   planner=args.planner,
+                                   executor=args.executor,
+                                   budget=budget))
+    print(f"# v{server.version}: {view.last_mode} "
+          f"({(view.last_refresh_s or 0) * 1000:.2f}ms, "
+          f"{view.idb.total_facts()} IDB facts)", file=sys.stderr)
+    for path in args.update or ():
+        changeset = Changeset.from_text(_read(path))
+        server.apply(changeset)
+        print(f"-- {path}")
+        _print_query_rows(server.serve(program, args.query,
+                                       planner=args.planner,
+                                       executor=args.executor,
+                                       budget=budget))
+        print(f"# v{server.version}: +{changeset.total_inserts()}"
+              f"/-{changeset.total_deletes()} -> {view.last_mode} "
+              f"({(view.last_refresh_s or 0) * 1000:.2f}ms, "
+              f"{view.idb.total_facts()} IDB facts)", file=sys.stderr)
+    if args.describe:
+        import json
+
+        print(json.dumps(server.describe(), indent=2), file=sys.stderr)
+    return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    from .facts.changelog import Changeset, VersionedDatabase
+
+    db = Database.from_text(_read(args.database))
+    versioned = VersionedDatabase(db)
+    for path in args.changesets:
+        versioned.apply(Changeset.from_text(_read(path)))
+    effective = versioned.changes_since(0)
+    text = versioned.db.to_text()
+    if text and not text.endswith("\n"):
+        text += "\n"
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text, encoding="utf-8")
+    else:
+        print(text, end="")
+    print(f"# v{versioned.version}: +{effective.total_inserts()} "
+          f"-{effective.total_deletes()} effective, "
+          f"{versioned.db.total_facts()} facts", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_incremental(args: argparse.Namespace) -> int:
+    from .bench.incremental_bench import (regression_failures,
+                                          run_incremental_benchmark,
+                                          write_incremental_benchmark)
+
+    report = run_incremental_benchmark(
+        scale=args.scale, repeats=args.repeats,
+        timeout_s=args.timeout_s, seed=args.seed,
+        fraction=args.fraction)
+    write_incremental_benchmark(report, args.out)
+    print(f"wrote {args.out} (scale={args.scale}, "
+          f"repeats={args.repeats}, seed={args.seed})")
+    for block in report["workloads"]:
+        parts = []
+        for mode in ("insert", "delete"):
+            entry = block[mode]
+            speedup = entry.get("speedup")
+            agree = entry.get("fingerprints_agree")
+            if speedup is not None:
+                parts.append(
+                    f"{mode} {speedup:.2f}x"
+                    f"{'' if agree else ' MISMATCH'}")
+            elif entry.get("budget_exceeded"):
+                parts.append(f"{mode} BUDGET")
+        print(f"  {block['name']:20} maintenance vs recompute: "
+              f"{', '.join(parts) or 'n/a'}")
+    if args.check:
+        failures = regression_failures(
+            report, min_insert_speedup=args.min_insert_speedup,
+            min_delete_speedup=args.min_delete_speedup)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate: ok")
+    return 0
+
+
 def cmd_examples(args: argparse.Namespace) -> int:
     if args.name:
         example = load(args.name)
@@ -444,6 +553,70 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --bundled, where to find the "
                              "examples/ scripts (default: auto-detect)")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="answer a query from an incrementally maintained view")
+    p_serve.add_argument("program")
+    p_serve.add_argument("database")
+    p_serve.add_argument("--query", required=True,
+                         help="conjunctive query to answer")
+    p_serve.add_argument("--update", action="append", metavar="FILE",
+                         help="changeset file (+fact. / -fact. "
+                              "statements) to apply; repeatable, the "
+                              "query is re-answered after each")
+    p_serve.add_argument("--planner", default="greedy",
+                         choices=["greedy", "adaptive", "source"])
+    p_serve.add_argument("--executor", default="compiled",
+                         choices=["compiled", "interpreted"])
+    p_serve.add_argument("--interning", default="off",
+                         choices=["on", "off"])
+    p_serve.add_argument("--describe", action="store_true",
+                         help="print the server state as JSON to stderr")
+    _add_budget_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_update = sub.add_parser(
+        "update", help="apply changeset files to a database")
+    p_update.add_argument("database")
+    p_update.add_argument("changesets", nargs="+", metavar="CHANGESET",
+                          help="changeset files, applied in order")
+    p_update.add_argument("--out",
+                          help="write the updated database here "
+                               "(default: stdout)")
+    p_update.set_defaults(func=cmd_update)
+
+    p_binc = sub.add_parser(
+        "bench-incremental",
+        help="maintenance vs recompute: BENCH_incremental.json")
+    p_binc.add_argument("--out", default="BENCH_incremental.json",
+                        help="report path "
+                             "(default BENCH_incremental.json)")
+    p_binc.add_argument("--scale", default="default",
+                        choices=["smoke", "default", "large"])
+    p_binc.add_argument("--repeats", type=int, default=3)
+    p_binc.add_argument("--timeout-s", type=float, default=120.0,
+                        help="per-run deadline in seconds")
+    p_binc.add_argument("--fraction", type=float, default=0.01,
+                        help="EDB fraction changed per batch "
+                             "(default 0.01)")
+    p_binc.add_argument("--seed", type=int, default=7,
+                        help="RNG seed for EDBs and changesets")
+    p_binc.add_argument("--check", action="store_true",
+                        help="exit 1 when speedups fall below the "
+                             "thresholds, fingerprints disagree, or "
+                             "repeats are too few for stable medians")
+    p_binc.add_argument("--min-insert-speedup", type=float, default=None,
+                        metavar="X",
+                        help="with --check, require insert maintenance "
+                             "to be at least X times faster than "
+                             "recomputation on transitive closure")
+    p_binc.add_argument("--min-delete-speedup", type=float, default=None,
+                        metavar="X",
+                        help="with --check, require delete maintenance "
+                             "(DRed) to be at least X times faster than "
+                             "recomputation on transitive closure")
+    p_binc.set_defaults(func=cmd_bench_incremental)
 
     p_exp = sub.add_parser("experiments",
                            help="run the reproduction experiments")

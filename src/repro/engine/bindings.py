@@ -68,6 +68,12 @@ class EvalStats:
     residue_checks: int = 0
     #: Adaptive-planner recompilations triggered by cardinality drift.
     replans: int = 0
+    #: Incremental maintenance: IDB rows removed by DRed's overdeletion.
+    overdeleted: int = 0
+    #: Incremental maintenance: overdeleted rows with surviving proofs.
+    rederived: int = 0
+    #: Incremental maintenance: IDB rows whose removal stuck (net Δ⁻).
+    retracted: int = 0
     #: Matched rows attributed to each rule label (semi-naive only).
     rule_rows: dict = field(default_factory=dict)
 
@@ -87,6 +93,9 @@ class EvalStats:
         self.rules_fired += other.rules_fired
         self.residue_checks += other.residue_checks
         self.replans += other.replans
+        self.overdeleted += other.overdeleted
+        self.rederived += other.rederived
+        self.retracted += other.retracted
         for label, rows in other.rule_rows.items():
             self.rule_rows[label] = self.rule_rows.get(label, 0) + rows
 
@@ -102,6 +111,9 @@ class EvalStats:
             "rules_fired": self.rules_fired,
             "residue_checks": self.residue_checks,
             "replans": self.replans,
+            "overdeleted": self.overdeleted,
+            "rederived": self.rederived,
+            "retracted": self.retracted,
         }
 
 

@@ -267,6 +267,23 @@ def _make_negation_step(src: int, value_getters, cont):
     return step
 
 
+def _make_member_step(src: int, value_getters, cont):
+    """A fully-bound positive atom: one membership test, no index.
+
+    Probing an all-columns index would mean building an index that is
+    just the row set again — a full O(n) construction to answer O(1)
+    questions the row container already answers.
+    """
+
+    def step(env, ctx):
+        ctx.lookups += 1
+        if tuple(g(env) for g in value_getters) in ctx.rels[src]:
+            ctx.rows += 1
+            cont(env, ctx)
+
+    return step
+
+
 def _make_check_step(op: str, lhs_get, rhs_get, cont):
     compare_values = builtins.compare_values
 
@@ -300,6 +317,9 @@ def _chain(plans: list[tuple], cont):
         elif tag == "bind":
             _, target_slot, getter = plan
             cont = _make_bind_step(target_slot, getter, cont)
+        elif tag == "member":
+            _, src, getters = plan
+            cont = _make_member_step(src, getters, cont)
         else:  # neg
             _, src, getters = plan
             cont = _make_negation_step(src, getters, cont)
@@ -419,6 +439,17 @@ class CompiledKernel:
                 else:
                     atom_new.add(arg)
                     writes.append((column, slot(arg)))
+            if cols and not writes and not checks:
+                # Every column is bound: a membership test against the
+                # row container, not an index probe (see
+                # :func:`_make_member_step`).
+                src = len(self.sources)
+                self.sources.append((index, lit, (), "member"))
+                plans.append(("member", src, tuple(key_getters)))
+                sym_plans = None
+                self._step_notes.append(f"{'member':12} {lit}")
+                bound.update(lit.variable_set())
+                continue
             src = len(self.sources)
             kind = "probe" if cols else "scan"
             self.sources.append((index, lit, tuple(cols), kind))
@@ -610,7 +641,7 @@ class CompiledKernel:
             relation = fetch(atom, body_index)
             if kind == "probe":
                 rels.append(relation.index_for(cols))
-            else:  # scan / neg: the raw (read-only) row container
+            else:  # scan / neg / member: the raw (read-only) row container
                 rels.append(relation.raw_rows())
         if hook is None and self._deep_fn is not None:
             out, counts = self._deep_fn(rels)

@@ -74,6 +74,21 @@ class RelationStats:
         for row in rows:
             self.observe(row)
 
+    def forget(self, row: Sequence) -> None:
+        """Account for one removed row.
+
+        Cardinality stays exact.  The per-column distinct sets keep the
+        removed values — a value may still occur in other rows, and
+        tracking occurrence counts would put a counter update on the
+        insert hot path — so after deletions :meth:`distinct` is an
+        *upper bound*.  That only makes :meth:`probe_estimate` slightly
+        optimistic, which is safe for join ordering; incremental
+        maintenance deletes a small fraction of a relation per update,
+        so the bound stays tight in practice.
+        """
+        self.cardinality -= 1
+        self.epoch += 1
+
     def reset(self) -> None:
         """Forget everything (the relation was cleared)."""
         self.cardinality = 0

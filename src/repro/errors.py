@@ -112,6 +112,26 @@ class EvaluationCancelledError(EvaluationError):
         self.last_round = last_round
 
 
+class IncrementalUnsupported(EvaluationError):
+    """Raised when a changeset cannot be maintained incrementally.
+
+    Deletion maintenance (counting / DRed) is only exact for the
+    *monotone* part of a program: when a changed predicate can reach a
+    negated occurrence, removing or adding EDB rows may grow or shrink
+    relations non-monotonically and the delta passes no longer bound the
+    effect.  The serving layer treats this error as "fall back to a full
+    recomputation", so callers never observe wrong answers — only the
+    loss of the incremental speedup.
+
+    Attributes:
+        reason: short machine-readable tag (``"negation"``, ...).
+    """
+
+    def __init__(self, message: str, reason: str = "unsupported") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class TransformError(ReproError):
     """Raised when a program transformation receives invalid input.
 

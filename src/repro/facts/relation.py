@@ -205,6 +205,52 @@ class Relation:
         if self._stats is not None:
             self._stats.observe_all(new_rows)
 
+    # -- deletion ------------------------------------------------------------
+    def discard(self, row: Iterable[ConstValue]) -> bool:
+        """Remove one tuple of *values*; returns True when it was present.
+
+        Every live index drops the row (empty buckets are deleted, so
+        single-column index key counts stay exact distinct counts for
+        :meth:`distinct_count`).  Attached statistics are adjusted via
+        :meth:`~repro.engine.stats.RelationStats.forget` — cardinality
+        stays exact, per-column distinct counts become upper bounds.
+        """
+        materialized = tuple(row)
+        if self.symbols is not None:
+            coded = self.symbols.code_row(materialized)
+            if coded is None:
+                return False
+            materialized = coded
+        return self._remove(materialized)
+
+    def raw_discard(self, row: Row) -> bool:
+        """Remove one storage-domain tuple (codes when interned)."""
+        return self._remove(row)
+
+    def _remove(self, materialized: Row) -> bool:
+        if materialized not in self._rows:
+            return False
+        self._rows.remove(materialized)
+        for columns, index in self._indexes.items():
+            key = tuple(materialized[c] for c in columns)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(materialized)
+                if not bucket:
+                    del index[key]
+        self._distinct_cache.clear()
+        if self._stats is not None:
+            self._stats.forget(materialized)
+        return True
+
+    def discard_all(self, rows: Iterable[Iterable[ConstValue]]) -> int:
+        """Remove many value tuples; returns the number removed."""
+        return sum(1 for row in rows if self.discard(row))
+
+    def raw_discard_all(self, rows: Iterable[Row]) -> list[Row]:
+        """Remove storage-domain tuples; returns those actually removed."""
+        return [row for row in rows if self._remove(row)]
+
     def clear(self) -> None:
         self._rows.clear()
         self._indexes.clear()
@@ -239,10 +285,11 @@ class Relation:
         and for columns the joins probe, it does — its key count *is*
         the distinct count, maintained incrementally by the very same
         index upkeep every insert already pays.  Otherwise one scan
-        computes it, cached until the cardinality changes (relations
-        only grow between :meth:`clear` calls, so the cardinality is a
-        perfect version stamp).  This is what keeps the adaptive
-        planner's cost model off the insert hot path.
+        computes it, cached until the cardinality changes (inserts only
+        grow the cardinality, and every removal empties the cache
+        outright, so a cached entry always describes the current rows).
+        This is what keeps the adaptive planner's cost model off the
+        insert hot path.
         """
         index = self._indexes.get((column,))
         if index is not None:
@@ -369,8 +416,20 @@ class Relation:
         return [row[column] for row in self._rows]
 
     def copy(self) -> "Relation":
+        """An independent relation with the same rows — and warm indexes.
+
+        Index buckets are duplicated (not aliased), so mutating either
+        side stays safe; copying a bucket list is several times cheaper
+        than rebuilding the index from scratch on first probe, which is
+        what makes copy-then-adjust state reconstruction (incremental
+        maintenance's before/mid states) affordable.  Statistics are
+        not carried over; they rebuild lazily if needed.
+        """
         out = Relation(self.name, self.arity, symbols=self.symbols)
         out._rows = set(self._rows)
+        out._indexes = {
+            columns: {key: list(bucket) for key, bucket in index.items()}
+            for columns, index in self._indexes.items()}
         return out
 
     def difference(self, other: "Relation") -> "Relation":

@@ -1,0 +1,11 @@
+"""Incremental view maintenance and warm query serving."""
+
+from .maintain import (MaintenanceResult, SupportCounts,
+                       is_recursive_stratum, maintain, support_counts)
+from .serving import (MaterializedView, Server, program_fingerprint,
+                      relation_fingerprint)
+
+__all__ = ["MaintenanceResult", "SupportCounts", "is_recursive_stratum",
+           "maintain", "support_counts",
+           "MaterializedView", "Server", "program_fingerprint",
+           "relation_fingerprint"]

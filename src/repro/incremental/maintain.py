@@ -1,0 +1,876 @@
+"""Delta-driven maintenance of materialized IDB relations.
+
+Every evaluation engine in this repo computes a fixpoint from an
+immutable EDB snapshot.  This module keeps an already-computed IDB
+*live* under EDB changesets instead of recomputing it:
+
+* **Insertions** re-enter the semi-naive loop with the inserted rows as
+  the initial delta — the same delta-redirected rule firings (and the
+  same compiled kernels, see :mod:`repro.engine.compile`) that run
+  inside one evaluation are reused *across* EDB versions, which is the
+  fixpoint-maintenance reading of semi-naive evaluation (Zaniolo et
+  al., PAPERS.md).
+* **Deletions** use the *counting algorithm* for non-recursively
+  defined predicates (exact derivation counts, maintained per update)
+  and *DRed* — delete-and-rederive — for recursive strata: overdelete
+  everything the deleted rows could have supported, then rederive what
+  still has a proof from the reduced database.
+
+Both passes run stratum by stratum.  A changeset with deletions runs a
+full deletion pass first (taking the database from the pre state to the
+"mid" state ``db - deletes``), then an insertion pass (mid to post);
+each pass is exact for monotone rules, and their composition covers
+mixed changesets.  Programs where a changed predicate can reach a
+*negated* occurrence are rejected with
+:class:`~repro.errors.IncrementalUnsupported` — deletions can then grow
+relations and neither pass bounds the effect — and the serving layer
+(:mod:`repro.incremental.serving`) falls back to full recomputation.
+
+Counting exactness relies on the classic delta partition: for a rule
+with ``k`` occurrences of changed predicates, firing ``i`` redirects
+occurrence ``i`` to the delta, occurrences before ``i`` to the *after*
+state and occurrences after ``i`` to the *before* state, so every lost
+(or gained) derivation is counted at exactly one firing.  The set-based
+insertion pass only needs the cheaper superset partition (delta at
+``i``, current state elsewhere), exactly like the in-evaluation
+semi-naive rounds.
+
+The per-derivation ``hook`` is honoured everywhere a rule fires, so
+residue checks injected by the guided baseline apply to maintenance
+deltas too: a residue that prunes a subquery during evaluation prunes
+the same subquery during every update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..datalog.atoms import Atom
+from ..datalog.program import Program
+from ..datalog.rules import Negation, Rule
+from ..datalog.terms import Constant, ConstValue, Variable
+from ..errors import (BudgetExceededError, EvaluationError,
+                      IncrementalUnsupported)
+from ..facts.changelog import Changeset
+from ..facts.database import Database
+from ..facts.relation import Relation, Row
+from ..runtime import chaos
+from ..runtime.budget import Budget, resolve_budget
+from ..engine.bindings import (Binding, EvalStats, instantiate_head,
+                               plan_body, solve_body, validate_planner)
+from ..engine.compile import KernelCache, validate_executor
+from ..engine.naive import DEFAULT_MAX_ITERATIONS
+from ..engine.seminaive import DerivationHook
+from ..engine.stratify import stratify
+
+_MISSING = object()
+
+
+@dataclass
+class MaintenanceResult:
+    """What one :func:`maintain` call did to the materialized IDB."""
+
+    #: Net rows added per IDB predicate.
+    added: dict[str, int] = field(default_factory=dict)
+    #: Net rows removed per IDB predicate.
+    removed: dict[str, int] = field(default_factory=dict)
+    stats: EvalStats = field(default_factory=EvalStats)
+
+    def total_added(self) -> int:
+        return sum(self.added.values())
+
+    def total_removed(self) -> int:
+        return sum(self.removed.values())
+
+    def __repr__(self) -> str:
+        return (f"MaintenanceResult(+{self.total_added()}, "
+                f"-{self.total_removed()})")
+
+
+class SupportCounts:
+    """Exact derivation counts for non-recursively defined predicates.
+
+    ``by_pred[pred][row]`` is the number of distinct rule-body
+    derivations of ``row`` in the current database state.  Only
+    predicates in non-recursive strata are covered (cyclic support makes
+    plain counts meaningless — those strata use DRed);
+    :func:`maintain` keeps covered counters exact across updates, so a
+    view pays the one-pass construction cost once at materialization.
+    """
+
+    def __init__(self) -> None:
+        self.by_pred: dict[str, dict[Row, int]] = {}
+
+    def covers(self, pred: str) -> bool:
+        return pred in self.by_pred
+
+    def counter(self, pred: str) -> dict[Row, int]:
+        return self.by_pred.setdefault(pred, {})
+
+    def total(self) -> int:
+        return sum(sum(c.values()) for c in self.by_pred.values())
+
+    def __repr__(self) -> str:
+        return (f"SupportCounts({len(self.by_pred)} preds, "
+                f"{self.total()} derivations)")
+
+
+def is_recursive_stratum(stratum: frozenset[str],
+                         rules: Iterable[Rule]) -> bool:
+    """True when some rule of the stratum reads a same-stratum atom."""
+    if len(stratum) > 1:
+        return True
+    return any(
+        isinstance(lit, Atom) and lit.pred in stratum
+        for rule in rules if rule.head.pred in stratum
+        for lit in rule.body)
+
+
+def support_counts(program: Program, edb: Database, idb: Database,
+                   stats: EvalStats | None = None,
+                   executor: str = "compiled",
+                   hook: Optional[DerivationHook] = None) -> SupportCounts:
+    """Build derivation counts over a *converged* ``edb``/``idb`` pair.
+
+    One extra firing of every non-recursive rule against the final
+    state; recursive strata are skipped (DRed handles them without
+    counts).  Pass the same ``hook`` the materialization used so vetoed
+    derivations are not counted.
+    """
+    stats = stats if stats is not None else EvalStats()
+    validate_executor(executor)
+    counts = SupportCounts()
+    kernels = KernelCache(symbols=edb.symbols) \
+        if executor == "compiled" else None
+    symbols = edb.symbols
+    arities = program.predicate_arities()
+
+    def fetch(atom: Atom, index: int) -> Relation:
+        if atom.pred in program.idb_predicates:
+            return idb.relation(atom.pred)
+        return edb.relation_or_empty(atom.pred, arities[atom.pred])
+
+    for stratum in stratify(program):
+        rules = [r for r in program if r.head.pred in stratum]
+        if is_recursive_stratum(stratum, rules):
+            continue
+        for rule in rules:
+            derived = _fire_rule(rule, fetch, stats, kernels,
+                                 ("support",), symbols, hook)
+            counter = counts.counter(rule.head.pred)
+            for row in derived:
+                counter[row] = counter.get(row, 0) + 1
+    return counts
+
+
+def maintain(program: Program, edb: Database, idb: Database,
+             changeset: Changeset,
+             counts: SupportCounts | None = None,
+             stats: EvalStats | None = None,
+             planner: str = "greedy",
+             executor: str = "compiled",
+             hook: Optional[DerivationHook] = None,
+             budget: Budget | None = None,
+             max_iterations: int = DEFAULT_MAX_ITERATIONS,
+             kernels: KernelCache | None = None) -> MaintenanceResult:
+    """Bring ``idb`` current after ``changeset`` was applied to ``edb``.
+
+    ``edb`` must already be in the *post*-changeset state (as left by
+    :meth:`repro.facts.changelog.VersionedDatabase.apply`) and
+    ``changeset`` must be the *effective* delta: every delete was
+    present before, every insert absent, and the two sets are disjoint.
+    ``idb`` — the materialization of ``program`` over the pre state —
+    is updated **in place**; the pre-state relations the delta passes
+    need are reconstructed internally from the changeset, so callers
+    never keep two EDB copies.
+
+    ``counts`` (from :func:`support_counts`) switches non-recursive
+    strata from DRed to the counting algorithm and is kept exact across
+    the call.  ``kernels`` lets a serving layer reuse compiled rule
+    kernels across refreshes.  Raises
+    :class:`~repro.errors.IncrementalUnsupported` when a changed
+    predicate can reach a negated occurrence; raises
+    :class:`~repro.errors.EvaluationError` when the changeset touches
+    an IDB predicate.
+    """
+    stats = stats if stats is not None else EvalStats()
+    validate_executor(executor)
+    validate_planner(planner)
+    derived = changeset.predicates() & program.idb_predicates
+    if derived:
+        raise EvaluationError(
+            f"changeset touches IDB predicate"
+            f"{'s' if len(derived) > 1 else ''} "
+            f"{', '.join(sorted(derived))}; incremental maintenance "
+            "updates EDB relations only")
+    _require_monotone_impact(program, changeset.predicates())
+    run = _Maintenance(program, edb, idb, changeset, counts, stats,
+                       planner, executor, hook,
+                       resolve_budget(budget), max_iterations, kernels)
+    return run.run()
+
+
+def _require_monotone_impact(program: Program,
+                             changed: frozenset[str]) -> None:
+    """Reject changesets whose effect can flow through a negation."""
+    graph = program.dependency_graph()
+    affected = set(changed)
+    frontier = [pred for pred in changed if graph.has_node(pred)]
+    while frontier:
+        pred = frontier.pop()
+        for successor in graph.successors(pred):
+            if successor not in affected:
+                affected.add(successor)
+                frontier.append(successor)
+    for rule in program:
+        for lit in rule.body:
+            if isinstance(lit, Negation) and lit.atom.pred in affected:
+                raise IncrementalUnsupported(
+                    f"changeset affects {lit.atom.pred!r}, which occurs "
+                    f"negated in rule `{rule}`; deletion deltas are not "
+                    "exact through negation — recompute instead",
+                    reason="negation")
+
+
+def _fire_rule(rule: Rule, fetch, stats: EvalStats,
+               kernels: KernelCache | None, variant: object,
+               symbols, hook: Optional[DerivationHook],
+               round_index: int = 0,
+               keep_atom_order: bool = False) -> list[Row]:
+    """All derivations of ``rule`` under ``fetch``, storage-domain rows.
+
+    The returned list carries *multiplicity* — one entry per body
+    derivation — which is what the counting algorithm consumes; the
+    set-based passes simply merge it.
+    """
+    stats.rules_fired += 1
+    if kernels is not None:
+        def sizes(atom: Atom, index: int) -> int:
+            return len(fetch(atom, index))
+
+        kernel = kernels.kernel(rule, variant, sizes)
+        return kernel.execute(fetch, stats, hook=hook,
+                              round_index=round_index)
+    derived: list[Row] = []
+    for binding in solve_body(rule, fetch, stats,
+                              keep_atom_order=keep_atom_order):
+        if hook is not None and not hook(rule, binding, round_index):
+            continue
+        head = instantiate_head(rule, binding)
+        if symbols is not None:
+            head = symbols.intern_row(head)
+        derived.append(head)
+    return derived
+
+
+def _head_binding(rule: Rule,
+                  values: tuple[ConstValue, ...]) -> Binding | None:
+    """Bind the head variables of ``rule`` to ``values`` (None on clash)."""
+    binding: Binding = {}
+    for arg, value in zip(rule.head.args, values):
+        if isinstance(arg, Constant):
+            if arg.value != value:
+                return None
+        elif isinstance(arg, Variable):
+            known = binding.get(arg, _MISSING)
+            if known is _MISSING:
+                binding[arg] = value
+            elif known != value:
+                return None
+    return binding
+
+
+class _Maintenance:
+    """One maintenance run: deletion pass, then insertion pass."""
+
+    def __init__(self, program: Program, edb: Database, idb: Database,
+                 changeset: Changeset, counts: SupportCounts | None,
+                 stats: EvalStats, planner: str, executor: str,
+                 hook: Optional[DerivationHook], budget: Budget | None,
+                 max_iterations: int,
+                 kernels: KernelCache | None) -> None:
+        self.program = program
+        self.edb = edb
+        self.idb = idb
+        self.counts = counts
+        self.stats = stats
+        self.hook = hook
+        self.budget = budget
+        self.max_iterations = max_iterations
+        self.chaos_plan = chaos.active_plan()
+        self.symbols = edb.symbols
+        self.keep_atom_order = planner == "source"
+        if kernels is not None:
+            self.kernels: KernelCache | None = kernels
+        elif executor == "compiled":
+            self.kernels = KernelCache(
+                keep_atom_order=self.keep_atom_order,
+                symbols=edb.symbols)
+        else:
+            self.kernels = None
+        self.arities = dict(program.predicate_arities())
+        # Storage-domain changeset rows.
+        self.edb_deletes = {pred: self._encode_rows(rows)
+                            for pred, rows in changeset.deletes.items()
+                            if rows}
+        self.edb_inserts = {pred: self._encode_rows(rows)
+                            for pred, rows in changeset.inserts.items()
+                            if rows}
+        for pred in changeset.predicates():
+            self.arities.setdefault(pred, _changeset_arity(changeset,
+                                                           pred))
+        # Net IDB deltas, accumulated as the passes climb the strata.
+        self.idb_removed: dict[str, set[Row]] = {}
+        self.idb_added: dict[str, set[Row]] = {}
+        # Lazily reconstructed alternate states, one cache per pass.
+        self._mid_edb: dict[str, Relation] = {}
+        self._del_before: dict[str, Relation] = {}
+        self._ins_before: dict[str, Relation] = {}
+
+    # -- domain helpers ------------------------------------------------------
+    def _encode_rows(self, rows: Iterable[Iterable[ConstValue]]
+                     ) -> set[Row]:
+        if self.symbols is None:
+            return {tuple(row) for row in rows}
+        intern_row = self.symbols.intern_row
+        return {intern_row(tuple(row)) for row in rows}
+
+    def _decode_row(self, row: Row) -> tuple[ConstValue, ...]:
+        if self.symbols is None:
+            return row
+        values = self.symbols.values
+        return tuple(values[code] for code in row)
+
+    def _delta_relation(self, pred: str, rows: set[Row]) -> Relation:
+        rel = Relation(pred, self.arities[pred], symbols=self.symbols)
+        rel.raw_merge(list(rows))
+        return rel
+
+    def _edb_relation(self, pred: str) -> Relation:
+        return self.edb.relation_or_empty(pred, self.arities[pred])
+
+    # -- state views ---------------------------------------------------------
+    def _del_current(self, atom: Atom, index: int) -> Relation:
+        """The *mid*-state relation during the deletion pass.
+
+        EDB relations already hold the post state, so predicates with
+        pending insertions read through a copy with those rows backed
+        out; IDB relations are live (lower strata are final for this
+        pass, the running stratum reads its own evolving state).
+        """
+        pred = atom.pred
+        if pred in self.program.idb_predicates:
+            return self.idb.relation(pred)
+        if pred in self.edb_inserts:
+            mid = self._mid_edb.get(pred)
+            if mid is None:
+                mid = self._edb_relation(pred).copy()
+                mid.raw_discard_all(self.edb_inserts[pred])
+                self._mid_edb[pred] = mid
+            return mid
+        return self._edb_relation(pred)
+
+    def _del_before_rel(self, pred: str) -> Relation:
+        """The pre-state relation of a deletion-changed predicate."""
+        before = self._del_before.get(pred)
+        if before is None:
+            before = self._del_current(Atom(pred, ()), -1).copy()
+            delta = self.edb_deletes.get(pred) \
+                or self.idb_removed.get(pred) or set()
+            before.raw_merge(list(delta))
+            self._del_before[pred] = before
+        return before
+
+    def _ins_current(self, atom: Atom, index: int) -> Relation:
+        """The live (post-state) relation during the insertion pass."""
+        pred = atom.pred
+        if pred in self.program.idb_predicates:
+            return self.idb.relation(pred)
+        return self._edb_relation(pred)
+
+    def _ins_before_rel(self, pred: str) -> Relation:
+        """The mid-state relation of an insertion-changed predicate."""
+        before = self._ins_before.get(pred)
+        if before is None:
+            before = self._ins_current(Atom(pred, ()), -1).copy()
+            delta = self.edb_inserts.get(pred) \
+                or self.idb_added.get(pred) or set()
+            before.raw_discard_all(delta)
+            self._ins_before[pred] = before
+        return before
+
+    # -- budget / chaos ------------------------------------------------------
+    def _tick_rows(self, rows: list[Row], last_round: int = 0) -> None:
+        """Per-derivation budget/chaos events for one firing's output."""
+        if self.chaos_plan is not None:
+            for _ in rows:
+                self.chaos_plan.derivation()
+        if self.budget is not None:
+            # One checkpoint per firing: a kernel execution is the unit
+            # of interruptibility here, so finer ticks buy nothing.
+            self.budget.checkpoint(self.stats, last_round=last_round)
+
+    def _check_round(self, rounds: int, where: str) -> None:
+        if rounds > self.max_iterations:
+            raise BudgetExceededError(
+                f"incremental {where} exceeded {self.max_iterations} "
+                "rounds", resource="rounds", limit=self.max_iterations,
+                spent=rounds - 1, stats=self.stats,
+                last_round=rounds - 1)
+        if self.budget is not None:
+            self.budget.check_round(self.stats, last_round=rounds - 1)
+
+    # -- driver --------------------------------------------------------------
+    def run(self) -> MaintenanceResult:
+        strata = stratify(self.program)
+        rules_by_stratum = [
+            [r for r in self.program if r.head.pred in stratum]
+            for stratum in strata]
+        if self.edb_deletes:
+            for stratum, rules in zip(strata, rules_by_stratum):
+                self._delete_stratum(stratum, rules)
+        if self.edb_inserts:
+            for stratum, rules in zip(strata, rules_by_stratum):
+                self._insert_stratum(stratum, rules)
+        result = MaintenanceResult(stats=self.stats)
+        for pred, rows in self.idb_added.items():
+            if rows:
+                result.added[pred] = len(rows)
+        for pred, rows in self.idb_removed.items():
+            if rows:
+                result.removed[pred] = len(rows)
+        return result
+
+    # -- deletion pass -------------------------------------------------------
+    def _del_changed(self) -> dict[str, set[Row]]:
+        """Predicate -> Δ⁻ for everything deleted so far this pass."""
+        changed = {pred: rows
+                   for pred, rows in self.edb_deletes.items() if rows}
+        for pred, rows in self.idb_removed.items():
+            if rows:
+                changed[pred] = rows
+        return changed
+
+    def _delete_stratum(self, stratum: frozenset[str],
+                        rules: list[Rule]) -> None:
+        changed = self._del_changed()
+        if not changed:
+            return
+        use_counting = (self.counts is not None
+                        and not is_recursive_stratum(stratum, rules)
+                        and all(self.counts.covers(p) for p in stratum))
+        if use_counting:
+            self._counting_delete(stratum, rules, changed)
+        else:
+            self._dred(stratum, rules, changed)
+
+    def _partition_fetch(self, rule: Rule, delta_index: int,
+                         delta_rel: Relation,
+                         changed: dict[str, set[Row]],
+                         before, current):
+        """Exact-partition fetch: delta at ``delta_index``, after-state
+        left of it, before-state right of it, live state elsewhere."""
+
+        def fetch(atom: Atom, index: int) -> Relation:
+            if index == delta_index:
+                return delta_rel
+            if atom.pred in changed:
+                if index < delta_index:
+                    return current(atom, index)
+                return before(atom.pred)
+            return current(atom, index)
+
+        return fetch
+
+    def _counting_delete(self, stratum: frozenset[str],
+                         rules: list[Rule],
+                         changed: dict[str, set[Row]]) -> None:
+        assert self.counts is not None
+        removed: dict[str, set[Row]] = {p: set() for p in stratum}
+        for rule in rules:
+            counter = self.counts.counter(rule.head.pred)
+            target = self.idb.relation(rule.head.pred)
+            for index, lit in enumerate(rule.body):
+                if not isinstance(lit, Atom) or lit.pred not in changed:
+                    continue
+                delta_rel = self._delta_relation(lit.pred,
+                                                 changed[lit.pred])
+                fetch = self._partition_fetch(
+                    rule, index, delta_rel, changed,
+                    self._del_before_rel, self._del_current)
+                lost = _fire_rule(rule, fetch, self.stats, self.kernels,
+                                  ("count-del", index), self.symbols,
+                                  self.hook,
+                                  keep_atom_order=self.keep_atom_order)
+                self._tick_rows(lost)
+                for row in lost:
+                    support = counter.get(row)
+                    if support is None:
+                        continue
+                    if support > 1:
+                        counter[row] = support - 1
+                    else:
+                        del counter[row]
+                        if target.raw_discard(row):
+                            removed[rule.head.pred].add(row)
+        for pred, rows in removed.items():
+            if rows:
+                self.idb_removed.setdefault(pred, set()).update(rows)
+                self.stats.retracted += len(rows)
+
+    def _dred(self, stratum: frozenset[str], rules: list[Rule],
+              changed: dict[str, set[Row]]) -> None:
+        rels = {pred: self.idb.relation(pred) for pred in stratum}
+
+        # Phase 1 — overdelete closure.  Non-delta occurrences read the
+        # *before* state (changed externals) or the untouched stratum
+        # relations, so every derivation that consumed a deleted row is
+        # found; the closure is a superset, sets absorb the overcount.
+        over: dict[str, set[Row]] = {pred: set() for pred in stratum}
+        frontier: dict[str, set[Row]] = {pred: set() for pred in stratum}
+
+        def collect(rule: Rule, derived: list[Row]) -> None:
+            pred = rule.head.pred
+            store = rels[pred].raw_rows()
+            seen = over[pred]
+            fresh = frontier[pred]
+            for row in derived:
+                if row in store and row not in seen:
+                    seen.add(row)
+                    fresh.add(row)
+
+        for rule in rules:
+            for index, lit in enumerate(rule.body):
+                if not isinstance(lit, Atom) or lit.pred not in changed:
+                    continue
+                delta_rel = self._delta_relation(lit.pred,
+                                                 changed[lit.pred])
+
+                def fetch(atom: Atom, occurrence: int,
+                          _target: int = index,
+                          _delta: Relation = delta_rel) -> Relation:
+                    if occurrence == _target:
+                        return _delta
+                    if atom.pred in stratum:
+                        return rels[atom.pred]
+                    if atom.pred in changed:
+                        return self._del_before_rel(atom.pred)
+                    return self._del_current(atom, occurrence)
+
+                derived = _fire_rule(
+                    rule, fetch, self.stats, self.kernels,
+                    ("dred-seed", index), self.symbols, self.hook,
+                    keep_atom_order=self.keep_atom_order)
+                self._tick_rows(derived)
+                collect(rule, derived)
+
+        rounds = 0
+        while any(frontier.values()):
+            rounds += 1
+            self._check_round(rounds, "overdeletion")
+            frontier_rels = {pred: self._delta_relation(pred, rows)
+                             for pred, rows in frontier.items()}
+            frontier = {pred: set() for pred in stratum}
+            for rule in rules:
+                for index, lit in enumerate(rule.body):
+                    if not isinstance(lit, Atom) \
+                            or lit.pred not in stratum:
+                        continue
+                    if not len(frontier_rels[lit.pred]):
+                        continue
+
+                    def fetch(atom: Atom, occurrence: int,
+                              _target: int = index,
+                              _fronts: dict = frontier_rels
+                              ) -> Relation:
+                        if occurrence == _target:
+                            return _fronts[atom.pred]
+                        if atom.pred in stratum:
+                            return rels[atom.pred]
+                        if atom.pred in changed:
+                            return self._del_before_rel(atom.pred)
+                        return self._del_current(atom, occurrence)
+
+                    derived = _fire_rule(
+                        rule, fetch, self.stats, self.kernels,
+                        ("dred-front", index), self.symbols, self.hook,
+                        round_index=rounds,
+                        keep_atom_order=self.keep_atom_order)
+                    self._tick_rows(derived, last_round=rounds - 1)
+                    collect(rule, derived)
+
+        # Phase 2 — remove the overdeleted rows.
+        for pred in stratum:
+            rels[pred].raw_discard_all(over[pred])
+            self.stats.overdeleted += len(over[pred])
+
+        # Phase 3 — rederive from the reduced database.  A candidate
+        # cannot support itself — it is absent from its own relation
+        # until rederived; cascades among candidates are left to the
+        # phase-4 propagation.
+        rederived: dict[str, set[Row]] = {pred: set() for pred in stratum}
+        if self.hook is None:
+            self._rederive_batched(stratum, rules, rels, over, rederived)
+        else:
+            self._rederive_goal_directed(stratum, rules, rels, over,
+                                         rederived)
+
+        # Phase 4 — propagate the rederived rows within the stratum
+        # (anything they in turn support must come back too).
+        self._propagate(stratum, rules, rederived, self._del_current,
+                        collect_into=None)
+
+        for pred in stratum:
+            net = {row for row in over[pred]
+                   if row not in rels[pred].raw_rows()}
+            if net:
+                self.idb_removed.setdefault(pred, set()).update(net)
+                self.stats.retracted += len(net)
+
+    def _rederive_batched(self, stratum: frozenset[str],
+                          rules: list[Rule],
+                          rels: dict[str, Relation],
+                          over: dict[str, set[Row]],
+                          rederived: dict[str, set[Row]]) -> None:
+        """Set-oriented rederivation: one firing per rule.
+
+        The candidate set becomes a guard relation joined in front of
+        the rule body — a magic seed bound to the head — so one compiled
+        kernel execution checks every candidate at once instead of one
+        interpreted body solve each.  The synthetic guard rule is
+        structurally stable across refreshes, so its kernel compiles
+        once per view lifetime.
+        """
+        for pred in sorted(stratum):
+            candidates = over[pred]
+            if not candidates:
+                continue
+            guard_pred = f"__dred__{pred}"
+            guard_rel = Relation(guard_pred, self.arities[pred],
+                                 symbols=self.symbols)
+            guard_rel.raw_merge(list(candidates))
+            found = rederived[pred]
+            for rule in rules:
+                if rule.head.pred != pred:
+                    continue
+                if not rule.body:
+                    # A fact rule unconditionally supports its head.
+                    row = next(iter(self._encode_rows(
+                        [tuple(arg.value for arg in rule.head.args)])))
+                    if row in candidates:
+                        found.add(row)
+                    continue
+                guard = Atom(guard_pred, rule.head.args)
+                batch_rule = Rule(rule.head, (guard,) + tuple(rule.body))
+
+                def fetch(atom: Atom, occurrence: int,
+                          _guard_pred: str = guard_pred,
+                          _guard_rel: Relation = guard_rel) -> Relation:
+                    if atom.pred == _guard_pred:
+                        return _guard_rel
+                    return self._del_current(atom, occurrence)
+
+                derived = _fire_rule(
+                    batch_rule, fetch, self.stats, self.kernels,
+                    ("dred-rederive",), self.symbols, None,
+                    keep_atom_order=self.keep_atom_order)
+                self._tick_rows(derived)
+                for row in derived:
+                    if row in candidates:
+                        found.add(row)
+            if found:
+                rels[pred].raw_merge(list(found))
+                self.stats.rederived += len(found)
+                self.stats.derivations += len(found)
+
+    def _rederive_goal_directed(self, stratum: frozenset[str],
+                                rules: list[Rule],
+                                rels: dict[str, Relation],
+                                over: dict[str, set[Row]],
+                                rederived: dict[str, set[Row]]) -> None:
+        """Per-candidate rederivation: head variables pre-bound, first
+        surviving proof wins.  Used when a derivation hook is active so
+        the hook sees each (original rule, binding) pair exactly as the
+        evaluation engines present them.
+        """
+        head_rules = {pred: [r for r in rules if r.head.pred == pred]
+                      for pred in stratum}
+        # One join order per rule for the whole rederivation sweep —
+        # re-planning per candidate would dwarf the joins themselves.
+        orders = {id(rule): plan_body(
+            rule,
+            lambda atom, index: len(self._del_current(atom, index)),
+            keep_atom_order=self.keep_atom_order)
+            for rule in rules}
+        countdown = 0
+        for pred in sorted(stratum):
+            target = rels[pred]
+            for row in over[pred]:
+                if self.chaos_plan is not None:
+                    self.chaos_plan.derivation()
+                if self.budget is not None:
+                    countdown -= 1
+                    if countdown <= 0:
+                        countdown = self.budget.checkpoint(self.stats)
+                values = self._decode_row(row)
+                proved = False
+                for rule in head_rules[pred]:
+                    initial = _head_binding(rule, values)
+                    if initial is None:
+                        continue
+                    for binding in solve_body(
+                            rule, self._del_current, self.stats,
+                            order=orders[id(rule)], initial=initial):
+                        if not self.hook(rule, binding, 0):
+                            continue
+                        proved = True
+                        break
+                    if proved:
+                        break
+                if proved:
+                    target.raw_add(row)
+                    rederived[pred].add(row)
+                    self.stats.rederived += 1
+                    self.stats.derivations += 1
+
+    # -- insertion pass ------------------------------------------------------
+    def _ins_changed(self) -> dict[str, set[Row]]:
+        """Predicate -> Δ⁺ for everything inserted so far this pass."""
+        changed = {pred: rows
+                   for pred, rows in self.edb_inserts.items() if rows}
+        for pred, rows in self.idb_added.items():
+            if rows:
+                changed[pred] = rows
+        return changed
+
+    def _insert_stratum(self, stratum: frozenset[str],
+                        rules: list[Rule]) -> None:
+        changed = self._ins_changed()
+        if not changed:
+            return
+        use_counting = (self.counts is not None
+                        and not is_recursive_stratum(stratum, rules)
+                        and all(self.counts.covers(p) for p in stratum))
+        if use_counting:
+            self._counting_insert(stratum, rules, changed)
+            return
+        seeds: dict[str, set[Row]] = {pred: set() for pred in stratum}
+        for rule in rules:
+            target = self.idb.relation(rule.head.pred)
+            for index, lit in enumerate(rule.body):
+                if not isinstance(lit, Atom) or lit.pred not in changed:
+                    continue
+                if lit.pred in stratum:
+                    continue  # same-stratum deltas ride the delta rounds
+                delta_rel = self._delta_relation(lit.pred,
+                                                 changed[lit.pred])
+
+                def fetch(atom: Atom, occurrence: int,
+                          _target: int = index,
+                          _delta: Relation = delta_rel) -> Relation:
+                    if occurrence == _target:
+                        return _delta
+                    return self._ins_current(atom, occurrence)
+
+                derived = _fire_rule(
+                    rule, fetch, self.stats, self.kernels,
+                    ("ins-seed", index), self.symbols, self.hook,
+                    keep_atom_order=self.keep_atom_order)
+                self._tick_rows(derived)
+                new_rows = target.raw_merge_new(derived)
+                if new_rows:
+                    seeds[rule.head.pred].update(new_rows)
+                    self.stats.derivations += len(new_rows)
+                self.stats.duplicate_derivations += \
+                    len(derived) - len(new_rows)
+        self._propagate(stratum, rules, seeds, self._ins_current,
+                        collect_into=self.idb_added)
+        for pred, rows in seeds.items():
+            if rows:
+                self.idb_added.setdefault(pred, set()).update(rows)
+
+    def _counting_insert(self, stratum: frozenset[str],
+                         rules: list[Rule],
+                         changed: dict[str, set[Row]]) -> None:
+        assert self.counts is not None
+        added: dict[str, set[Row]] = {pred: set() for pred in stratum}
+        for rule in rules:
+            counter = self.counts.counter(rule.head.pred)
+            target = self.idb.relation(rule.head.pred)
+            for index, lit in enumerate(rule.body):
+                if not isinstance(lit, Atom) or lit.pred not in changed:
+                    continue
+                delta_rel = self._delta_relation(lit.pred,
+                                                 changed[lit.pred])
+                fetch = self._partition_fetch(
+                    rule, index, delta_rel, changed,
+                    self._ins_before_rel, self._ins_current)
+                gained = _fire_rule(
+                    rule, fetch, self.stats, self.kernels,
+                    ("count-ins", index), self.symbols, self.hook,
+                    keep_atom_order=self.keep_atom_order)
+                self._tick_rows(gained)
+                for row in gained:
+                    support = counter.get(row, 0)
+                    counter[row] = support + 1
+                    if support == 0 and target.raw_add(row):
+                        added[rule.head.pred].add(row)
+                        self.stats.derivations += 1
+                    elif support:
+                        self.stats.duplicate_derivations += 1
+        for pred, rows in added.items():
+            if rows:
+                self.idb_added.setdefault(pred, set()).update(rows)
+
+    def _propagate(self, stratum: frozenset[str], rules: list[Rule],
+                   deltas: dict[str, set[Row]], current,
+                   collect_into: dict[str, set[Row]] | None) -> None:
+        """Standard semi-naive delta rounds within one stratum."""
+        live = {pred: set(rows) for pred, rows in deltas.items()}
+        rounds = 0
+        while any(live.values()):
+            rounds += 1
+            self._check_round(rounds, "propagation")
+            delta_rels = {pred: self._delta_relation(pred, rows)
+                          for pred, rows in live.items()}
+            live = {pred: set() for pred in stratum}
+            for rule in rules:
+                target = self.idb.relation(rule.head.pred)
+                for index, lit in enumerate(rule.body):
+                    if not isinstance(lit, Atom) \
+                            or lit.pred not in stratum:
+                        continue
+                    if not len(delta_rels.get(lit.pred, ())):
+                        continue
+
+                    def fetch(atom: Atom, occurrence: int,
+                              _target: int = index,
+                              _deltas: dict = delta_rels) -> Relation:
+                        if occurrence == _target:
+                            return _deltas[atom.pred]
+                        return current(atom, occurrence)
+
+                    derived = _fire_rule(
+                        rule, fetch, self.stats, self.kernels,
+                        ("prop", index), self.symbols, self.hook,
+                        round_index=rounds,
+                        keep_atom_order=self.keep_atom_order)
+                    self._tick_rows(derived, last_round=rounds - 1)
+                    new_rows = target.raw_merge_new(derived)
+                    if new_rows:
+                        live[rule.head.pred].update(new_rows)
+                        self.stats.derivations += len(new_rows)
+                        if collect_into is not None:
+                            collect_into.setdefault(
+                                rule.head.pred, set()).update(new_rows)
+                    self.stats.duplicate_derivations += \
+                        len(derived) - len(new_rows)
+
+
+def _changeset_arity(changeset: Changeset, pred: str) -> int:
+    for by_pred in (changeset.inserts, changeset.deletes):
+        rows = by_pred.get(pred)
+        if rows:
+            return len(next(iter(rows)))
+    return 0

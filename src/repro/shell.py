@@ -11,6 +11,9 @@ evaluate immediately.  Meta-commands begin with a dot:
 ``.facts [PRED]``  show stored EDB facts
 ``.load FILE``     read statements from a file
 ``.csv PRED FILE`` load a CSV file into a relation
+``.update ...``    apply a changeset (``+fact. -fact.`` statements, or
+                   a file of them); materialized query state is
+                   maintained incrementally instead of recomputed
 ``.validate``      check the program against the paper's assumptions
 ``.lint``          run the analysis passes over the program, ICs and
                    last query (also reachable as ``:lint``)
@@ -41,7 +44,6 @@ from .datalog.parser import (ParsedIC, ParsedQuery, parse_atom,
                              parse_statements)
 from .datalog.program import Program
 from .datalog.rules import Rule
-from .engine import evaluate
 from .engine.explain import explain
 from .errors import ReproError
 from .facts import Database, load_csv
@@ -64,6 +66,10 @@ class Shell:
         self._buffer = ""
         self._optimized: Program | None = None
         self._last_query = None  # query atom for query-dependent lints
+        #: Warm serving session: queries answer from materialized views
+        #: kept live by `.update`.  Dropped (None) whenever the EDB is
+        #: mutated behind the version log's back (plain facts, .csv).
+        self._server = None
 
     # -- program state -------------------------------------------------------
     @property
@@ -113,6 +119,7 @@ class Shell:
             elif isinstance(statement, Rule):
                 if statement.is_fact:
                     self.edb.add_atom(statement.head)
+                    self._server = None  # edited around the change log
                     yield f"fact stored: {statement}"
                 else:
                     self.rules.append(statement)
@@ -126,8 +133,7 @@ class Shell:
         if query.literals and isinstance(query.literals[0], Atom):
             self._last_query = query.literals[0]
         try:
-            result = evaluate(self.program, self.edb)
-            rows = sorted(result.query(query.literals), key=str)
+            rows = sorted(self._serve(query.literals), key=str)
         except ReproError as error:
             yield f"error: {error}"
             return
@@ -137,6 +143,20 @@ class Shell:
             yield "  " + ", ".join(str(value) for value in row)
         if rows:
             yield f"{len(rows)} answer(s)."
+
+    def _serve(self, literals) -> set[tuple]:
+        """Answer from the warm serving session (lazily created).
+
+        The first query after a cold start or an out-of-band EDB edit
+        pays a full materialization; queries after ``.update`` pay only
+        incremental maintenance of the view.
+        """
+        if self._server is None:
+            from .facts.changelog import VersionedDatabase
+            from .incremental import Server
+
+            self._server = Server(source=VersionedDatabase(self.edb))
+        return self._server.serve(self.program, literals)
 
     # -- meta commands -------------------------------------------------------
     def _meta(self, line: str) -> Iterator[str]:
@@ -148,6 +168,7 @@ class Shell:
             ".facts": self._cmd_facts,
             ".load": self._cmd_load,
             ".csv": self._cmd_csv,
+            ".update": self._cmd_update,
             ".validate": self._cmd_validate,
             ".lint": self._cmd_lint,
             ".residues": self._cmd_residues,
@@ -207,7 +228,33 @@ class Shell:
             return
         pred, path = parts
         added = load_csv(self.edb, pred, path)
+        self._server = None  # edited around the change log
         yield f"{added} fact(s) loaded into {pred}"
+
+    def _cmd_update(self, argument: str) -> Iterator[str]:
+        from .facts.changelog import Changeset
+
+        if not argument:
+            yield "usage: .update +pred(args). -pred(args). (or a FILE)"
+            return
+        text = argument
+        if not argument.lstrip().startswith(("+", "-")):
+            with open(argument, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        changeset = Changeset.from_text(text)
+        if changeset.is_empty:
+            yield "(empty changeset)"
+            return
+        if self._server is None:
+            from .facts.changelog import VersionedDatabase
+            from .incremental import Server
+
+            self._server = Server(source=VersionedDatabase(self.edb))
+        version = self._server.apply(changeset)
+        yield (f"applied +{changeset.total_inserts()}"
+               f"/-{changeset.total_deletes()} -> v{version}")
+        for fingerprint, mode in self._server.refresh_all().items():
+            yield f"view {fingerprint}: {mode}"
 
     def _cmd_validate(self, _: str) -> Iterator[str]:
         yield validate_program(self.program).summary()

@@ -46,6 +46,8 @@ FIXTURES: dict[str, dict] = {
                         "r1: p(X, Z) :- p(X, Y), e(Y, Z), Y != Z."},
     "PERF002": {"text": "p(X, Y) :- q(X, A), r(Y, B), A > 0, B > 0."},
     "PERF003": {"text": "p(X, Y) :- a(X), b(Y), c(X, Y)."},
+    "PERF004": {"text": "r0: alive(X) :- seed(X). "
+                        "r1: alive(X) :- alive(Y), node(X)."},
     "PARSE001": {"text": "p(X :-"},
 }
 

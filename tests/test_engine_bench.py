@@ -28,7 +28,7 @@ def test_build_workloads_rejects_unknown_scale():
 
 
 def _report(speedup, agreement_ok=True, configs_ok=True,
-            interned_speedup=2.0):
+            interned_speedup=2.0, repeats=3):
     def block(name):
         return {
             "name": name,
@@ -41,7 +41,8 @@ def _report(speedup, agreement_ok=True, configs_ok=True,
                 "configs_agree": configs_ok,
             },
         }
-    return {"workloads": [block("transitive_closure"),
+    return {"repeats": repeats,
+            "workloads": [block("transitive_closure"),
                           block("same_generation")]}
 
 
@@ -96,8 +97,14 @@ def test_interned_gate_fails_on_missing_measurement():
 
 
 def test_regression_gate_fails_on_missing_workload():
-    assert regression_failures({"workloads": []}) == \
+    assert regression_failures({"repeats": 3, "workloads": []}) == \
         ["workload 'transitive_closure' missing from report"]
+
+
+def test_regression_gate_fails_on_too_few_repeats():
+    failures = regression_failures(_report(2.4, repeats=1))
+    assert failures == ["report measured with repeats=1; gates need "
+                        ">= 3 for stable medians"]
 
 
 def test_regression_gate_fails_on_timeout_row():

@@ -4,7 +4,7 @@ import pytest
 
 from repro.datalog.atoms import atom
 from repro.errors import EvaluationError
-from repro.facts import Database, Relation
+from repro.facts import Database, Relation, SymbolTable
 
 
 class TestRelation:
@@ -61,6 +61,72 @@ class TestRelation:
         cloned = rel.copy()
         cloned.add(("b",))
         assert len(rel) == 1 and len(cloned) == 2
+
+    def test_copy_carries_warm_indexes(self):
+        rel = Relation("r", 2, [("a", 1), ("a", 2), ("b", 1)])
+        rel.index_for((0,))
+        cloned = rel.copy()
+        assert (0,) in cloned._indexes
+        # The buckets are duplicated, not aliased: mutations on either
+        # side leave the other's index answers intact.
+        cloned.add(("a", 3))
+        cloned.discard(("b", 1))
+        assert set(rel.lookup(((0, "a"),))) == {("a", 1), ("a", 2)}
+        assert set(rel.lookup(((0, "b"),))) == {("b", 1)}
+        assert set(cloned.lookup(((0, "a"),))) == \
+            {("a", 1), ("a", 2), ("a", 3)}
+        assert set(cloned.lookup(((0, "b"),))) == set()
+
+
+class TestRawMerge:
+    def test_merge_new_empty_batch(self):
+        rel = Relation("r", 2, [("a", 1)])
+        rel.index_for((0,))
+        assert rel.raw_merge_new([]) == []
+        assert len(rel) == 1
+        assert set(rel.lookup(((0, "a"),))) == {("a", 1)}
+
+    def test_merge_new_fully_overlapping_batch(self):
+        rows = [("a", 1), ("b", 2)]
+        rel = Relation("r", 2, rows)
+        rel.index_for((1,))
+        assert rel.raw_merge_new(list(rows)) == []
+        assert len(rel) == 2
+        # No duplicate index entries either.
+        assert list(rel.lookup(((1, 1),))) == [("a", 1)]
+
+    def test_merge_new_screens_duplicates_within_batch(self):
+        rel = Relation("r", 1, [("a",)])
+        fresh = rel.raw_merge_new([("a",), ("b",), ("b",), ("c",)])
+        assert sorted(fresh) == [("b",), ("c",)]
+        assert len(rel) == 3
+
+    def test_merge_new_extends_live_indexes(self):
+        rel = Relation("r", 2, [("a", 1)])
+        rel.index_for((0,))
+        rel.raw_merge_new([("a", 2), ("b", 1)])
+        assert set(rel.lookup(((0, "a"),))) == {("a", 1), ("a", 2)}
+        assert set(rel.lookup(((0, "b"),))) == {("b", 1)}
+
+    def test_raw_merge_extends_live_indexes(self):
+        rel = Relation("r", 2, [("a", 1)])
+        rel.index_for((0,))
+        rel.raw_merge([("a", 2)])  # caller-guaranteed disjoint
+        assert len(rel) == 2
+        assert set(rel.lookup(((0, "a"),))) == {("a", 1), ("a", 2)}
+
+    def test_raw_merge_empty_batch(self):
+        rel = Relation("r", 2, [("a", 1)])
+        rel.raw_merge([])
+        assert len(rel) == 1
+
+    def test_merge_new_interned_storage_domain(self):
+        symbols = SymbolTable()
+        rel = Relation("r", 1, symbols=symbols)
+        rel.add(("x",))
+        coded_y = symbols.intern_row(("y",))
+        assert rel.raw_merge_new([coded_y]) == [coded_y]
+        assert rel.rows() == {("x",), ("y",)}
 
 
 class TestDatabase:
@@ -124,3 +190,39 @@ class TestDatabase:
     def test_constructor_from_mapping(self):
         db = Database({"edge": [("a", "b"), ("b", "c")]})
         assert len(db.relation("edge")) == 2
+
+
+class TestInternedDatabase:
+    def test_merge_with_shared_symbol_table(self):
+        symbols = SymbolTable()
+        left = Database({"p": [("a",)], "q": [("c", 1)]}).interned(symbols)
+        right = Database({"p": [("a",), ("b",)]}).interned(symbols)
+        added = left.merge(right)
+        assert added == 1
+        assert left.facts("p") == {("a",), ("b",)}
+        assert left.facts("q") == {("c", 1)}
+        assert left.symbols is symbols and right.symbols is symbols
+
+    def test_merge_raw_into_interned(self):
+        interned = Database({"p": [("a",)]}).interned()
+        raw = Database({"p": [("b",)]})
+        assert interned.merge(raw) == 1
+        assert interned.facts("p") == {("a",), ("b",)}
+        # Merging never switches the storage mode of the target.
+        assert interned.symbols is not None and raw.symbols is None
+
+    def test_copy_shares_symbol_table_but_not_rows(self):
+        symbols = SymbolTable()
+        db = Database({"p": [("a",)]}).interned(symbols)
+        cloned = db.copy()
+        assert cloned.symbols is symbols
+        cloned.add_fact("p", "b")
+        assert db.facts("p") == {("a",)}
+        assert cloned.facts("p") == {("a",), ("b",)}
+        # The new constant landed in the shared table, so both sides
+        # decode it identically.
+        assert symbols.code("b") is not None
+
+    def test_interned_is_idempotent(self):
+        db = Database({"p": [("a",)]}).interned()
+        assert db.interned() is db

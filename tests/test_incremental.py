@@ -1,0 +1,401 @@
+"""Differential guarantees for incremental maintenance and serving.
+
+The contract under test: a materialized IDB maintained through any
+sequence of EDB changesets must fingerprint identically to a
+from-scratch evaluation of the post-change database — across
+executors, interning modes, counting and DRed strata, and through
+every failure path (budget exhaustion, chaos faults, unsupported
+changesets), where serving must self-heal with a full rebuild rather
+than ever serving a half-maintained state.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.incremental_bench import (_maintenance_workloads,
+                                           regression_failures)
+from repro.cli import main
+from repro.datalog import parse_program
+from repro.engine.seminaive import seminaive_evaluate
+from repro.errors import (BudgetExceededError, EvaluationError,
+                          IncrementalUnsupported)
+from repro.facts import Database
+from repro.facts.changelog import (Changeset, VersionedDatabase,
+                                   random_changeset)
+from repro.incremental import (Server, maintain, relation_fingerprint,
+                               support_counts)
+from repro.runtime import ChaosError
+from repro.runtime.budget import Budget
+from repro.runtime.chaos import ChaosPlan
+from repro.shell import run as shell_run
+
+TC = """
+r0: reach(X, Y) :- edge(X, Y).
+r1: reach(X, Z) :- reach(X, Y), edge(Y, Z).
+"""
+
+NONREC = """
+r0: parent(X, Y) :- father(X, Y).
+r1: parent(X, Y) :- mother(X, Y).
+r2: grand(X, Z) :- parent(X, Y), parent(Y, Z).
+"""
+
+NEG = """
+r0: lone(X) :- person(X), not linked(X).
+r1: linked(X) :- edge(X, Y).
+"""
+
+
+def _small_tc():
+    program = parse_program(TC)
+    db = Database()
+    rng = random.Random(5)
+    for _ in range(70):
+        db.add_fact("edge", f"n{rng.randrange(40)}",
+                    f"n{rng.randrange(40)}")
+    return program, db
+
+
+# -- the differential sweep: every bench workload, random changesets ----------
+
+@pytest.mark.parametrize("trial", range(2))
+@pytest.mark.parametrize(
+    "workload", _maintenance_workloads("smoke", seed=7),
+    ids=lambda w: w.name)
+def test_maintenance_matches_recomputation(workload, trial):
+    rng = random.Random(100 + trial)
+    changeset = random_changeset(workload.edb, rng,
+                                 insert_fraction=0.03,
+                                 delete_fraction=0.03)
+    versioned = VersionedDatabase(workload.edb.copy())
+    idb = seminaive_evaluate(workload.program, versioned.db)
+    counts = support_counts(workload.program, versioned.db, idb)
+    versioned.apply(changeset,
+                    idb_predicates=workload.program.idb_predicates)
+    maintain(workload.program, versioned.db, idb,
+             versioned.changes_since(0), counts=counts)
+    recomputed = seminaive_evaluate(workload.program, versioned.db)
+    assert relation_fingerprint(idb) == relation_fingerprint(recomputed)
+
+
+@pytest.mark.parametrize("executor", ["compiled", "interpreted"])
+@pytest.mark.parametrize("interning", ["off", "on"])
+def test_update_stream_matches_from_scratch(executor, interning):
+    program, db = _small_tc()
+    if interning == "on":
+        db = db.interned()
+    server = Server(db)
+    view = server.view(program, executor=executor)
+    assert view.refresh() == "full"
+    rng = random.Random(9)
+    for _ in range(4):
+        changeset = random_changeset(server.source.db, rng,
+                                     insert_fraction=0.05,
+                                     delete_fraction=0.05)
+        server.apply(changeset)
+        assert view.refresh() == "incremental"
+        scratch = seminaive_evaluate(program, server.source.db)
+        assert view.fingerprint() == relation_fingerprint(scratch)
+
+
+# -- algorithm-level invariants ----------------------------------------------
+
+def test_counting_keeps_multiply_supported_rows():
+    program = parse_program(NONREC)
+    db = Database({"father": [("a", "b")],
+                   "mother": [("a", "b"), ("c", "b")]})
+    versioned = VersionedDatabase(db)
+    idb = seminaive_evaluate(program, db)
+    counts = support_counts(program, db, idb)
+    versioned.apply(Changeset().delete("father", ("a", "b")))
+    maintain(program, db, idb, versioned.changes_since(0), counts=counts)
+    # parent(a, b) still has its mother-derivation.
+    assert ("a", "b") in idb.facts("parent")
+    versioned.apply(Changeset().delete("mother", ("a", "b")))
+    maintain(program, db, idb, versioned.changes_since(1), counts=counts)
+    assert ("a", "b") not in idb.facts("parent")
+
+
+def test_counts_stay_exact_across_maintenance():
+    program, db = _small_tc()
+    # A non-recursive projection over the recursive workload's EDB.
+    program = parse_program(NONREC)
+    db = Database({"father": [(f"f{i}", f"c{i % 7}") for i in range(20)],
+                   "mother": [(f"c{i % 7}", f"g{i % 5}")
+                              for i in range(20)]})
+    versioned = VersionedDatabase(db)
+    idb = seminaive_evaluate(program, db)
+    counts = support_counts(program, db, idb)
+    rng = random.Random(3)
+    changeset = random_changeset(db, rng, insert_fraction=0.2,
+                                 delete_fraction=0.2)
+    versioned.apply(changeset, idb_predicates=program.idb_predicates)
+    maintain(program, db, idb, versioned.changes_since(0), counts=counts)
+    rebuilt = support_counts(program, db,
+                             seminaive_evaluate(program, db))
+
+    def normalized(c):
+        return {pred: {row: n for row, n in counter.items() if n}
+                for pred, counter in c.by_pred.items()}
+
+    assert normalized(counts) == normalized(rebuilt)
+
+
+def test_dred_rederives_alternative_paths():
+    program = parse_program(TC)
+    db = Database({"edge": [("a", "b"), ("b", "c"), ("a", "c")]})
+    versioned = VersionedDatabase(db)
+    idb = seminaive_evaluate(program, db)
+    versioned.apply(Changeset().delete("edge", ("a", "c")))
+    maintain(program, db, idb, versioned.changes_since(0))
+    # reach(a, c) is overdeleted, then rederived via a -> b -> c.
+    assert ("a", "c") in idb.facts("reach")
+    versioned.apply(Changeset().delete("edge", ("b", "c")))
+    maintain(program, db, idb, versioned.changes_since(1))
+    assert ("a", "c") not in idb.facts("reach")
+
+
+def test_negation_reachable_from_change_is_rejected():
+    program = parse_program(NEG)
+    db = Database({"person": [("a",), ("b",)], "edge": [("a", "b")]})
+    versioned = VersionedDatabase(db)
+    idb = seminaive_evaluate(program, db)
+    # edge feeds linked, which occurs negated: not incremental.
+    versioned.apply(Changeset().insert("edge", ("b", "a")))
+    with pytest.raises(IncrementalUnsupported):
+        maintain(program, db, idb, versioned.changes_since(0))
+
+
+def test_person_changes_avoid_the_negation_and_maintain():
+    program = parse_program(NEG)
+    db = Database({"person": [("a",), ("b",)], "edge": [("a", "b")]})
+    versioned = VersionedDatabase(db)
+    idb = seminaive_evaluate(program, db)
+    counts = support_counts(program, db, idb)
+    # person reaches no negated occurrence, so this stays incremental.
+    versioned.apply(Changeset().insert("person", ("c",)))
+    maintain(program, db, idb, versioned.changes_since(0), counts=counts)
+    assert ("c",) in idb.facts("lone")
+
+
+# -- serving lifecycle --------------------------------------------------------
+
+def test_refresh_modes_lifecycle():
+    program, db = _small_tc()
+    server = Server(db)
+    view = server.view(program)
+    assert view.refresh() == "full"
+    assert view.refresh() == "fresh"
+    server.apply(Changeset().insert("edge", ("x1", "x2")))
+    assert view.refresh() == "incremental"
+    assert view.refresh() == "fresh"
+    view.invalidate()
+    assert view.refresh() == "full"
+
+
+def test_empty_changeset_refreshes_as_fresh():
+    program, db = _small_tc()
+    server = Server(db)
+    view = server.view(program)
+    view.refresh()
+    server.apply(Changeset())  # bumps the version, changes nothing
+    assert view.refresh() == "fresh"
+    assert view.version == server.version
+
+
+def test_unsupported_changeset_falls_back_to_full():
+    program = parse_program(NEG)
+    db = Database({"person": [("a",), ("b",)], "edge": [("a", "b")]})
+    server = Server(db)
+    view = server.view(program)
+    view.refresh()
+    server.apply(Changeset().insert("edge", ("b", "a")))
+    assert view.refresh() == "full"
+    assert view.facts("lone") == frozenset()
+
+
+def test_apply_rejects_idb_changes():
+    program, db = _small_tc()
+    server = Server(db)
+    server.view(program)
+    with pytest.raises(EvaluationError, match="IDB"):
+        server.apply(Changeset().insert("reach", ("a", "b")))
+
+
+def test_serve_answers_track_updates():
+    program, db = _small_tc()
+    server = Server(db)
+    before = server.serve(program, "reach(z1, X)")
+    assert before == set()
+    server.apply(Changeset().insert("edge", ("z1", "z2")))
+    server.apply(Changeset().insert("edge", ("z2", "z3")))
+    after = server.serve(program, "reach(z1, X)")
+    assert {("z2",), ("z3",)} <= after
+
+
+# -- failure paths: serving must self-heal ------------------------------------
+
+def test_budget_exhaustion_mid_refresh_self_heals():
+    program, db = _small_tc()
+    server = Server(db)
+    view = server.view(program)
+    view.refresh()
+    rng = random.Random(17)
+    server.apply(random_changeset(server.source.db, rng,
+                                  insert_fraction=0.3))
+    with pytest.raises(BudgetExceededError):
+        view.refresh(Budget(max_derivations=1))
+    assert not view.valid
+    assert view.refresh() == "full"
+    scratch = seminaive_evaluate(program, server.source.db)
+    assert view.fingerprint() == relation_fingerprint(scratch)
+
+
+def test_chaos_fault_mid_refresh_self_heals():
+    program, db = _small_tc()
+    server = Server(db)
+    view = server.view(program)
+    view.refresh()
+    rng = random.Random(23)
+    server.apply(random_changeset(server.source.db, rng,
+                                  insert_fraction=0.3))
+    plan = ChaosPlan().fail_derivation(3)
+    with plan.active():
+        with pytest.raises(ChaosError):
+            view.refresh()
+    assert not view.valid
+    assert view.refresh() == "full"
+    scratch = seminaive_evaluate(program, server.source.db)
+    assert view.fingerprint() == relation_fingerprint(scratch)
+
+
+# -- the bench gate ----------------------------------------------------------
+
+def _inc_report(insert_speedup=10.0, delete_speedup=5.0, repeats=3,
+                agree=True):
+    def mode(speedup):
+        return {"speedup": speedup, "fingerprints_agree": agree}
+    return {"repeats": repeats,
+            "workloads": [{"name": "transitive_closure",
+                           "insert": mode(insert_speedup),
+                           "delete": mode(delete_speedup)}]}
+
+
+class TestIncrementalGate:
+    def test_passes_above_thresholds(self):
+        assert regression_failures(_inc_report(), min_insert_speedup=5,
+                                   min_delete_speedup=2) == []
+
+    def test_fails_on_too_few_repeats(self):
+        failures = regression_failures(_inc_report(repeats=1))
+        assert failures == ["report measured with repeats=1; gates "
+                            "need >= 3 for stable medians"]
+
+    def test_fails_on_fingerprint_disagreement(self):
+        failures = regression_failures(_inc_report(agree=False))
+        assert len(failures) == 2
+        assert all("disagrees" in f for f in failures)
+
+    def test_fails_on_budget_exceeded(self):
+        report = _inc_report()
+        report["workloads"][0]["insert"] = {"budget_exceeded": True}
+        failures = regression_failures(report)
+        assert failures == ["transitive_closure/insert: budget exceeded"]
+
+    def test_fails_below_insert_threshold(self):
+        failures = regression_failures(_inc_report(insert_speedup=1.2),
+                                       min_insert_speedup=5)
+        assert failures == [
+            "transitive_closure/insert: maintenance is only 1.20x "
+            "faster than recomputation (required 5.00x)"]
+
+    def test_fails_below_delete_threshold(self):
+        failures = regression_failures(_inc_report(delete_speedup=0.8),
+                                       min_delete_speedup=2)
+        assert failures and "delete" in failures[0]
+
+    def test_fails_on_missing_speedup_measurement(self):
+        report = _inc_report()
+        del report["workloads"][0]["delete"]["speedup"]
+        failures = regression_failures(report, min_delete_speedup=2)
+        assert failures == [
+            "transitive_closure/delete: no speedup measurement"]
+
+    def test_fails_on_missing_workload(self):
+        failures = regression_failures({"repeats": 3, "workloads": []})
+        assert "missing from report" in failures[-1]
+
+    def test_thresholds_off_by_default(self):
+        assert regression_failures(_inc_report(insert_speedup=0.1,
+                                               delete_speedup=0.1)) == []
+
+
+# -- the CLI and shell surfaces ----------------------------------------------
+
+@pytest.fixture
+def serve_files(tmp_path):
+    program = tmp_path / "tc.dl"
+    program.write_text(TC)
+    db = tmp_path / "db.dl"
+    db.write_text("edge(a, b).\nedge(b, c).\n")
+    changes = tmp_path / "changes.dl"
+    changes.write_text("+edge(c, d).\n-edge(a, b).\n")
+    return {"program": str(program), "db": str(db),
+            "changes": str(changes), "dir": tmp_path}
+
+
+class TestServeCommand:
+    def test_serve_reports_modes_and_reanswers(self, serve_files, capsys):
+        code = main(["serve", serve_files["program"], serve_files["db"],
+                     "--query", "reach(X, Y)",
+                     "--update", serve_files["changes"]])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "a\tb" in captured.out            # pre-update answer
+        assert "c\td" in captured.out            # post-update answer
+        assert "full" in captured.err
+        assert "incremental" in captured.err
+
+    def test_serve_describe(self, serve_files, capsys):
+        assert main(["serve", serve_files["program"], serve_files["db"],
+                     "--query", "reach(a, X)", "--describe"]) == 0
+        assert '"views"' in capsys.readouterr().err
+
+    def test_update_writes_post_database(self, serve_files, tmp_path,
+                                         capsys):
+        out = tmp_path / "post.dl"
+        code = main(["update", serve_files["db"],
+                     serve_files["changes"], "--out", str(out)])
+        assert code == 0
+        post = Database.from_text(out.read_text())
+        assert ("c", "d") in post.facts("edge")
+        assert ("a", "b") not in post.facts("edge")
+
+    def test_bench_incremental_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(["bench-incremental", "--scale", "smoke",
+                     "--repeats", "1", "--out", str(out)])
+        assert code == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert {"transitive_closure", "same_generation", "magic"} == {
+            block["name"] for block in report["workloads"]}
+        assert "insert" in capsys.readouterr().out
+
+
+def test_shell_update_maintains_answers():
+    out = shell_run([
+        "reach(X, Y) :- edge(X, Y).",
+        "reach(X, Z) :- reach(X, Y), edge(Y, Z).",
+        "edge(a, b).",
+        "?- reach(a, X).",
+        ".update +edge(b, c).",
+        "?- reach(a, X).",
+    ])
+    text = "\n".join(out)
+    assert "applied +1/-0 -> v1" in text
+    assert "incremental" in text
+    # The second query sees the maintained closure.
+    assert text.count("  b") + text.count("  c") >= 3
