@@ -42,7 +42,7 @@ from ..facts.changelog import Changeset, VersionedDatabase, \
 from ..facts.database import Database
 from ..incremental.maintain import SupportCounts, maintain, \
     support_counts
-from ..incremental.serving import relation_fingerprint
+from ..serving.views import relation_fingerprint
 from ..runtime.budget import Budget
 from .engine_bench import DEFAULT_SEED, EngineWorkload, build_workloads
 

@@ -15,7 +15,12 @@ Commands:
   and source spans; ``--bundled`` lints every shipped workload.
 - ``serve PROGRAM DB --query Q [--update F ...]`` — materialize the
   program once, answer the query, then apply each changeset file and
-  re-answer from the incrementally maintained view.
+  re-answer from the incrementally maintained view; ``--concurrent``
+  runs the same session through the threaded serving tier
+  (``--readers``/``--writers``).
+- ``bench-serving`` — concurrent serving under load and chaos faults;
+  writes ``BENCH_serving.json`` (p50/p99 latency, QPS, stale-read
+  ratio, error rate).
 - ``update DB CHANGESET [...]`` — apply changeset files (``+fact.`` /
   ``-fact.`` statements) to a database and print/write the result.
 - ``experiments [IDS ...]`` — run the reproduction experiments.
@@ -324,6 +329,88 @@ def _print_query_rows(rows) -> None:
         print("\t".join(str(v) for v in row))
 
 
+def _serve_concurrent(args: argparse.Namespace, program,
+                      db: Database) -> int:
+    """``serve --concurrent``: the same query/update session, but run
+    as a mixed workload — ``--readers`` reader threads answer the query
+    from MVCC snapshots while ``--writers`` client threads submit the
+    changeset files through the write pipeline.  The final answer is
+    read back at ``max_lag=0`` after a flush, so it is exactly what the
+    serial path would print.
+    """
+    import json
+    import threading
+
+    from .errors import ServingUnavailable
+    from .facts.changelog import Changeset
+    from .serving import StalenessBound, ThreadedServer
+
+    changesets = [Changeset.from_text(_read(path))
+                  for path in args.update or ()]
+    server = ThreadedServer(db=db, max_readers=args.readers + 1)
+    stop = threading.Event()
+    counters = {"reads": 0, "stale": 0, "rejected": 0}
+    lock = threading.Lock()
+
+    def reader_loop() -> None:
+        while not stop.is_set():
+            try:
+                result = server.read(program, args.query,
+                                     planner=args.planner,
+                                     executor=args.executor,
+                                     deadline_s=1.0)
+            except ServingUnavailable:
+                with lock:
+                    counters["rejected"] += 1
+                continue
+            with lock:
+                counters["reads"] += 1
+                if result.stale:
+                    counters["stale"] += 1
+
+    def writer_loop(batch: list[Changeset]) -> None:
+        for changeset in batch:
+            try:
+                server.update(changeset, timeout_s=1.0)
+            except ServingUnavailable:
+                with lock:
+                    counters["rejected"] += 1
+
+    with server:
+        server.read(program, args.query, planner=args.planner,
+                    executor=args.executor)
+        writers = max(1, args.writers)
+        batches: list[list[Changeset]] = [[] for _ in range(writers)]
+        for index, changeset in enumerate(changesets):
+            batches[index % writers].append(changeset)
+        threads = [threading.Thread(target=reader_loop, daemon=True)
+                   for _ in range(args.readers)]
+        threads += [threading.Thread(target=writer_loop, args=(batch,),
+                                     daemon=True)
+                    for batch in batches if batch]
+        for thread in threads:
+            thread.start()
+        for thread in threads[args.readers:]:
+            thread.join()
+        server.flush()
+        stop.set()
+        for thread in threads[:args.readers]:
+            thread.join(timeout=5.0)
+        result = server.read(program, args.query, planner=args.planner,
+                             executor=args.executor,
+                             staleness=StalenessBound(max_lag=0))
+        _print_query_rows(result.rows)
+        print(f"# v{result.version}: {args.readers} readers / "
+              f"{writers} writers, {counters['reads']} background "
+              f"reads ({counters['stale']} stale, "
+              f"{counters['rejected']} rejected), "
+              f"health {server.health}", file=sys.stderr)
+        if args.describe:
+            print(json.dumps(server.describe(), indent=2),
+                  file=sys.stderr)
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .facts.changelog import Changeset
     from .incremental import Server
@@ -332,6 +419,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     db = Database.from_text(_read(args.database))
     if args.interning == "on":
         db = db.interned()
+    if args.concurrent:
+        return _serve_concurrent(args, program, db)
     server = Server(db)
     budget = _budget_from_args(args)
     view = server.view(program, planner=args.planner,
@@ -415,6 +504,36 @@ def cmd_bench_incremental(args: argparse.Namespace) -> int:
         failures = regression_failures(
             report, min_insert_speedup=args.min_insert_speedup,
             min_delete_speedup=args.min_delete_speedup)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate: ok")
+    return 0
+
+
+def cmd_bench_serving(args: argparse.Namespace) -> int:
+    from .bench.serving_bench import (regression_failures,
+                                      run_serving_benchmark,
+                                      write_serving_benchmark)
+
+    report = run_serving_benchmark(duration_s=args.duration_s,
+                                   readers=args.readers,
+                                   seed=args.seed,
+                                   chaos=not args.no_chaos)
+    write_serving_benchmark(report, args.out)
+    print(f"wrote {args.out} (duration={args.duration_s}s, "
+          f"readers={args.readers}, seed={args.seed})")
+    for mode in report["modes"]:
+        agree = "ok" if mode["fingerprints_agree"] else "MISMATCH"
+        print(f"  {mode['mode']:8} qps={mode['qps']:.0f}  "
+              f"p50={mode['latency_p50_ms']:.2f}ms  "
+              f"p99={mode['latency_p99_ms']:.2f}ms  "
+              f"stale={mode['stale_read_ratio']:.1%}  "
+              f"errors={mode['error_rate']:.1%}  "
+              f"health={mode['final_health']}  fingerprints: {agree}")
+    if args.check:
+        failures = regression_failures(report)
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:
@@ -573,6 +692,18 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["on", "off"])
     p_serve.add_argument("--describe", action="store_true",
                          help="print the server state as JSON to stderr")
+    p_serve.add_argument("--concurrent", action="store_true",
+                         help="serve through the threaded tier: reader "
+                              "threads answer from MVCC snapshots while "
+                              "writer clients stream the --update files "
+                              "through the write pipeline")
+    p_serve.add_argument("--readers", type=int, default=4, metavar="N",
+                         help="with --concurrent, background reader "
+                              "threads (default 4)")
+    p_serve.add_argument("--writers", type=int, default=1, metavar="N",
+                         help="with --concurrent, writer client threads "
+                              "the --update files are spread over "
+                              "(default 1)")
     _add_budget_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -617,6 +748,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(DRed) to be at least X times faster than "
                              "recomputation on transitive closure")
     p_binc.set_defaults(func=cmd_bench_incremental)
+
+    p_bsrv = sub.add_parser(
+        "bench-serving",
+        help="concurrent serving under load (and chaos): "
+             "BENCH_serving.json")
+    p_bsrv.add_argument("--out", default="BENCH_serving.json",
+                        help="report path (default BENCH_serving.json)")
+    p_bsrv.add_argument("--duration-s", type=float, default=2.0,
+                        help="measured run length per mode "
+                             "(default 2.0)")
+    p_bsrv.add_argument("--readers", type=int, default=4,
+                        help="concurrent reader threads (default 4)")
+    p_bsrv.add_argument("--seed", type=int, default=7,
+                        help="RNG seed for the EDB and update stream")
+    p_bsrv.add_argument("--no-chaos", action="store_true",
+                        help="skip the fault-injected mode")
+    p_bsrv.add_argument("--check", action="store_true",
+                        help="exit 1 when reads stall, any unexpected "
+                             "error escapes, or fingerprints disagree")
+    p_bsrv.set_defaults(func=cmd_bench_serving)
 
     p_exp = sub.add_parser("experiments",
                            help="run the reproduction experiments")

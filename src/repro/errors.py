@@ -132,6 +132,35 @@ class IncrementalUnsupported(EvaluationError):
         self.reason = reason
 
 
+class ServingUnavailable(ReproError):
+    """Raised when the serving tier cannot honour a request right now.
+
+    The concurrent serving layer (:mod:`repro.serving`) degrades in
+    defined steps rather than letting internal failures escape to
+    clients: admission control sheds load, a tripped circuit breaker
+    rejects writes, and a reader whose staleness bound cannot be met
+    before its deadline is told so — always with this typed error, so
+    clients can distinguish "back off and retry" from a genuine bug.
+
+    Attributes:
+        reason: short machine-readable tag — ``"admission"`` (too many
+            concurrent readers), ``"circuit-open"`` (write pipeline
+            tripped after repeated refresh failures), ``"deadline"``
+            (the per-request deadline expired before a fresh-enough
+            snapshot existed), ``"no-snapshot"`` (the view has never
+            been successfully materialized), or ``"stopped"`` (the
+            server is shutting down).
+        retry_after_s: a hint for when retrying might succeed, when the
+            server can estimate one (circuit-breaker cooldown).
+    """
+
+    def __init__(self, message: str, reason: str = "unavailable",
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
 class TransformError(ReproError):
     """Raised when a program transformation receives invalid input.
 

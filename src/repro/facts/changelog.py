@@ -130,6 +130,21 @@ class Changeset:
                 out.deletes[pred] = kept
         return out
 
+    def inverted(self) -> "Changeset":
+        """The changeset that undoes this one.
+
+        Exact for *effective* changesets (each delete was present, each
+        insert absent — what :meth:`VersionedDatabase.apply` records):
+        applying ``self`` then ``self.inverted()`` restores the
+        original database.  :meth:`VersionedDatabase.state_at` uses
+        this to reconstruct historical versions from the log.
+        """
+        return Changeset(
+            inserts={pred: set(rows)
+                     for pred, rows in self.deletes.items()},
+            deletes={pred: set(rows)
+                     for pred, rows in self.inserts.items()})
+
     def compose(self, later: "Changeset") -> "Changeset":
         """The net effect of applying ``self`` then ``later``.
 
@@ -299,6 +314,28 @@ class VersionedDatabase:
     def snapshot(self) -> Database:
         """An independent copy of the current database state."""
         return self.db.copy()
+
+    def state_at(self, version: int) -> Database:
+        """An independent copy of the database as of ``version``.
+
+        Reconstructed by rolling the net changeset since ``version``
+        back over a copy of the current state — the log records
+        effective deltas, so the inverse replay is exact.  This is what
+        lets a differential test check an MVCC snapshot served at
+        version ``v`` against a from-scratch evaluation *at* ``v``
+        while the live database has long since moved on.
+        """
+        net = self.changes_since(version)
+        out = self.snapshot()
+        if net.is_empty:
+            return out
+        inverse = net.inverted()
+        for pred, rows in inverse.deletes.items():
+            rel = out.relation_or_empty(pred, _arity_of(rows))
+            rel.discard_all(rows)
+        for pred, rows in inverse.inserts.items():
+            out.ensure(pred, _arity_of(rows)).add_all(rows)
+        return out
 
 
 def _arity_of(rows: Mapping | set) -> int:

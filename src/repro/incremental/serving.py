@@ -1,285 +1,26 @@
-"""Warm query serving over maintained materializations.
+"""Compatibility shim: the serving layer moved to :mod:`repro.serving`.
 
-A :class:`MaterializedView` pairs one program with one
-:class:`~repro.facts.changelog.VersionedDatabase` and keeps the
-program's full IDB materialized across EDB versions: the first use pays
-a fixpoint evaluation, every later use pays only
-:func:`~repro.incremental.maintain.maintain` over the net changeset
-since the version the view last saw.  Compiled rule kernels and
-support counts persist inside the view, so the compile-once /
-reuse-many economics the paper argues for rewrites (Section 3) extend
-across the whole update stream.
+PR 6 promoted ``repro.incremental.serving`` into the top-level
+``repro.serving`` package (snapshot reads, the write pipeline, and the
+threaded front-end live there now).  This module keeps the old import
+path working; new code should import from :mod:`repro.serving`.
 
-A :class:`Server` is a registry of such views keyed by
-``(program fingerprint, planner, executor)`` — the knobs that change
-what a materialization physically is — plus the shared versioned
-database.  ``serve`` refreshes lazily: queries between updates are
-answered straight from the warm IDB.
-
-Self-healing: a refresh interrupted mid-flight (budget exhaustion,
-cancellation, injected fault) leaves the IDB half-maintained, so the
-view marks itself invalid before re-raising; the next refresh discards
-the partial state and falls back to a full, from-scratch
-materialization.  A changeset the maintenance engine cannot handle
-(:class:`~repro.errors.IncrementalUnsupported`) falls back the same
-way, silently — correctness never depends on the incremental path.
+Attribute access is lazy (PEP 562) so that importing
+``repro.incremental`` — which :mod:`repro.serving.views` itself does,
+for the maintenance engine — never recurses into a half-initialized
+``repro.serving``.
 """
 
 from __future__ import annotations
 
-import hashlib
-import time
-from typing import Optional
-
-from ..datalog.parser import parse_query
-from ..datalog.program import Program
-from ..errors import IncrementalUnsupported, ReproError
-from ..facts.changelog import Changeset, VersionedDatabase
-from ..facts.database import Database
-from ..engine.bindings import EvalStats
-from ..engine.compile import KernelCache, validate_executor
-from ..engine.bindings import validate_planner
-from ..engine.seminaive import DerivationHook, answers, \
-    seminaive_evaluate
-from ..runtime.budget import Budget
-from .maintain import SupportCounts, maintain, support_counts
+__all__ = ["MaterializedView", "Server", "RefreshReport",
+           "program_fingerprint", "relation_fingerprint"]
 
 
-def program_fingerprint(program: Program) -> str:
-    """A stable 16-hex-digit digest of the program's rules, in order."""
-    text = "\n".join(str(rule) for rule in program)
-    return hashlib.sha256(text.encode()).hexdigest()[:16]
+def __getattr__(name: str):
+    if name in __all__:
+        from ..serving import views
 
-
-def relation_fingerprint(db: Database) -> str:
-    """A digest of a database's facts, interning-agnostic.
-
-    Computed over the sorted value-domain serialization, so a raw and an
-    interned database holding the same facts fingerprint identically —
-    the property the differential tests lean on.
-    """
-    return hashlib.sha256(db.to_text().encode()).hexdigest()[:16]
-
-
-class MaterializedView:
-    """One program's IDB, kept live against a versioned database."""
-
-    def __init__(self, program: Program, source: VersionedDatabase,
-                 planner: str = "greedy", executor: str = "compiled",
-                 hook: Optional[DerivationHook] = None,
-                 use_counts: bool = True) -> None:
-        validate_executor(executor)
-        validate_planner(planner)
-        self.program = program
-        self.source = source
-        self.planner = planner
-        self.executor = executor
-        self.hook = hook
-        self.use_counts = use_counts
-        self.idb: Database | None = None
-        self.counts: SupportCounts | None = None
-        self.kernels = KernelCache(
-            keep_atom_order=planner == "source",
-            symbols=source.db.symbols) if executor == "compiled" else None
-        #: EDB version the materialization reflects; -1 = never built.
-        self.version = -1
-        #: False while the IDB may be mid-maintenance garbage.
-        self.valid = False
-        self.stats = EvalStats()
-        self.full_refreshes = 0
-        self.incremental_refreshes = 0
-        self.last_mode: str | None = None
-        self.last_refresh_s: float | None = None
-
-    @property
-    def key(self) -> tuple[str, str, str]:
-        return (program_fingerprint(self.program), self.planner,
-                self.executor)
-
-    def __repr__(self) -> str:
-        state = "stale" if self.version < self.source.version \
-            else "fresh"
-        if not self.valid:
-            state = "invalid"
-        return (f"MaterializedView({self.key[0]}, v{self.version} "
-                f"{state}, planner={self.planner}, "
-                f"executor={self.executor})")
-
-    # -- lifecycle -----------------------------------------------------------
-    def _materialize(self, budget: Budget | None) -> str:
-        started = time.perf_counter()
-        self.valid = False
-        stats = EvalStats()
-        self.idb = seminaive_evaluate(
-            self.program, self.source.db, stats=stats,
-            hook=self.hook, planner=self.planner, budget=budget,
-            executor=self.executor)
-        self.counts = support_counts(
-            self.program, self.source.db, self.idb, stats=stats,
-            executor=self.executor, hook=self.hook) \
-            if self.use_counts else None
-        self.stats.merge(stats)
-        self.version = self.source.version
-        self.valid = True
-        self.full_refreshes += 1
-        self.last_mode = "full"
-        self.last_refresh_s = time.perf_counter() - started
-        return "full"
-
-    def refresh(self, budget: Budget | None = None) -> str:
-        """Bring the view current; returns how it got there.
-
-        ``"fresh"`` — already at the source version, nothing ran.
-        ``"incremental"`` — delta maintenance over the net changeset.
-        ``"full"`` — from-scratch materialization (first build, an
-        invalidated view, or an unsupported changeset).
-
-        Any error escaping a refresh leaves the view invalid; the next
-        call self-heals with a full rebuild.
-        """
-        if not self.valid or self.idb is None:
-            return self._materialize(budget)
-        if self.version >= self.source.version:
-            self.last_mode = "fresh"
-            return "fresh"
-        changes = self.source.changes_since(self.version)
-        if changes.is_empty:
-            self.version = self.source.version
-            self.last_mode = "fresh"
-            return "fresh"
-        started = time.perf_counter()
-        self.valid = False
-        try:
-            maintain(self.program, self.source.db, self.idb, changes,
-                     counts=self.counts, stats=self.stats,
-                     planner=self.planner, executor=self.executor,
-                     hook=self.hook, budget=budget,
-                     kernels=self.kernels)
-        except IncrementalUnsupported:
-            return self._materialize(budget)
-        self.version = self.source.version
-        self.valid = True
-        self.incremental_refreshes += 1
-        self.last_mode = "incremental"
-        self.last_refresh_s = time.perf_counter() - started
-        return "incremental"
-
-    def invalidate(self) -> None:
-        """Force the next refresh to rebuild from scratch."""
-        self.valid = False
-
-    # -- reads ---------------------------------------------------------------
-    def query(self, text_or_literals) -> set[tuple]:
-        """Answer a conjunctive query from the warm materialization.
-
-        The caller is responsible for refreshing first (``Server.serve``
-        does); querying a stale view answers as of :attr:`version`.
-        """
-        if self.idb is None:
-            raise ReproError("view was never materialized; call refresh()")
-        if isinstance(text_or_literals, str):
-            literals = parse_query(text_or_literals).literals
-        else:
-            literals = tuple(text_or_literals)
-        return answers(literals, self.program, self.source.db,
-                       self.idb, self.stats)
-
-    def facts(self, pred: str) -> frozenset[tuple]:
-        if self.idb is None:
-            raise ReproError("view was never materialized; call refresh()")
-        return self.idb.facts(pred)
-
-    def fingerprint(self) -> str:
-        """Digest of the current IDB (for differential comparison)."""
-        if self.idb is None:
-            raise ReproError("view was never materialized; call refresh()")
-        return relation_fingerprint(self.idb)
-
-    def describe(self) -> dict:
-        """A JSON-friendly summary (CLI ``serve --describe``)."""
-        return {
-            "program": self.key[0],
-            "planner": self.planner,
-            "executor": self.executor,
-            "version": self.version,
-            "source_version": self.source.version,
-            "valid": self.valid,
-            "counts": self.counts is not None
-            and len(self.counts.by_pred),
-            "full_refreshes": self.full_refreshes,
-            "incremental_refreshes": self.incremental_refreshes,
-            "last_mode": self.last_mode,
-            "idb_facts": self.idb.total_facts()
-            if self.idb is not None else 0,
-        }
-
-
-class Server:
-    """A versioned database plus a registry of materialized views."""
-
-    def __init__(self, db: Database | None = None,
-                 source: VersionedDatabase | None = None) -> None:
-        if source is not None and db is not None:
-            raise ReproError("pass either db or source, not both")
-        self.source = source if source is not None \
-            else VersionedDatabase(db)
-        self.views: dict[tuple[str, str, str], MaterializedView] = {}
-
-    def __repr__(self) -> str:
-        return (f"Server(v{self.source.version}, "
-                f"{len(self.views)} views)")
-
-    @property
-    def version(self) -> int:
-        return self.source.version
-
-    def view(self, program: Program, planner: str = "greedy",
-             executor: str = "compiled",
-             hook: Optional[DerivationHook] = None,
-             use_counts: bool = True) -> MaterializedView:
-        """Get or create the view for ``(program, planner, executor)``."""
-        key = (program_fingerprint(program), planner, executor)
-        existing = self.views.get(key)
-        if existing is not None:
-            return existing
-        view = MaterializedView(program, self.source, planner=planner,
-                                executor=executor, hook=hook,
-                                use_counts=use_counts)
-        self.views[key] = view
-        return view
-
-    def idb_predicates(self) -> frozenset[str]:
-        """IDB predicates across every registered view's program."""
-        preds: set[str] = set()
-        for view in self.views.values():
-            preds |= view.program.idb_predicates
-        return frozenset(preds)
-
-    def apply(self, changeset: Changeset) -> int:
-        """Apply a changeset to the shared database; views go stale.
-
-        Nothing recomputes here — refresh is lazy, at the next serve.
-        """
-        return self.source.apply(changeset,
-                                 idb_predicates=self.idb_predicates())
-
-    def serve(self, program: Program, query,
-              planner: str = "greedy", executor: str = "compiled",
-              budget: Budget | None = None) -> set[tuple]:
-        """Answer ``query`` from a warm, current materialization."""
-        view = self.view(program, planner=planner, executor=executor)
-        view.refresh(budget)
-        return view.query(query)
-
-    def refresh_all(self, budget: Budget | None = None) -> dict[str, str]:
-        """Refresh every view; returns fingerprint -> mode."""
-        return {key[0]: view.refresh(budget)
-                for key, view in self.views.items()}
-
-    def describe(self) -> dict:
-        return {
-            "version": self.source.version,
-            "edb_facts": self.source.db.total_facts(),
-            "log_entries": len(self.source.log),
-            "views": [view.describe() for view in self.views.values()],
-        }
+        return getattr(views, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -10,16 +10,20 @@ fault-injection harness (:mod:`repro.runtime.chaos`) that the test suite
 uses to prove every fallback path fires.  See ``docs/robustness.md``.
 """
 
-from ..errors import BudgetExceededError, EvaluationCancelledError
+from ..errors import (BudgetExceededError, EvaluationCancelledError,
+                      ServingUnavailable)
 from .budget import (DEFAULT_DEADLINE_CHECK_INTERVAL, Budget,
                      current_budget, resolve_budget)
 from .chaos import ChaosError, ChaosPlan, active_plan, checkpoint
 from .resilience import ResilienceReport, StageFailure
+from .retry import CircuitBreaker, HealthState, RetryPolicy
 
 __all__ = [
     "Budget", "current_budget", "resolve_budget",
     "DEFAULT_DEADLINE_CHECK_INTERVAL",
     "BudgetExceededError", "EvaluationCancelledError",
+    "ServingUnavailable",
     "ChaosError", "ChaosPlan", "active_plan", "checkpoint",
     "ResilienceReport", "StageFailure",
+    "CircuitBreaker", "HealthState", "RetryPolicy",
 ]

@@ -41,8 +41,12 @@ class _Fault:
     error: BaseException | None = None
     stall_s: float = 0.0
     #: How many additional times the fault re-arms (-1 = forever).
-    repeats: int = 0
+    repeats: int = -1
     fired: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.repeats >= 0 and self.fired > self.repeats
 
     def trigger(self, where: str) -> None:
         self.fired += 1
@@ -68,10 +72,18 @@ class ChaosPlan:
     # -- scheduling ----------------------------------------------------------
     def fail_stage(self, stage: str,
                    error: BaseException | None = None,
-                   stall_s: float = 0.0) -> "ChaosPlan":
+                   stall_s: float = 0.0,
+                   repeats: int = -1) -> "ChaosPlan":
         """Make the named stage raise (default :class:`ChaosError`)
-        and/or stall when it is entered."""
-        self._stage_faults[stage] = _Fault(error=error, stall_s=stall_s)
+        and/or stall when it is entered.
+
+        ``repeats`` bounds how many *additional* entries re-fire the
+        fault: ``-1`` (default) fires forever, ``0`` fires exactly
+        once, ``n`` fires ``n + 1`` times — the knob self-healing tests
+        use to fail the first k recovery attempts and then let the
+        k+1st succeed."""
+        self._stage_faults[stage] = _Fault(error=error, stall_s=stall_s,
+                                           repeats=repeats)
         return self
 
     def fail_derivation(self, nth: int,
@@ -87,7 +99,7 @@ class ChaosPlan:
     # -- instrumentation hooks ----------------------------------------------
     def stage(self, name: str) -> None:
         fault = self._stage_faults.get(name)
-        if fault is None:
+        if fault is None or fault.exhausted:
             return
         self.triggered.append(("stage", name))
         fault.trigger(f"stage {name!r}")

@@ -1,0 +1,136 @@
+"""MVCC snapshots: immutable, versioned materializations for readers.
+
+The write side of the serving tier mutates shared state in place — the
+:class:`~repro.facts.changelog.VersionedDatabase` EDB under ``apply``
+and the view's live IDB under incremental maintenance.  Readers never
+touch either.  Instead, after every successful refresh the view
+publishes a :class:`Snapshot`: an independent copy of the EDB and IDB
+as of one version, swapped in with a single reference assignment
+(atomic under the GIL).  A reader pins whatever snapshot reference it
+observes and answers queries from it without locks, unaffected by any
+refresh — including a *failed* one — running concurrently.
+
+Staleness is a first-class, bounded property rather than an accident:
+a :class:`StalenessBound` says how far behind the live version (and/or
+how old in wall-clock terms) a served snapshot may be.  The threaded
+front-end serves the last-good snapshot whenever it satisfies the
+bound, which is what keeps readers answering while the single
+maintenance writer churns — or retries after a fault — underneath.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..datalog.parser import parse_query
+from ..datalog.program import Program
+from ..engine.bindings import EvalStats
+from ..engine.seminaive import answers
+from ..facts.database import Database
+
+
+class Snapshot:
+    """One immutable (by convention) materialization at one version.
+
+    Holds independent copies of the EDB and IDB, so neither in-place
+    ``apply`` mutations nor a half-finished maintenance pass can ever
+    show through a reader's result set.  Construction cost is one
+    relation copy per predicate (index buckets are duplicated warm, see
+    :meth:`repro.facts.relation.Relation.copy`), paid once per refresh
+    by the writer — never by readers.
+    """
+
+    def __init__(self, program: Program, version: int,
+                 edb: Database, idb: Database) -> None:
+        self.program = program
+        self.version = version
+        self.edb = edb
+        self.idb = idb
+        #: Monotonic creation stamp, for wall-clock staleness bounds.
+        self.created_monotonic = time.monotonic()
+        self._fingerprint: str | None = None
+
+    def __repr__(self) -> str:
+        return (f"Snapshot(v{self.version}, "
+                f"{self.idb.total_facts()} IDB facts, "
+                f"age={self.age_s():.3f}s)")
+
+    def age_s(self) -> float:
+        """Seconds since this snapshot was published."""
+        return time.monotonic() - self.created_monotonic
+
+    def query(self, text_or_literals,
+              stats: EvalStats | None = None) -> set[tuple]:
+        """Answer a conjunctive query from the pinned state.
+
+        Each call uses its own :class:`EvalStats` unless one is passed,
+        so concurrent readers never share a mutable counter object.
+        """
+        if isinstance(text_or_literals, str):
+            literals = parse_query(text_or_literals).literals
+        else:
+            literals = tuple(text_or_literals)
+        return answers(literals, self.program, self.edb, self.idb,
+                       stats if stats is not None else EvalStats())
+
+    def facts(self, pred: str) -> frozenset[tuple]:
+        return self.idb.facts(pred)
+
+    def fingerprint(self) -> str:
+        """Digest of the snapshot IDB; cached — a snapshot is immutable.
+
+        Import is local to avoid a cycle (views.py imports this module).
+        """
+        if self._fingerprint is None:
+            from .views import relation_fingerprint
+            self._fingerprint = relation_fingerprint(self.idb)
+        return self._fingerprint
+
+    def describe(self) -> dict:
+        return {
+            "version": self.version,
+            "idb_facts": self.idb.total_facts(),
+            "edb_facts": self.edb.total_facts(),
+            "age_s": round(self.age_s(), 6),
+        }
+
+
+class StalenessBound:
+    """How stale a served snapshot may be, in versions and/or seconds.
+
+    ``max_lag`` bounds ``source.version - snapshot.version`` — the
+    number of applied changesets the answer may be missing.  ``max_age_s``
+    bounds wall-clock snapshot age.  ``None`` disables the respective
+    axis; the default bound (``max_lag=None, max_age_s=None``) accepts
+    any last-good snapshot, which is the availability-over-freshness
+    corner of the trade-off.  ``max_lag=0`` demands the current version
+    (readers then wait, up to their deadline, for the writer).
+    """
+
+    def __init__(self, max_lag: Optional[int] = None,
+                 max_age_s: Optional[float] = None) -> None:
+        if max_lag is not None and max_lag < 0:
+            raise ValueError("max_lag must be >= 0")
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError("max_age_s must be >= 0")
+        self.max_lag = max_lag
+        self.max_age_s = max_age_s
+
+    def __repr__(self) -> str:
+        return (f"StalenessBound(max_lag={self.max_lag}, "
+                f"max_age_s={self.max_age_s})")
+
+    def allows(self, snapshot: Snapshot | None,
+               source_version: int) -> bool:
+        """May ``snapshot`` be served while the source is at
+        ``source_version``?"""
+        if snapshot is None:
+            return False
+        if self.max_lag is not None \
+                and source_version - snapshot.version > self.max_lag:
+            return False
+        if self.max_age_s is not None \
+                and snapshot.age_s() > self.max_age_s:
+            return False
+        return True

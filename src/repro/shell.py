@@ -253,8 +253,9 @@ class Shell:
         version = self._server.apply(changeset)
         yield (f"applied +{changeset.total_inserts()}"
                f"/-{changeset.total_deletes()} -> v{version}")
-        for fingerprint, mode in self._server.refresh_all().items():
-            yield f"view {fingerprint}: {mode}"
+        report = self._server.refresh_all()
+        for line in report.summary().splitlines():
+            yield line
 
     def _cmd_validate(self, _: str) -> Iterator[str]:
         yield validate_program(self.program).summary()

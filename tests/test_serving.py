@@ -1,0 +1,612 @@
+"""The concurrent serving tier, tested deterministically.
+
+Covers the single-threaded contracts of every new piece — MVCC
+snapshots and staleness bounds, retry/backoff, the circuit breaker,
+the coalescing write pipeline and its failure ladder, the aggregating
+``refresh_all`` sweep, and the atomic-materialization regression — by
+driving ``process_once`` and injected chaos plans directly, with no
+threads and no wall-clock sleeps.  The actual multi-threaded mixed
+workload lives in ``test_serving_concurrency.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.engine.seminaive import seminaive_evaluate
+from repro.errors import BudgetExceededError, ServingUnavailable
+from repro.facts import Database
+from repro.facts.changelog import Changeset, VersionedDatabase
+from repro.runtime import ChaosError
+from repro.runtime.budget import Budget
+from repro.runtime.chaos import ChaosPlan
+from repro.runtime.retry import CircuitBreaker, HealthState, RetryPolicy
+from repro.serving import (Server, Snapshot, StalenessBound,
+                           ThreadedServer, WritePipeline,
+                           relation_fingerprint)
+
+TC = """
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+"""
+
+NONREC = """
+grand(X, Z) :- parent(X, Y), parent(Y, Z).
+"""
+
+
+def _edge_db(*edges):
+    db = Database()
+    db.ensure("edge", 2)
+    for src, dst in edges:
+        db.add_fact("edge", src, dst)
+    return db
+
+
+def _chain_db(n=5):
+    return _edge_db(*[(f"n{i}", f"n{i + 1}") for i in range(n)])
+
+
+def _no_sleep(_):
+    pass
+
+
+# -- snapshots and staleness bounds ------------------------------------------
+
+def test_snapshot_is_immune_to_live_mutation():
+    program = parse_program(TC)
+    server = Server(_chain_db(3))
+    view = server.view(program, publish_snapshots=True)
+    view.refresh()
+    snapshot = view.snapshot
+    assert snapshot is not None and snapshot.version == 0
+    before = snapshot.query("reach(n0, X)")
+
+    server.apply(Changeset.from_text("+edge(n3, n9). -edge(n0, n1)."))
+    view.refresh()
+    # The pinned snapshot still answers as of version 0.
+    assert snapshot.query("reach(n0, X)") == before
+    assert view.snapshot is not snapshot
+    assert view.snapshot.version == 1
+    assert ("n9",) in view.snapshot.query("reach(n3, X)")
+
+
+def test_snapshot_fingerprint_matches_state_at_version():
+    program = parse_program(TC)
+    server = Server(_chain_db(4))
+    view = server.view(program, publish_snapshots=True)
+    pinned = []
+    for text in ("+edge(n4, n5).", "-edge(n1, n2).", "+edge(n0, n4)."):
+        view.refresh()
+        pinned.append(view.snapshot)
+        server.apply(Changeset.from_text(text))
+    view.refresh()
+    pinned.append(view.snapshot)
+    for snapshot in pinned:
+        historical = server.source.state_at(snapshot.version)
+        expected = seminaive_evaluate(program, historical)
+        assert snapshot.fingerprint() == relation_fingerprint(expected)
+
+
+def test_staleness_bound_axes():
+    program = parse_program(TC)
+    snapshot = Snapshot(program, version=3, edb=Database(),
+                        idb=Database())
+    assert StalenessBound().allows(snapshot, source_version=1000)
+    assert not StalenessBound().allows(None, source_version=0)
+    assert StalenessBound(max_lag=2).allows(snapshot, 5)
+    assert not StalenessBound(max_lag=1).allows(snapshot, 5)
+    assert StalenessBound(max_lag=0).allows(snapshot, 3)
+    assert StalenessBound(max_age_s=60.0).allows(snapshot, 3)
+    snapshot.created_monotonic -= 120.0
+    assert not StalenessBound(max_age_s=60.0).allows(snapshot, 3)
+    with pytest.raises(ValueError):
+        StalenessBound(max_lag=-1)
+    with pytest.raises(ValueError):
+        StalenessBound(max_age_s=-0.5)
+
+
+# -- retry policy ------------------------------------------------------------
+
+def test_retry_backoff_schedule_is_exponential_and_capped():
+    policy = RetryPolicy(max_attempts=5, base_delay_s=0.1,
+                         multiplier=2.0, max_delay_s=0.3, jitter=0.0)
+    assert list(policy.delays()) == [0.1, 0.2, 0.3, 0.3]
+
+
+def test_retry_jitter_is_bounded_and_reproducible():
+    make = lambda: RetryPolicy(max_attempts=4, base_delay_s=0.1,
+                               jitter=0.5, rng=random.Random(42))
+    first, second = list(make().delays()), list(make().delays())
+    assert first == second  # seeded rng => identical schedule
+    for raw, jittered in zip([0.1, 0.2, 0.4], first):
+        assert raw * 0.5 <= jittered <= raw
+
+
+def test_retry_call_recovers_then_reraises():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise ValueError("transient")
+        return "ok"
+
+    policy = RetryPolicy(max_attempts=3, jitter=0.0)
+    failures = []
+    assert policy.call(flaky, sleep=_no_sleep,
+                       on_failure=lambda n, e: failures.append(n)) == "ok"
+    assert len(calls) == 3 and failures == [1, 2]
+
+    calls.clear()
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=2, jitter=0.0).call(
+            lambda: (_ for _ in ()).throw(ValueError("always")),
+            sleep=_no_sleep)
+
+
+def test_retry_only_retries_matching_errors():
+    def boom():
+        raise KeyError("not transient")
+
+    with pytest.raises(KeyError):
+        RetryPolicy(max_attempts=5, jitter=0.0).call(
+            boom, retry_on=(ValueError,), sleep=_no_sleep)
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+def test_breaker_automaton_closed_open_halfopen():
+    clock = [0.0]
+    breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0,
+                             clock=lambda: clock[0])
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    assert breaker.retry_after_s() == pytest.approx(10.0)
+
+    clock[0] = 11.0  # cooldown elapsed: exactly one probe
+    assert breaker.state == "half-open"
+    assert breaker.allow()
+    assert not breaker.allow()  # concurrent caller is shed
+
+    breaker.record_failure()  # failed probe re-opens for a new cooldown
+    assert breaker.state == "open"
+    clock[0] = 22.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed" and breaker.allow()
+    assert breaker.times_opened == 2
+
+
+# -- the write pipeline ------------------------------------------------------
+
+def _pipeline(db=None, **kwargs):
+    server = Server(db if db is not None else _chain_db(4))
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=2, jitter=0.0))
+    kwargs.setdefault("sleep", _no_sleep)
+    return server, WritePipeline(server, **kwargs)
+
+
+def test_pipeline_coalesces_queue_into_one_batch():
+    program = parse_program(TC)
+    server, pipeline = _pipeline()
+    server.view(program, publish_snapshots=True)
+    pipeline.submit(Changeset.from_text("+edge(n4, n5)."))
+    pipeline.submit(Changeset.from_text("+edge(n5, n6)."))
+    pipeline.submit(Changeset.from_text("-edge(n4, n5)."))
+    assert pipeline.process_once()
+    assert pipeline.drained()
+    assert pipeline.batches == 1
+    assert pipeline.changesets_coalesced == 3
+    assert pipeline.applied_versions == 1  # one net apply, one version
+    view = server.view(program)
+    assert view.version == server.version == 1
+    # The insert+delete pair cancelled; only n5->n6 landed.
+    assert ("n6",) in view.query("reach(n5, X)")
+    assert not server.source.db.facts("edge") & {("n4", "n5")}
+
+
+def test_pipeline_failed_batch_is_carried_not_dropped():
+    program = parse_program(TC)
+    server, pipeline = _pipeline()
+    view = server.view(program, publish_snapshots=True)
+    view.refresh()
+    pipeline.submit(Changeset.from_text("+edge(n4, n5)."))
+
+    plan = ChaosPlan()
+    plan.fail_stage("serving:apply", repeats=1)  # both attempts fail
+    with plan.active():
+        assert pipeline.process_once()
+    assert not pipeline.drained()  # the write is parked, not lost
+    assert pipeline.health == HealthState.DEGRADED
+    assert isinstance(pipeline.last_error, ChaosError)
+    assert server.version == 0
+
+    assert pipeline.process_once()  # fault exhausted: carry lands
+    assert pipeline.drained()
+    assert server.version == 1
+    assert pipeline.health == HealthState.HEALTHY
+    assert ("n5",) in server.view(program).query("reach(n0, X)")
+
+
+def test_pipeline_retry_applies_changeset_exactly_once():
+    program = parse_program(TC)
+    server, pipeline = _pipeline(
+        retry=RetryPolicy(max_attempts=3, jitter=0.0))
+    server.view(program, publish_snapshots=True).refresh()
+    pipeline.submit(Changeset.from_text("+edge(n4, n5)."))
+    plan = ChaosPlan()
+    plan.fail_stage("serving:refresh", repeats=0)  # first attempt only
+    with plan.active():
+        assert pipeline.process_once()
+    # Apply landed on attempt 1; the retry must not re-apply it.
+    assert server.version == 1
+    assert pipeline.applied_versions == 1
+    assert pipeline.drained()
+    assert pipeline.health == HealthState.HEALTHY
+    assert pipeline.refresh_failures == 1
+
+
+def test_pipeline_rebuild_ladder_then_circuit_opens():
+    program = parse_program(TC)
+    server, pipeline = _pipeline(
+        retry=RetryPolicy(max_attempts=1, jitter=0.0),
+        breaker=CircuitBreaker(failure_threshold=3, cooldown_s=60.0),
+        rebuild_after=2)
+    view = server.view(program, publish_snapshots=True)
+    view.refresh()
+    last_good = view.snapshot
+
+    plan = ChaosPlan()
+    plan.fail_stage("serving:refresh")       # incremental path fails
+    plan.fail_stage("serving:materialize")   # ... and so do rebuilds
+    with plan.active():
+        pipeline.submit(Changeset.from_text("+edge(n4, n5)."))
+        assert pipeline.process_once()
+        assert pipeline.health == HealthState.DEGRADED
+        assert pipeline.process_once()
+        # Second consecutive failure: views invalidated for rebuild.
+        assert pipeline.full_rebuilds_forced == 1
+        assert not view.valid
+        assert pipeline.process_once()
+        assert pipeline.breaker.state == "open"
+        assert pipeline.health == HealthState.UNAVAILABLE
+        # Open circuit rejects both new writes and processing.
+        with pytest.raises(ServingUnavailable) as exc:
+            pipeline.submit(Changeset.from_text("+edge(n5, n6)."))
+        assert exc.value.reason == "circuit-open"
+        assert exc.value.retry_after_s is not None
+        assert not pipeline.process_once()
+    # Readers kept the last-good snapshot through the whole outage.
+    assert view.snapshot is last_good
+
+
+def test_pipeline_recovers_after_cooldown_probe():
+    clock = [0.0]
+    program = parse_program(TC)
+    server, pipeline = _pipeline(
+        retry=RetryPolicy(max_attempts=1, jitter=0.0),
+        breaker=CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                               clock=lambda: clock[0]),
+        rebuild_after=10)
+    server.view(program, publish_snapshots=True).refresh()
+    plan = ChaosPlan()
+    plan.fail_stage("serving:refresh", repeats=0)
+    pipeline.submit(Changeset.from_text("+edge(n4, n5)."))
+    with plan.active():
+        assert pipeline.process_once()
+    assert pipeline.breaker.state == "open"
+    clock[0] = 6.0  # cooldown over: the probe batch heals everything
+    assert pipeline.process_once()
+    assert pipeline.breaker.state == "closed"
+    assert pipeline.health == HealthState.HEALTHY
+    assert pipeline.drained()
+    view = server.view(program)
+    assert view.version == server.version == 1
+
+
+def test_pipeline_backpressure_rejects_with_typed_error():
+    _, pipeline = _pipeline(max_queue=2)
+    pipeline.submit(Changeset.from_text("+edge(a, b)."))
+    pipeline.submit(Changeset.from_text("+edge(b, c)."))
+    with pytest.raises(ServingUnavailable) as exc:
+        pipeline.submit(Changeset.from_text("+edge(c, d)."),
+                        timeout_s=0.0)
+    assert exc.value.reason == "backpressure"
+    assert pipeline.rejected == 1
+
+
+# -- refresh_all aggregation (satellite: no abort-on-first-failure) ----------
+
+def test_refresh_all_continues_past_failing_view():
+    server = Server(_chain_db(4))
+    first = server.view(parse_program(TC))
+    second = server.view(parse_program(NONREC))
+    assert server.refresh_all().ok  # both materialized at v0
+    server.apply(Changeset.from_text("+edge(n4, n5). +parent(a, b)."))
+
+    plan = ChaosPlan()
+    plan.fail_stage("serving:refresh", repeats=0)
+    with plan.active():
+        report = server.refresh_all()
+    # Registration order: the TC view hits the fault, NONREC succeeds.
+    assert not report.ok
+    assert list(report.errors) == [first.key[0]]
+    assert isinstance(report.errors[first.key[0]], ChaosError)
+    assert report.modes == {second.key[0]: "incremental"}
+    assert second.valid and second.version == 1
+    assert not first.valid
+    with pytest.raises(ChaosError):
+        report.raise_first()
+    assert "FAILED ChaosError" in report.summary()
+
+    # The failed view self-heals on the next (clean) sweep.
+    report = server.refresh_all()
+    assert report.ok and first.valid
+    assert first.version == second.version == 1
+
+
+# -- atomic materialization (satellite: never half-built) --------------------
+
+def test_materialize_fault_leaves_last_good_snapshot_intact():
+    """A fault during the self-healing rebuild must leave the view
+    cleanly invalidated — previous snapshot serving, no half-built
+    state — at *both* failed refresh attempts, and the third attempt
+    must fully recover."""
+    program = parse_program(TC)
+    server = Server(_chain_db(3))
+    view = server.view(program, publish_snapshots=True)
+    view.refresh()
+    last_good = view.snapshot
+    good_rows = last_good.query("reach(n0, X)")
+    server.apply(Changeset.from_text("+edge(n3, n4)."))
+
+    plan = ChaosPlan()
+    plan.fail_stage("serving:refresh", repeats=0)
+    plan.fail_stage("serving:materialize", repeats=0)
+    with plan.active():
+        # Attempt 1: the incremental path faults mid-maintenance.
+        with pytest.raises(ChaosError):
+            view.refresh()
+        assert not view.valid
+        assert view.version == 0
+        assert view.snapshot is last_good
+        assert last_good.query("reach(n0, X)") == good_rows
+        # Attempt 2: the self-healing full rebuild faults too.
+        with pytest.raises(ChaosError):
+            view.refresh()
+        assert not view.valid
+        assert view.version == 0
+        assert view.snapshot is last_good
+        assert last_good.query("reach(n0, X)") == good_rows
+        # Attempt 3: both faults are exhausted; full recovery.
+        assert view.refresh() == "full"
+    assert view.valid and view.version == 1
+    assert view.snapshot is not last_good
+    assert view.snapshot.version == 1
+    expected = seminaive_evaluate(program, server.source.db)
+    assert view.fingerprint() == relation_fingerprint(expected)
+    assert ("n4",) in view.snapshot.query("reach(n0, X)")
+
+
+def test_snapshot_swap_fault_keeps_previous_snapshot():
+    program = parse_program(TC)
+    server = Server(_chain_db(3))
+    view = server.view(program, publish_snapshots=True)
+    view.refresh()
+    last_good = view.snapshot
+    server.apply(Changeset.from_text("+edge(n3, n4)."))
+
+    plan = ChaosPlan()
+    plan.fail_stage("serving:snapshot-swap", repeats=0)
+    with plan.active():
+        with pytest.raises(ChaosError):
+            view.refresh()
+        assert view.snapshot is last_good
+        # The IDB itself is current and valid; only publication failed.
+        # The next refresh is a no-op ("fresh") that re-runs the swap.
+        assert view.refresh() == "fresh"
+    assert view.snapshot is not last_good
+    assert view.snapshot.version == 1
+
+
+# -- changeset algebra edge cases (satellite) --------------------------------
+
+def test_compose_insert_delete_insert_across_three_changesets():
+    insert = Changeset.from_text("+edge(a, b).")
+    delete = Changeset.from_text("-edge(a, b).")
+    again = Changeset.from_text("+edge(a, b).")
+
+    net = insert.compose(delete).compose(again)
+    assert net.inserts.get("edge") == {("a", "b")}
+    assert not any(net.deletes.values())
+
+    # Composition order of evaluation doesn't matter for the net.
+    alt = insert.compose(delete.compose(again))
+    assert alt.inserts.get("edge") == net.inserts.get("edge")
+
+    # Against a real database, composed == sequential.
+    composed = VersionedDatabase(Database())
+    composed.apply(net)
+    sequential = VersionedDatabase(Database())
+    for step in (insert, delete, again):
+        sequential.apply(step)
+    assert (relation_fingerprint(composed.db)
+            == relation_fingerprint(sequential.db))
+
+    # Ending on the delete instead: the fact nets out entirely.
+    gone = insert.compose(delete)
+    assert not any(gone.inserts.values())
+
+
+def test_compose_with_empty_changeset_is_identity():
+    empty = Changeset()
+    batch = Changeset.from_text("+edge(a, b). -edge(c, d).")
+    for net in (batch.compose(empty), empty.compose(batch)):
+        assert net.inserts.get("edge") == {("a", "b")}
+        assert net.deletes.get("edge") == {("c", "d")}
+    assert empty.compose(empty).is_empty
+
+
+def test_normalized_drops_delete_of_simultaneous_insert():
+    both = Changeset(inserts={"edge": {("a", "b"), ("c", "d")}},
+                     deletes={"edge": {("a", "b")}, "other": set()})
+    norm = both.normalized()
+    assert norm.inserts["edge"] == {("a", "b"), ("c", "d")}
+    assert "edge" not in norm.deletes  # net effect: the row is present
+    assert "other" not in norm.deletes  # empty buckets dropped
+
+
+# -- serving under budget exhaustion -----------------------------------------
+
+def test_refresh_all_survives_budget_exhaustion_mid_refresh():
+    program = parse_program(TC)
+    server = Server(_chain_db(30))
+    view = server.view(program, publish_snapshots=True)
+    view.refresh()
+    last_good = view.snapshot
+    server.apply(Changeset.from_text("+edge(n30, n31)."))
+
+    report = server.refresh_all(Budget(max_derivations=1))
+    assert not report.ok
+    assert isinstance(report.errors[view.key[0]], BudgetExceededError)
+    assert not view.valid
+    assert view.snapshot is last_good  # readers never see the wreck
+
+    report = server.refresh_all()  # unbudgeted sweep: full rebuild
+    assert report.ok and report.modes[view.key[0]] == "full"
+    expected = seminaive_evaluate(program, server.source.db)
+    assert view.fingerprint() == relation_fingerprint(expected)
+
+
+def test_pipeline_budget_failures_climb_the_recovery_ladder():
+    program = parse_program(TC)
+    server, pipeline = _pipeline(
+        db=_chain_db(30),
+        retry=RetryPolicy(max_attempts=1, jitter=0.0),
+        rebuild_after=2)
+    view = server.view(program, publish_snapshots=True)
+    view.refresh()
+    server.apply(Changeset.from_text("+edge(n30, n31)."))
+
+    # The first two refresh sweeps run under an impossible budget —
+    # a BudgetExceededError mid-refresh, twice in a row — which must
+    # walk the ladder to a forced full rebuild, then heal cleanly.
+    real_refresh_all = server.refresh_all
+    budgeted = [True, True]
+
+    def choked_refresh_all(budget=None):
+        if budgeted:
+            budgeted.pop()
+            return real_refresh_all(Budget(max_derivations=1))
+        return real_refresh_all(budget)
+
+    server.refresh_all = choked_refresh_all
+    pipeline.submit(Changeset.from_text("+edge(n31, n32)."))
+    assert pipeline.process_once()
+    assert pipeline.health == HealthState.DEGRADED
+    assert isinstance(pipeline.last_error, BudgetExceededError)
+    assert pipeline.process_once()  # second budget failure in a row
+    assert pipeline.health == HealthState.REBUILDING
+    assert not view.valid
+    assert pipeline.full_rebuilds_forced == 1
+    assert pipeline.process_once()  # clean sweep: full rebuild heals
+    assert pipeline.health == HealthState.HEALTHY
+    assert pipeline.drained()
+    expected = seminaive_evaluate(program, server.source.db)
+    assert view.fingerprint() == relation_fingerprint(expected)
+
+
+# -- the threaded front-end, inline (writer-less) mode -----------------------
+
+def test_threaded_server_inline_reads_and_updates():
+    program = parse_program(TC)
+    server = ThreadedServer(db=_chain_db(3))
+    result = server.read(program, "reach(n0, X)")
+    assert ("n3",) in result.rows
+    assert result.version == 0 and not result.stale
+
+    server.update(Changeset.from_text("+edge(n3, n9)."))
+    fresh = server.read(program, "reach(n0, X)",
+                        staleness=StalenessBound(max_lag=0))
+    assert ("n9",) in fresh.rows
+    assert fresh.version == fresh.source_version == 1
+    assert fresh.lag == 0
+
+
+def test_threaded_server_stopped_rejects_reads_and_writes():
+    program = parse_program(TC)
+    server = ThreadedServer(db=_chain_db(2))
+    server.read(program, "reach(n0, X)")
+    server.stop()
+    with pytest.raises(ServingUnavailable) as exc:
+        server.read(program, "reach(n0, X)")
+    assert exc.value.reason == "stopped"
+    with pytest.raises(ServingUnavailable) as exc:
+        server.update(Changeset.from_text("+edge(a, b)."))
+    assert exc.value.reason == "stopped"
+
+
+def test_threaded_server_deadline_when_bound_unreachable():
+    program = parse_program(TC)
+    server = ThreadedServer(db=_chain_db(3))
+    server.read(program, "reach(n0, X)")  # publish v0
+    # Make every refresh path fail; a max_lag=0 read then cannot be
+    # satisfied and must come back as a typed deadline failure (the
+    # last-good snapshot is still v0, the source at v1).
+    server.update(Changeset.from_text("+edge(n3, n9)."))
+    plan = ChaosPlan()
+    plan.fail_stage("serving:refresh")
+    plan.fail_stage("serving:materialize")
+    with plan.active():
+        stale = server.read(program, "reach(n0, X)")  # default bound
+        assert stale.version == 1  # inline update already refreshed
+        server.pipeline.server.apply(
+            Changeset.from_text("+edge(n9, n10)."))
+        with pytest.raises(ServingUnavailable) as exc:
+            server.read(program, "reach(n0, X)", deadline_s=0.05,
+                        staleness=StalenessBound(max_lag=0))
+    assert exc.value.reason == "deadline"
+
+
+# -- the serving benchmark gate ----------------------------------------------
+
+def test_serving_bench_report_and_gate():
+    from repro.bench.serving_bench import (regression_failures,
+                                           run_serving_benchmark)
+
+    report = run_serving_benchmark(duration_s=0.3, readers=4, seed=7)
+    assert regression_failures(report) == []
+    modes = {mode["mode"] for mode in report["modes"]}
+    assert modes == {"steady", "chaos"}
+    for mode in report["modes"]:
+        assert mode["reads"] > 0
+        assert mode["fingerprints_agree"]
+        assert mode["unexpected_errors"] == []
+        assert mode["latency_p50_ms"] <= mode["latency_p99_ms"]
+    chaos_mode = report["modes"][1]
+    assert chaos_mode["faults_fired"] > 0
+    assert set(report["summary"]) >= {
+        "steady_qps", "steady_p99_ms", "chaos_qps", "chaos_p99_ms"}
+
+
+def test_serving_bench_gate_rejects_bad_reports():
+    from repro.bench.serving_bench import regression_failures
+
+    failures = regression_failures({"modes": [
+        {"mode": "steady", "reads": 0, "qps": 0,
+         "unexpected_errors": ["reader: KeyError: boom"],
+         "fingerprints_agree": False,
+         "expected_errors": {"deadline": 3},
+         "final_health": "healthy"},
+    ]})
+    joined = "\n".join(failures)
+    assert "no reads" in joined
+    assert "unexpected error" in joined
+    assert "disagrees" in joined
+    assert "without faults" in joined
