@@ -50,16 +50,21 @@ from ..workloads.generators import (random_digraph, tree_edges,
 #: Executors compared on every bottom-up method.
 EXECUTORS = ("compiled", "interpreted")
 
-#: Semi-naive compiled-executor configurations compared per workload:
-#: the plain columnless baseline against every interning x planner
-#: combination.  ``baseline`` (greedy planner, raw storage) is the
-#: reference the ``interned_speedup`` metric and the CI gate divide by;
-#: ``interned_adaptive`` is the full fast path.
+#: Semi-naive executor configurations compared per workload: the plain
+#: columnless baseline against every interning x planner combination,
+#: plus the sharded parallel executor on the full fast path.
+#: ``baseline`` (greedy planner, raw storage, single-threaded compiled)
+#: is the reference the ``interned_speedup`` and ``parallel_speedup``
+#: metrics and the CI gates divide by; ``interned_adaptive`` is the
+#: single-threaded fast path; ``parallel`` runs the same knobs through
+#: the sharded executor at :data:`~repro.engine.parallel.DEFAULT_SHARDS`.
 SEMINAIVE_CONFIGS = (
     ("baseline", {"planner": "greedy", "interning": "off"}),
     ("interned_greedy", {"planner": "greedy", "interning": "on"}),
     ("adaptive", {"planner": "adaptive", "interning": "off"}),
     ("interned_adaptive", {"planner": "adaptive", "interning": "on"}),
+    ("parallel", {"planner": "adaptive", "interning": "on",
+                  "executor": "parallel", "shards": 4}),
 )
 
 #: Report format version (bump when the JSON shape changes).
@@ -224,18 +229,31 @@ def _entry(seconds: list[float],
 
 def run_engine_benchmark(scale: str = "default", repeats: int = 3,
                          timeout_s: float | None = 120.0,
-                         seed: int = DEFAULT_SEED) -> dict:
+                         seed: int = DEFAULT_SEED,
+                         focus_executor: str | None = None) -> dict:
     """Run the engine baseline and return the report dict.
 
     Per workload: every bottom-up method (naive, seminaive, magic) runs
     under both executors; top-down runs once (it has no compiled path);
-    the semi-naive compiled executor additionally runs under every
-    :data:`SEMINAIVE_CONFIGS` interning x planner combination.  The
-    report carries per-entry timings/counters, an ``agreement`` block
-    recording the differential checks, and per-workload
-    ``interned_speedup`` — baseline wall time over the
-    interned+adaptive configuration's.
+    the semi-naive evaluation additionally runs under every
+    :data:`SEMINAIVE_CONFIGS` configuration (interning x planner, plus
+    the sharded parallel executor).  The report carries per-entry
+    timings/counters, an ``agreement`` block recording the differential
+    checks, and per-workload ``interned_speedup`` /
+    ``parallel_speedup`` — baseline wall time over the interned+adaptive
+    (resp. parallel) configuration's.
+
+    ``focus_executor="parallel"`` is the CI smoke mode: it skips the
+    method x executor grid and top-down, measuring only the baseline
+    and parallel configurations per workload (the two cells
+    ``parallel_speedup`` needs), and stamps ``focus`` into the report
+    so the gate knows the grid cells are intentionally absent.
     """
+    if focus_executor not in (None, "parallel"):
+        raise ValueError(
+            f"unknown focus executor {focus_executor!r}; "
+            "expected 'parallel'")
+    full_grid = focus_executor is None
     report: dict = {
         "version": REPORT_VERSION,
         "scale": scale,
@@ -244,6 +262,8 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
         "python": platform.python_version(),
         "workloads": [],
     }
+    if focus_executor is not None:
+        report["focus"] = focus_executor
     for workload in build_workloads(scale, seed=seed):
         block: dict = {
             "name": workload.name,
@@ -289,29 +309,34 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
                     == interpreted["stats"]["derivations"])
             _block["methods"][method] = per_method
 
-        bottom_up("naive", lambda executor: evaluate(
-            workload.program, workload.edb, method="naive",
-            executor=executor))
-        bottom_up("seminaive", lambda executor: evaluate(
-            workload.program, workload.edb, executor=executor))
-        bottom_up("magic", lambda executor: evaluate_with_magic(
-            workload.program, workload.edb, workload.query,
-            executor=executor))
+        if full_grid:
+            bottom_up("naive", lambda executor: evaluate(
+                workload.program, workload.edb, method="naive",
+                executor=executor))
+            bottom_up("seminaive", lambda executor: evaluate(
+                workload.program, workload.edb, executor=executor))
+            bottom_up("magic", lambda executor: evaluate_with_magic(
+                workload.program, workload.edb, workload.query,
+                executor=executor))
 
-        # Semi-naive compiled executor across interning x planner.  The
+        # Semi-naive evaluation across the configuration matrix.  The
         # baseline configuration equals the seminaive/compiled entry
         # above (greedy planner, raw storage), so its measurement is
-        # reused rather than re-timed.
+        # reused rather than re-timed — except in focus mode, where
+        # the grid was skipped and baseline is timed directly.
         configs: dict = {}
         config_fingerprints: dict[str, str] = {}
         for config_name, knobs in SEMINAIVE_CONFIGS:
-            if config_name == "baseline":
+            if not full_grid and config_name not in (
+                    "baseline", focus_executor):
+                continue
+            if config_name == "baseline" and full_grid:
                 entry = dict(block["methods"]["seminaive"]["compiled"])
             else:
                 seconds, result = _timed(
                     lambda _knobs=knobs: evaluate(
                         workload.program, workload.edb,
-                        executor="compiled", **_knobs),
+                        **{"executor": "compiled", **_knobs}),
                     repeats, timeout_s)
                 entry = _entry(seconds, result)
             configs[config_name] = entry
@@ -319,36 +344,45 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
                 config_fingerprints[config_name] = entry["fingerprint"]
         block["seminaive_configs"] = configs
         baseline = configs["baseline"]
-        fast = configs["interned_adaptive"]
+        fast = configs.get("interned_adaptive", {})
         if "fingerprint" in baseline and "fingerprint" in fast:
             block["interned_speedup"] = round(
                 baseline["wall_ms"] / max(fast["wall_ms"], 1e-6), 3)
+        sharded = configs.get("parallel", {})
+        if "fingerprint" in baseline and "fingerprint" in sharded:
+            block["parallel_speedup"] = round(
+                baseline["wall_ms"] / max(sharded["wall_ms"], 1e-6), 3)
 
-        seconds, topdown = _timed_topdown(workload, repeats, timeout_s)
-        td_entry: dict = {
-            "wall_ms": round(statistics.median(seconds) * 1000, 3)}
-        if topdown is None:
-            td_entry["budget_exceeded"] = True
-        else:
-            td_entry["answers"] = len(topdown.answers)
-            td_entry["stats"] = topdown.stats.as_dict()
-            answers["topdown"] = _query_rows(
-                topdown.project(workload.query), workload.query)
-        block["methods"]["topdown"] = td_entry
+        if full_grid:
+            seconds, topdown = _timed_topdown(
+                workload, repeats, timeout_s)
+            td_entry: dict = {
+                "wall_ms": round(statistics.median(seconds) * 1000, 3)}
+            if topdown is None:
+                td_entry["budget_exceeded"] = True
+            else:
+                td_entry["answers"] = len(topdown.answers)
+                td_entry["stats"] = topdown.stats.as_dict()
+                answers["topdown"] = _query_rows(
+                    topdown.project(workload.query), workload.query)
+            block["methods"]["topdown"] = td_entry
 
         block["agreement"] = {
-            "methods_agree": len(set(answers.values())) <= 1,
-            "methods_compared": sorted(answers),
-            "executors_agree": all(
-                block["methods"][m].get("executors_agree", True)
-                for m in ("naive", "seminaive", "magic")),
-            "naive_matches_seminaive": fingerprints.get(
-                ("naive", "compiled")) == fingerprints.get(
-                ("seminaive", "compiled")),
             "configs_agree": len(set(
                 config_fingerprints.values())) <= 1,
             "configs_compared": sorted(config_fingerprints),
         }
+        if full_grid:
+            block["agreement"].update({
+                "methods_agree": len(set(answers.values())) <= 1,
+                "methods_compared": sorted(answers),
+                "executors_agree": all(
+                    block["methods"][m].get("executors_agree", True)
+                    for m in ("naive", "seminaive", "magic")),
+                "naive_matches_seminaive": fingerprints.get(
+                    ("naive", "compiled")) == fingerprints.get(
+                    ("seminaive", "compiled")),
+            })
         report["workloads"].append(block)
 
     tc = _workload_block(report, "transitive_closure")
@@ -361,9 +395,14 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
     for name, key in (("transitive_closure", "tc"),
                       ("same_generation", "sg"), ("magic", "magic")):
         block = _workload_block(report, name)
-        if block is not None and "interned_speedup" in block:
+        if block is None:
+            continue
+        if "interned_speedup" in block:
             summary[f"{key}_interned_speedup"] = \
                 block["interned_speedup"]
+        if "parallel_speedup" in block:
+            summary[f"{key}_parallel_speedup"] = \
+                block["parallel_speedup"]
     report["summary"] = summary
     return report
 
@@ -410,22 +449,42 @@ def write_engine_benchmark(report: dict,
 MIN_GATE_REPEATS = 3
 
 
+#: Methods the per-cell executor floors apply to (top-down has no
+#: compiled path and is excluded).
+GATED_METHODS = ("naive", "seminaive", "magic")
+
+
 def regression_failures(report: dict, max_slowdown: float = 1.5,
                         workload: str = "transitive_closure",
                         min_interned_speedup: float | None = None,
+                        min_parallel_speedup: float | None = None,
                         min_repeats: int = MIN_GATE_REPEATS
                         ) -> list[str]:
     """Check the report against the CI gate; returns failure messages.
 
     Fails when the report was measured with fewer than ``min_repeats``
     repeats (single-run medians make every threshold below noise-
-    sensitive), when the compiled executor is slower than the
-    interpreted one by more than ``max_slowdown``× on the semi-naive
-    ``workload`` row, or when any differential agreement flag is false.
+    sensitive), or when any differential agreement flag is false.
+
+    The ``max_slowdown`` factor is a per-cell floor over the whole
+    workload x executor grid: on *every* workload, (a) every
+    naive/seminaive/magic cell must have completed under budget on both
+    executors with the compiled executor no more than ``max_slowdown``x
+    slower than the interpreted one, and (b) every semi-naive
+    configuration cell — including the parallel executor's — must be no
+    more than ``max_slowdown``x slower than the compiled baseline.
+
     With ``min_interned_speedup`` set, additionally fails when the
     interned+adaptive configuration is not at least that many times
     faster than the compiled baseline on the transitive-closure and
-    same-generation workloads.
+    same-generation workloads.  With ``min_parallel_speedup`` set,
+    fails when the parallel executor is not at least that many times
+    faster than the single-threaded compiled baseline on ``workload``.
+
+    Focused reports (``focus`` stamped by the smoke mode) only carry
+    the baseline and focused configuration, so the method-grid floors
+    are skipped for them; the config floors and speedup gates still
+    apply.
     """
     failures: list[str] = []
     repeats = report.get("repeats", 0)
@@ -433,25 +492,51 @@ def regression_failures(report: dict, max_slowdown: float = 1.5,
         failures.append(
             f"report measured with repeats={repeats}; gates need "
             f">= {min_repeats} for stable medians")
-    block = _workload_block(report, workload)
-    if block is None:
+    if _workload_block(report, workload) is None:
         return [*failures, f"workload {workload!r} missing from report"]
-    seminaive = block["methods"].get("seminaive", {})
-    speedup = seminaive.get("speedup")
-    if speedup is None:
-        failures.append(
-            f"{workload}: no compiled-vs-interpreted timing "
-            "(budget exceeded?)")
-    elif speedup < 1.0 / max_slowdown:
-        failures.append(
-            f"{workload}: compiled executor is {1.0 / speedup:.2f}x "
-            f"slower than interpreted (allowed {max_slowdown:.2f}x)")
+    full_grid = report.get("focus") is None
     for entry in report["workloads"]:
+        name = entry["name"]
+        if full_grid:
+            for method in GATED_METHODS:
+                per_method = entry["methods"].get(method, {})
+                for executor in EXECUTORS:
+                    cell = per_method.get(executor, {})
+                    if "wall_ms" not in cell or \
+                            cell.get("budget_exceeded"):
+                        failures.append(
+                            f"{name}/{method}/{executor}: cell missing "
+                            "or budget exceeded")
+                speedup = per_method.get("speedup")
+                if speedup is not None and \
+                        speedup < 1.0 / max_slowdown:
+                    failures.append(
+                        f"{name}/{method}: compiled executor is "
+                        f"{1.0 / speedup:.2f}x slower than interpreted "
+                        f"(allowed {max_slowdown:.2f}x)")
+        configs = entry.get("seminaive_configs", {})
+        base_wall = configs.get("baseline", {}).get("wall_ms")
+        for config_name, cell in configs.items():
+            if config_name == "baseline":
+                continue
+            if "wall_ms" not in cell or cell.get("budget_exceeded"):
+                failures.append(
+                    f"{name}/{config_name}: cell missing or budget "
+                    "exceeded")
+                continue
+            if base_wall is None:
+                continue
+            ratio = base_wall / max(cell["wall_ms"], 1e-6)
+            if ratio < 1.0 / max_slowdown:
+                failures.append(
+                    f"{name}/{config_name}: {1.0 / ratio:.2f}x slower "
+                    f"than the compiled baseline (allowed "
+                    f"{max_slowdown:.2f}x)")
         agreement = entry.get("agreement", {})
         for flag in ("methods_agree", "executors_agree",
                      "naive_matches_seminaive", "configs_agree"):
             if agreement.get(flag) is False:
-                failures.append(f"{entry['name']}: {flag} is false")
+                failures.append(f"{name}: {flag} is false")
     if min_interned_speedup is not None:
         for name in ("transitive_closure", "same_generation"):
             entry = _workload_block(report, name)
@@ -467,4 +552,16 @@ def regression_failures(report: dict, max_slowdown: float = 1.5,
                     f"{name}: interned+adaptive is only {interned:.2f}x "
                     f"the compiled baseline (required "
                     f"{min_interned_speedup:.2f}x)")
+    if min_parallel_speedup is not None:
+        entry = _workload_block(report, workload)
+        parallel = entry.get("parallel_speedup") if entry else None
+        if parallel is None:
+            failures.append(
+                f"{workload}: no parallel_speedup measurement "
+                "(budget exceeded?)")
+        elif parallel < min_parallel_speedup:
+            failures.append(
+                f"{workload}: parallel executor is only "
+                f"{parallel:.2f}x the single-threaded compiled "
+                f"baseline (required {min_parallel_speedup:.2f}x)")
     return failures

@@ -122,7 +122,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                       planner=args.planner,
                       budget=_budget_from_args(args),
                       executor=args.executor,
-                      interning=args.interning)
+                      interning=args.interning,
+                      shards=args.shards,
+                      parallel_mode=args.parallel_mode)
     if args.query:
         for row in sorted(result.query(args.query), key=str):
             print("\t".join(str(v) for v in row))
@@ -149,9 +151,14 @@ def cmd_explain(args: argparse.Namespace) -> int:
         else Database()
     if args.interning == "on":
         db = db.interned()
-    render = explain_kernels if args.kernels else explain_plan
-    print(render(program, db, planner=args.planner,
-                 show_stats=args.stats))
+    if args.kernels:
+        print(explain_kernels(program, db, planner=args.planner,
+                              show_stats=args.stats,
+                              executor=args.executor,
+                              shards=args.shards))
+    else:
+        print(explain_plan(program, db, planner=args.planner,
+                           show_stats=args.stats))
     return 0
 
 
@@ -291,12 +298,15 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
 
     report = run_engine_benchmark(scale=args.scale, repeats=args.repeats,
                                   timeout_s=args.timeout_s,
-                                  seed=args.seed)
+                                  seed=args.seed,
+                                  focus_executor=args.focus_executor)
     write_engine_benchmark(report, args.out)
+    focus = f", focus={args.focus_executor}" if args.focus_executor \
+        else ""
     print(f"wrote {args.out} (scale={args.scale}, "
-          f"repeats={args.repeats}, seed={args.seed})")
+          f"repeats={args.repeats}, seed={args.seed}{focus})")
     for workload in report["workloads"]:
-        methods = workload["methods"]
+        methods = workload.get("methods", {})
         parts = []
         for method in ("naive", "seminaive", "magic"):
             speedup = methods.get(method, {}).get("speedup")
@@ -305,9 +315,12 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
         interned = workload.get("interned_speedup")
         if interned is not None:
             parts.append(f"interned+adaptive {interned:.2f}x")
+        parallel = workload.get("parallel_speedup")
+        if parallel is not None:
+            parts.append(f"parallel {parallel:.2f}x")
         agreement = workload["agreement"]
-        ok = agreement["methods_agree"] \
-            and agreement["executors_agree"] \
+        ok = agreement.get("methods_agree", True) \
+            and agreement.get("executors_agree", True) \
             and agreement.get("configs_agree", True)
         print(f"  {workload['name']:20} speedups: "
               f"{', '.join(parts) or 'n/a'}  "
@@ -315,7 +328,8 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     if args.check:
         failures = regression_failures(
             report, max_slowdown=args.max_slowdown,
-            min_interned_speedup=args.min_interned_speedup)
+            min_interned_speedup=args.min_interned_speedup,
+            min_parallel_speedup=args.min_parallel_speedup)
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:
@@ -579,9 +593,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "statistics-driven with replanning "
                              "(adaptive), or rule order (source)")
     p_eval.add_argument("--executor", default="compiled",
-                        choices=["compiled", "interpreted"],
-                        help="compiled slot-based kernels (default) or "
-                             "the reference interpreter")
+                        choices=["compiled", "interpreted", "parallel"],
+                        help="compiled slot-based kernels (default), "
+                             "the reference interpreter, or sharded "
+                             "parallel execution of the compiled "
+                             "kernels")
+    p_eval.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="with --executor parallel, hash-partition "
+                             "each delta into N shards (default 4)")
+    p_eval.add_argument("--parallel-mode", default="auto",
+                        choices=["auto", "serial", "thread", "fork"],
+                        help="with --executor parallel, how shard "
+                             "firings run: in-process (serial), thread "
+                             "pool, persistent fork workers, or "
+                             "size-based choice (auto, default)")
     p_eval.add_argument("--interning", default="off",
                         choices=["on", "off"],
                         help="intern constants to dense ints and join "
@@ -603,6 +628,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--kernels", action="store_true",
                            help="show the compiled step programs "
                                 "instead of the planner view")
+    p_explain.add_argument("--executor", default="compiled",
+                           choices=["compiled", "parallel"],
+                           help="with --kernels, 'parallel' appends the "
+                                "sharded-execution view: shard count, "
+                                "anchor partition key, kernel reuse")
+    p_explain.add_argument("--shards", type=int, default=None,
+                           metavar="N",
+                           help="shard count for --executor parallel "
+                                "(default 4)")
     p_explain.add_argument("--interning", default="off",
                            choices=["on", "off"],
                            help="explain against interned storage")
@@ -687,7 +721,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--planner", default="greedy",
                          choices=["greedy", "adaptive", "source"])
     p_serve.add_argument("--executor", default="compiled",
-                         choices=["compiled", "interpreted"])
+                         choices=["compiled", "interpreted",
+                                  "parallel"])
     p_serve.add_argument("--interning", default="off",
                          choices=["on", "off"])
     p_serve.add_argument("--describe", action="store_true",
@@ -800,6 +835,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "to be at least X times the compiled "
                               "baseline on transitive closure and "
                               "same generation")
+    p_bench.add_argument("--min-parallel-speedup", type=float,
+                         default=None, metavar="X",
+                         help="with --check, require the parallel "
+                              "executor to be at least X times the "
+                              "single-threaded compiled baseline on "
+                              "transitive closure")
+    p_bench.add_argument("--executor", default=None,
+                         choices=["parallel"], dest="focus_executor",
+                         help="smoke mode: measure only the baseline "
+                              "and this executor's configuration per "
+                              "workload (skips the full method grid)")
     p_bench.add_argument("--seed", type=int, default=7,
                          help="RNG seed for the generated EDBs "
                               "(default 7; fixed for reproducibility)")

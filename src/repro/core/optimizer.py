@@ -120,6 +120,10 @@ class SemanticOptimizer:
             reducers (the paper's "small relation" criterion is a
             physical-design judgement the optimizer cannot make alone).
         max_hops: SD-graph depth bound for Algorithm 3.1.
+        executor: engine executor used by sample verification
+            (``_spot_check``); ``"parallel"`` shards those evaluations
+            (see :mod:`repro.engine.parallel`).
+        shards: shard count when ``executor="parallel"``.
     """
 
     def __init__(self, program: Program,
@@ -129,11 +133,15 @@ class SemanticOptimizer:
                  small_relations: Iterable[str] = (),
                  max_hops: int = DEFAULT_MAX_HOPS,
                  collapse: bool = True,
-                 compilation: str = "periodic") -> None:
+                 compilation: str = "periodic",
+                 executor: str = "compiled",
+                 shards: int | None = None) -> None:
         if compilation not in ("periodic", "automaton"):
             raise ValueError(
                 f"compilation must be 'periodic' or 'automaton', "
                 f"got {compilation!r}")
+        from ..engine.compile import validate_executor
+        validate_executor(executor)
         self.program = program
         self.ics = list(ics)
         self.guard: GuardMode = guard
@@ -141,6 +149,8 @@ class SemanticOptimizer:
         self.max_hops = max_hops
         self.collapse = collapse
         self.compilation = compilation
+        self.executor = executor
+        self.shards = shards
         self.pred = pred or self._single_recursive_pred(program)
 
     @staticmethod
@@ -628,8 +638,11 @@ class SemanticOptimizer:
             facts_per_relation=facts_per_relation,
             numeric_columns=numeric)
         for index, database in enumerate(databases):
-            source = evaluate(self.program, database, budget=budget)
-            candidate = evaluate(optimized, database, budget=budget)
+            source = evaluate(self.program, database, budget=budget,
+                              executor=self.executor, shards=self.shards)
+            candidate = evaluate(optimized, database, budget=budget,
+                                 executor=self.executor,
+                                 shards=self.shards)
             for pred in sorted(self.program.idb_predicates):
                 left = source.facts(pred)
                 right = candidate.facts(pred)

@@ -5,6 +5,8 @@ from .builtins import holds
 from .compile import (EXECUTORS, CompiledKernel, KernelCache,
                       compile_rule)
 from .stats import RelationStats
+from .parallel import (DEFAULT_SHARDS, PARALLEL_MODES, ShardExecutor,
+                       choose_partition_key, validate_parallel_mode)
 from .engine import (EvaluationResult, consistent_answers, evaluate,
                      evaluate_with_magic, magic_answers, query_answers)
 from .magic import MagicProgram, adornment_of, magic_rewrite
@@ -20,6 +22,8 @@ __all__ = [
     "EvalStats", "PLANNERS", "validate_planner", "holds",
     "EXECUTORS", "CompiledKernel", "KernelCache", "compile_rule",
     "RelationStats",
+    "DEFAULT_SHARDS", "PARALLEL_MODES", "ShardExecutor",
+    "choose_partition_key", "validate_parallel_mode",
     "EvaluationResult", "consistent_answers", "evaluate",
     "evaluate_with_magic", "magic_answers", "query_answers",
     "MagicProgram", "adornment_of", "magic_rewrite",

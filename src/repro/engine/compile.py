@@ -70,8 +70,10 @@ from . import builtins
 from .bindings import (Binding, Cost, EvalStats, Fetch, _check_atom_args,
                        bound_columns_of, plan_body)
 
-#: Known executors for the bottom-up engines.
-EXECUTORS = ("compiled", "interpreted")
+#: Known executors for the bottom-up engines.  ``parallel`` runs the
+#: same compiled kernels sharded over a partition of each firing's
+#: anchor scan (see :mod:`repro.engine.parallel`).
+EXECUTORS = ("compiled", "interpreted", "parallel")
 
 #: ``sizes(atom, body_index) -> int`` — relation-size estimate used by
 #: the greedy planner at compile time.
@@ -346,18 +348,22 @@ class CompiledKernel:
     """
 
     __slots__ = ("rule", "order", "n_slots", "sources", "symbols",
-                 "plan_costs", "fused", "deep_fused", "_entry",
-                 "_fast_entry", "_deep_fn", "_head_fn", "_slot_items",
-                 "_step_notes")
+                 "plan_costs", "fused", "deep_fused", "anchor",
+                 "_entry", "_fast_entry", "_deep_fn", "_head_fn",
+                 "_slot_items", "_step_notes")
 
     def __init__(self, rule: Rule, sizes: Sizes,
                  keep_atom_order: bool = False,
                  cost: Cost | None = None,
-                 symbols: SymbolTable | None = None) -> None:
+                 symbols: SymbolTable | None = None,
+                 order: list[int] | None = None) -> None:
         self.rule = rule
         self.symbols = symbols
-        self.order = plan_body(rule, sizes, keep_atom_order=keep_atom_order,
-                               cost=cost)
+        # ``order`` pins the plan (the parallel executor's fork workers
+        # compile against the coordinator's order so probe/scan/member
+        # classification — and hence the sources list — is identical).
+        self.order = list(order) if order is not None else plan_body(
+            rule, sizes, keep_atom_order=keep_atom_order, cost=cost)
         slot_of: dict[Variable, int] = {}
 
         def slot(var: Variable) -> int:
@@ -497,6 +503,15 @@ class CompiledKernel:
         self.fused = self._fast_entry is not None
         self._deep_fn = self._try_fuse_body(sym_plans, slot_of)
         self.deep_fused = self._deep_fn is not None
+        #: Ordinal (into :attr:`sources`) of the anchor: the full-scan
+        #: source that is also the *first executed step* of the plan —
+        #: the outermost loop of the join, and therefore the axis the
+        #: parallel executor partitions a firing over.  None when the
+        #: plan opens with anything else (a probe, a constant check):
+        #: partitioning an inner scan would re-run the outer steps once
+        #: per shard and break exact counter parity.
+        self.anchor = 0 if plans and plans[0][0] == "atom" \
+            and plans[0][2] is None else None
 
     def _try_fuse_tail(self, plans: list[tuple],
                        slot_of: dict[Variable, int]):
@@ -620,29 +635,48 @@ class CompiledKernel:
         return self.symbols is not None
 
     # -- execution -----------------------------------------------------------
-    def execute(self, fetch: Fetch, stats: EvalStats,
-                hook: Optional[Hook] = None,
-                round_index: int = 0) -> list[Row]:
-        """Run the kernel and return the derived head rows (buffered).
+    def resolve(self, fetch: Fetch) -> list:
+        """Resolve every source to its probe target, in ordinal order.
 
-        ``fetch`` resolves each atom occurrence to its relation exactly
-        as for the interpreter, so delta redirection works unchanged;
-        probe targets (index dict or row container) are resolved once
-        per call, not per tuple.  Rows come back in the kernel's storage
-        domain: codes when :attr:`interned` (insert them with
-        ``raw_add``), plain values otherwise.  When ``hook`` is given, a
-        value-domain ``Binding`` dict view of the slot environment is
-        materialized per solution and the hook may veto the row — the
-        fast path never builds it.
+        Returns the list ``execute`` would build internally: the hash
+        index dict for probe sources, the raw row container for
+        scan/neg/member sources.  The parallel executor resolves once,
+        substitutes the anchor slot per shard, and passes the list back
+        through ``execute(rels=...)``.
         """
-        ctx = _Ctx()
-        rels = ctx.rels
+        rels: list = []
         for body_index, atom, cols, kind in self.sources:
             relation = fetch(atom, body_index)
             if kind == "probe":
                 rels.append(relation.index_for(cols))
             else:  # scan / neg / member: the raw (read-only) row container
                 rels.append(relation.raw_rows())
+        return rels
+
+    def execute(self, fetch: Optional[Fetch], stats: EvalStats,
+                hook: Optional[Hook] = None,
+                round_index: int = 0,
+                rels: list | None = None) -> list[Row]:
+        """Run the kernel and return the derived head rows (buffered).
+
+        ``fetch`` resolves each atom occurrence to its relation exactly
+        as for the interpreter, so delta redirection works unchanged;
+        probe targets (index dict or row container) are resolved once
+        per call, not per tuple.  Callers may instead pass ``rels`` (a
+        :meth:`resolve` result, possibly with sources substituted — the
+        parallel executor's shard buckets) and ``fetch`` is then
+        ignored.  Rows come back in the kernel's storage domain: codes
+        when :attr:`interned` (insert them with ``raw_add``), plain
+        values otherwise.  When ``hook`` is given, a value-domain
+        ``Binding`` dict view of the slot environment is materialized
+        per solution and the hook may veto the row — the fast path
+        never builds it.
+        """
+        ctx = _Ctx()
+        if rels is None:
+            assert fetch is not None
+            rels = self.resolve(fetch)
+        ctx.rels = rels
         if hook is None and self._deep_fn is not None:
             out, counts = self._deep_fn(rels)
             # Level k runs once per row matched at level k-1 (plus one

@@ -69,7 +69,9 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
              planner: str = "greedy",
              budget: Budget | None = None,
              executor: str = "compiled",
-             interning: str = "off") -> EvaluationResult:
+             interning: str = "off",
+             shards: int | None = None,
+             parallel_mode: str = "auto") -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``edb``.
 
     Args:
@@ -89,8 +91,16 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
             :mod:`repro.errors` carrying the partial stats.
         executor: ``"compiled"`` (default) runs rule bodies as cached
             slot-based kernels (:mod:`repro.engine.compile`);
-            ``"interpreted"`` uses the reference interpreter.  Both
-            derive identical databases.
+            ``"interpreted"`` uses the reference interpreter;
+            ``"parallel"`` shards each kernel firing over a hash
+            partition of its anchor scan (:mod:`repro.engine.parallel`).
+            All derive identical databases with identical counters.
+        shards: shard count for ``executor="parallel"`` (default
+            :data:`~repro.engine.parallel.DEFAULT_SHARDS`); ignored by
+            the other executors.
+        parallel_mode: worker pool for ``executor="parallel"`` —
+            ``"auto"`` (in-process below the fork threshold),
+            ``"serial"``, ``"thread"`` or ``"fork"``.
         interning: ``"on"`` re-encodes the EDB over a shared
             :class:`~repro.facts.symbols.SymbolTable` (one pass) so the
             whole fixpoint joins over dense ``int`` codes; ``"off"``
@@ -108,12 +118,14 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
     if method == "seminaive":
         idb = seminaive_evaluate(program, edb, stats, hook=hook,
                                  planner=planner, budget=budget,
-                                 executor=executor)
+                                 executor=executor, shards=shards,
+                                 parallel_mode=parallel_mode)
     elif method == "naive":
         if hook is not None:
             raise EvaluationError("hooks require the semi-naive method")
         idb = naive_evaluate(program, edb, stats, budget=budget,
-                             executor=executor, planner=planner)
+                             executor=executor, planner=planner,
+                             shards=shards, parallel_mode=parallel_mode)
     else:
         raise EvaluationError(
             f"unknown method {method!r}; expected one of {METHODS}")
@@ -126,7 +138,9 @@ def evaluate_with_magic(program: Program, edb: Database, query: Atom,
                         budget: Budget | None = None,
                         executor: str = "compiled",
                         planner: str = "greedy",
-                        interning: str = "off") -> EvaluationResult:
+                        interning: str = "off",
+                        shards: int | None = None,
+                        parallel_mode: str = "auto") -> EvaluationResult:
     """Magic-rewrite ``program`` for ``query`` and evaluate the result.
 
     The returned result's :meth:`EvaluationResult.facts` must be asked for
@@ -143,7 +157,8 @@ def evaluate_with_magic(program: Program, edb: Database, query: Atom,
     stats = EvalStats()
     start = time.perf_counter()
     idb = seminaive_evaluate(rewritten.program, edb, stats, budget=budget,
-                             executor=executor, planner=planner)
+                             executor=executor, planner=planner,
+                             shards=shards, parallel_mode=parallel_mode)
     elapsed = time.perf_counter() - start
     return EvaluationResult(rewritten.program, edb, idb, stats, elapsed,
                             method="seminaive+magic", magic=rewritten,
@@ -154,11 +169,14 @@ def magic_answers(program: Program, edb: Database, query: Atom,
                   budget: Budget | None = None,
                   executor: str = "compiled",
                   planner: str = "greedy",
-                  interning: str = "off") -> frozenset[tuple]:
+                  interning: str = "off",
+                  shards: int | None = None,
+                  parallel_mode: str = "auto") -> frozenset[tuple]:
     """Answers to ``query`` (full tuples) computed via magic sets."""
     result = evaluate_with_magic(program, edb, query, budget=budget,
                                  executor=executor, planner=planner,
-                                 interning=interning)
+                                 interning=interning, shards=shards,
+                                 parallel_mode=parallel_mode)
     assert result.magic is not None
     rows = result.magic.answers(result.idb)
     # Filter on the query's constant positions (magic guarantees relevance

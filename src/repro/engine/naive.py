@@ -18,6 +18,7 @@ from ..runtime.budget import Budget, resolve_budget
 from .bindings import (EvalStats, instantiate_head, solve_body,
                        validate_planner)
 from .compile import KernelCache, validate_executor
+from .parallel import DEFAULT_SHARDS, ShardExecutor, validate_parallel_mode
 from .stratify import stratify
 
 #: Safety valve for runaway fixpoints (e.g. value-inventing arithmetic).
@@ -29,7 +30,9 @@ def naive_evaluate(program: Program, edb: Database,
                    max_iterations: int = DEFAULT_MAX_ITERATIONS,
                    budget: Budget | None = None,
                    executor: str = "compiled",
-                   planner: str = "greedy") -> Database:
+                   planner: str = "greedy",
+                   shards: int | None = None,
+                   parallel_mode: str = "auto") -> Database:
     """Compute the IDB of ``program`` over ``edb`` naively.
 
     Returns a new :class:`Database` containing only IDB relations; the EDB
@@ -39,10 +42,13 @@ def naive_evaluate(program: Program, edb: Database,
 
     ``executor="compiled"`` (default) lowers each rule once into a
     slot-based kernel (:mod:`repro.engine.compile`) reused across all
-    rounds; ``"interpreted"`` keeps the reference interpreter.
-    ``planner`` is as in :func:`~repro.engine.seminaive
-    .seminaive_evaluate`.  Storage follows the EDB: an interned EDB
-    yields an interned IDB sharing its symbol table.
+    rounds; ``"interpreted"`` keeps the reference interpreter;
+    ``"parallel"`` shards each kernel firing over a hash partition of
+    its anchor scan (:mod:`repro.engine.parallel`; ``shards`` and
+    ``parallel_mode`` as in the semi-naive engine).  ``planner`` is as
+    in :func:`~repro.engine.seminaive.seminaive_evaluate`.  Storage
+    follows the EDB: an interned EDB yields an interned IDB sharing
+    its symbol table.
     """
     stats = stats if stats is not None else EvalStats()
     validate_executor(executor)
@@ -69,9 +75,30 @@ def naive_evaluate(program: Program, edb: Database,
     keep_atom_order = planner == "source"
     adaptive = planner == "adaptive"
     kernels = None
-    if executor == "compiled":
+    pool = None
+    if executor != "interpreted":
         kernels = KernelCache(keep_atom_order=keep_atom_order,
                               symbols=edb.symbols, adaptive=adaptive)
+    if executor == "parallel":
+        validate_parallel_mode(parallel_mode)
+        pool = ShardExecutor(shards if shards is not None
+                             else DEFAULT_SHARDS,
+                             mode=parallel_mode, symbols=edb.symbols)
+    try:
+        _naive_strata(program, edb, idb, stats, max_iterations, budget,
+                      chaos_plan, fetch, sizes, cost, keep_atom_order,
+                      adaptive, kernels, pool)
+    finally:
+        if pool is not None:
+            pool.close()
+    if kernels is not None:
+        stats.replans += kernels.replans
+    return idb
+
+
+def _naive_strata(program, edb, idb, stats, max_iterations, budget,
+                  chaos_plan, fetch, sizes, cost, keep_atom_order,
+                  adaptive, kernels, pool) -> None:
     for stratum in stratify(program):
         rules = [r for r in program if r.head.pred in stratum]
         changed = True
@@ -95,7 +122,12 @@ def naive_evaluate(program: Program, edb: Database,
                     kernel = kernels.kernel(
                         rule, None, sizes,
                         cost=cost if adaptive else None)
-                    derived = kernel.execute(fetch, stats)
+                    if pool is not None:
+                        derived = pool.run(kernel, fetch, stats,
+                                           budget=budget,
+                                           mutable_preds=stratum)
+                    else:
+                        derived = kernel.execute(fetch, stats)
                     target_add = target.raw_add
                 else:
                     derived = [instantiate_head(rule, binding)
@@ -141,6 +173,5 @@ def naive_evaluate(program: Program, edb: Database,
                         if countdown <= 0:
                             countdown = budget.checkpoint(
                                 stats, last_round=rounds - 1)
-    if kernels is not None:
-        stats.replans += kernels.replans
-    return idb
+            if pool is not None:
+                chaos.checkpoint("parallel:barrier")

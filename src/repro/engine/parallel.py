@@ -1,0 +1,625 @@
+"""Sharded execution of compiled kernels: the ``parallel`` executor.
+
+Semi-naive evaluation spends each delta round firing compiled kernels
+whose outermost loop scans a *frontier* — the previous round's delta
+(or, in the initialization round, a base relation).  Interned relations
+hash-partition cleanly by any column, so a firing splits into ``N``
+independent sub-firings, one per shard of the anchor scan, whose
+derived-row multisets union to exactly the sequential result.  The
+merge — duplicate screening, derivation/duplicate accounting, budget
+checkpoints, chaos ordinals — stays centralized in the engine's
+existing insert loop, which is what keeps every counter and payload
+**bit-identical** to the sequential executor.
+
+:class:`ShardExecutor` owns the policy and the worker plumbing:
+
+- **serial** — shard in-process, one sub-firing per shard on the
+  calling thread.  Zero setup cost; the mode ``auto`` picks below the
+  fork threshold, and the semantics every other mode must match.
+- **thread** — shard across a ``ThreadPoolExecutor``.  The fallback
+  when the platform lacks ``fork``; pure-Python joins hold the GIL, so
+  this pays off only when kernels release it.
+- **fork** — shard across a persistent pool of forked worker
+  processes.  Workers hold *replicas* of the static (EDB and
+  lower-stratum) relations, shipped once per predicate version and kept
+  across rounds; each firing ships only the anchor shard's rows and
+  gets derived rows back.  Interned rows travel as packed
+  ``array('q')`` code buffers — the interned-code pickling fast path —
+  so a message is one bytes blob, not a tree of tuples.
+
+Partitioning never affects results, only balance: the key column is
+chosen by :func:`choose_partition_key` (most distinct values wins) and
+re-chosen when per-shard statistics drift
+(:meth:`ShardExecutor.rebalance_if_skewed`).
+
+Cooperative cancellation propagates to workers: while a fork firing is
+in flight the coordinator polls the result pipe under the budget's
+deadline/cancellation check, and on exhaustion terminates the pool
+before re-raising, so no worker keeps burning CPU past the budget.
+
+Chaos checkpoints ``parallel:scatter`` (before a firing is
+partitioned), ``parallel:merge`` (after shard results are gathered)
+and ``parallel:barrier`` (each delta-round boundary, fired by the
+engine) make the scatter/merge seams fault-injectable like every other
+subsystem seam.
+"""
+
+from __future__ import annotations
+
+from array import array
+from concurrent.futures import ThreadPoolExecutor
+
+from ..datalog.atoms import Atom, Comparison, Negation
+from ..datalog.rules import Rule
+from ..datalog.terms import ArithExpr
+from ..errors import EvaluationError
+from ..facts.backend import ShardedBackend
+from ..facts.relation import Relation, Row
+from ..facts.symbols import SymbolTable
+from ..runtime import chaos
+from ..runtime.budget import Budget
+from .bindings import EvalStats
+from .compile import CompiledKernel
+
+#: Default shard count for ``executor="parallel"``.
+DEFAULT_SHARDS = 4
+
+#: Worker-pool modes.  ``auto`` shards in-process until a firing's
+#: anchor is large enough to amortize process dispatch, then uses the
+#: fork pool (or threads where ``fork`` is unavailable).
+PARALLEL_MODES = ("auto", "serial", "thread", "fork")
+
+#: ``auto`` switches from in-process sharding to the process pool when
+#: the anchor scan of a firing has at least this many rows: below it,
+#: message round-trips cost more than the join itself.
+DEFAULT_FORK_THRESHOLD = 50_000
+
+#: A delta whose largest shard exceeds this multiple of the ideal
+#: (rows / shards) triggers a partition-key re-choice at the barrier.
+REBALANCE_FACTOR = 1.5
+
+
+def validate_parallel_mode(mode: str) -> None:
+    if mode not in PARALLEL_MODES:
+        raise EvaluationError(
+            f"unknown parallel mode {mode!r}; expected one of "
+            f"{PARALLEL_MODES}")
+
+
+def validate_shards(shards: int) -> None:
+    if shards < 1:
+        raise EvaluationError(
+            f"shards must be >= 1, got {shards}")
+
+
+def choose_partition_key(relation: Relation) -> int:
+    """The column to hash-partition ``relation`` by: most distinct wins.
+
+    More distinct values spread rows more evenly across hash buckets
+    (the same statistics the adaptive planner maintains answer this at
+    zero extra cost); ties break toward the lower column for
+    determinism.  Partitioning is a balance heuristic only — any column
+    yields correct results, because shard outputs are merged and
+    deduplicated centrally.
+    """
+    best, best_count = 0, -1
+    for column in range(relation.arity):
+        count = relation.distinct_count(column)
+        if count > best_count:
+            best, best_count = column, count
+    return best
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# Interned-code packing (the pickling fast path)
+# ---------------------------------------------------------------------------
+
+def _pack_rows(rows, arity: int):
+    """Pack interned rows into one ``array('q')`` code buffer.
+
+    A list of 10k 2-tuples pickles as 30k+ objects; the packed form is
+    a single bytes blob, which is what makes shipping shard rows to
+    fork workers cheap.
+    """
+    flat = array("q")
+    for row in rows:
+        flat.extend(row)
+    return flat
+
+
+def _unpack_rows(flat, arity: int) -> list[Row]:
+    if arity == 0:
+        return [()] if len(flat) else []
+    it = iter(flat)
+    return [row for row in zip(*([it] * arity))]
+
+
+def _rule_has_arith(rule: Rule) -> bool:
+    """Rules with arithmetic cannot run in fork/thread workers.
+
+    Evaluating an arithmetic term interns its *result* — a mutation of
+    the shared symbol table that would assign divergent codes in a
+    worker process (and race in a worker thread), so such firings stay
+    on the coordinator, sharded in-process.
+    """
+    def term_has(term) -> bool:
+        return isinstance(term, ArithExpr)
+
+    if any(term_has(arg) for arg in rule.head.args):
+        return True
+    for lit in rule.body:
+        if isinstance(lit, Comparison):
+            if term_has(lit.lhs) or term_has(lit.rhs):
+                return True
+        elif isinstance(lit, Negation):
+            if any(term_has(arg) for arg in lit.atom.args):
+                return True
+        elif isinstance(lit, Atom):
+            if any(term_has(arg) for arg in lit.args):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Fork worker
+# ---------------------------------------------------------------------------
+
+def _worker_main(conn) -> None:  # pragma: no cover - subprocess body
+    """Body of one fork worker: replicas + kernel cache + fire loop."""
+    symbols: SymbolTable | None = None
+    interned = False
+    relations: dict[str, Relation] = {}
+    rules: dict[int, Rule] = {}
+    kernels: dict[tuple[int, tuple[int, ...]], CompiledKernel] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        tag = message[0]
+        try:
+            if tag == "mode":
+                interned = message[1]
+                symbols = SymbolTable() if interned else None
+                relations.clear()
+                rules.clear()
+                kernels.clear()
+            elif tag == "sync":
+                assert symbols is not None
+                for value in message[1]:
+                    symbols.intern(value)
+            elif tag == "rule":
+                rules[message[1]] = message[2]
+            elif tag == "rel":
+                _tag, name, arity, payload = message
+                relation = Relation(name, arity, symbols=symbols)
+                rows = _unpack_rows(payload, arity) if interned \
+                    else payload
+                relation.raw_merge(rows)
+                relations[name] = relation
+            elif tag == "fire":
+                _tag, rule_key, order, anchor_ordinal, payload = message
+                kernel = kernels.get((rule_key, tuple(order)))
+                if kernel is None:
+                    kernel = CompiledKernel(
+                        rules[rule_key], lambda atom, index: 0,
+                        symbols=symbols, order=list(order))
+                    kernels[(rule_key, tuple(order))] = kernel
+                arity = kernel.sources[anchor_ordinal][1].arity
+                anchor_rows = _unpack_rows(payload, arity) if interned \
+                    else payload
+                rels: list = []
+                for ordinal, (body_index, atom, cols, kind) \
+                        in enumerate(kernel.sources):
+                    if ordinal == anchor_ordinal:
+                        rels.append(anchor_rows)
+                        continue
+                    relation = relations[atom.pred]
+                    rels.append(relation.index_for(cols)
+                                if kind == "probe"
+                                else relation.raw_rows())
+                stats = EvalStats()
+                out = kernel.execute(None, stats, rels=rels)
+                head_arity = len(rules[rule_key].head.args)
+                packed = _pack_rows(out, head_arity) if interned else out
+                conn.send(("ok", packed, head_arity,
+                           stats.atom_lookups, stats.rows_matched,
+                           stats.comparisons_checked,
+                           stats.negation_checks))
+            elif tag == "exit":
+                conn.close()
+                return
+        except Exception as error:  # noqa: BLE001 - report, keep serving
+            import traceback
+
+            conn.send(("err", f"{error!r}\n{traceback.format_exc()}"))
+
+
+class _ForkPool:
+    """A persistent pool of fork workers with broadcast state shipping."""
+
+    def __init__(self, workers: int, interned: bool) -> None:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        self.connections = []
+        self.processes = []
+        self.interned = interned
+        for _ in range(workers):
+            parent, child = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main, args=(child,), daemon=True)
+            process.start()
+            child.close()
+            self.connections.append(parent)
+            self.processes.append(process)
+        self.broadcast(("mode", interned))
+        #: name -> cardinality at ship time (relations only grow during
+        #: evaluation, so the length is a version number).
+        self.shipped: dict[str, int] = {}
+        self.shipped_rules: set[int] = set()
+        self.synced_symbols = 0
+
+    def broadcast(self, message) -> None:
+        for conn in self.connections:
+            conn.send(message)
+
+    def terminate(self) -> None:
+        for conn in self.connections:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self.processes:
+            process.join(timeout=0.5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=0.5)
+        for conn in self.connections:
+            conn.close()
+
+
+class ShardExecutor:
+    """Coordinator for sharded kernel firings (one per evaluation).
+
+    Created by the engines when ``executor="parallel"``; owns the shard
+    count, the per-predicate partition keys, the worker pool lifecycle
+    and the exact-parity statistics adjustment.  :meth:`run` is a
+    drop-in replacement for ``kernel.execute`` inside a rule firing.
+    """
+
+    def __init__(self, shards: int = DEFAULT_SHARDS, mode: str = "auto",
+                 symbols: SymbolTable | None = None,
+                 fork_threshold: int = DEFAULT_FORK_THRESHOLD,
+                 rebalance_factor: float = REBALANCE_FACTOR) -> None:
+        validate_shards(shards)
+        validate_parallel_mode(mode)
+        self.shards = shards
+        self.mode = mode
+        self.symbols = symbols
+        self.fork_threshold = fork_threshold
+        self.rebalance_factor = rebalance_factor
+        #: Partition-key column per delta predicate (see
+        #: :func:`choose_partition_key`); updated by rebalancing.
+        self.partition_keys: dict[str, int] = {}
+        #: Barrier-time repartitions triggered by shard-size drift.
+        self.rebalances = 0
+        self._fork_pool: _ForkPool | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._arith_rules: dict[int, bool] = {}
+
+    # -- delta construction --------------------------------------------------
+    def make_delta(self, pred: str, target: Relation) -> Relation:
+        """A fresh delta relation with hash-partitioned shard buckets.
+
+        The partition key starts from the target relation's statistics
+        (all-zero on the first round, so column 0) and follows
+        rebalancing decisions afterwards; shard buckets fill as the
+        engine merges new rows in, so next round's scatter is free.
+        """
+        if target.arity == 0:
+            # Nothing to hash-partition a nullary relation by (it holds
+            # at most the empty tuple); a plain delta scatters to one
+            # bucket anyway.
+            return Relation(pred, 0, symbols=target.symbols)
+        key = self.partition_keys.get(pred)
+        if key is None:
+            key = choose_partition_key(target) if len(target) else 0
+            self.partition_keys[pred] = key
+        backend = ShardedBackend(self.shards, key_column=key)
+        return Relation(pred, target.arity, symbols=target.symbols,
+                        backend=backend)
+
+    def rebalance_if_skewed(self, delta: Relation) -> bool:
+        """Re-choose the partition key when shard sizes drifted.
+
+        Called by the engine at the round barrier on each merged delta
+        (the relation the next round's firings scatter over).  When the
+        largest shard exceeds ``rebalance_factor`` times the ideal, the
+        key column is re-chosen from the delta's *current* distinct
+        counts and the buckets repartitioned in place; the new key also
+        becomes the default for subsequent deltas of the predicate.
+        """
+        backend = delta.backend
+        if not isinstance(backend, ShardedBackend):
+            return False
+        if len(delta) < 2 * self.shards or self.shards < 2:
+            return False
+        if backend.imbalance() <= self.rebalance_factor:
+            return False
+        key = choose_partition_key(delta)
+        if not backend.rebalance(key):
+            return False
+        self.partition_keys[delta.name] = key
+        self.rebalances += 1
+        return True
+
+    # -- execution -----------------------------------------------------------
+    def run(self, kernel: CompiledKernel, fetch, stats: EvalStats,
+            round_index: int = 0, hook=None,
+            budget: Budget | None = None,
+            last_round: int | None = None,
+            mutable_preds: frozenset[str] | set[str] = frozenset()
+            ) -> list[Row]:
+        """Execute one rule firing, sharded over its anchor scan.
+
+        Falls back to a single ``kernel.execute`` when there is nothing
+        to scatter (no anchor, one shard, a derivation hook installed).
+        Derived rows come back exactly as from ``kernel.execute`` — the
+        same multiset, in shard-concatenation order — and ``stats``
+        receives exactly the sequential counter totals (each sub-firing
+        pays one anchor-scan entry; the surplus is subtracted at the
+        merge).
+        """
+        anchor = kernel.anchor
+        if anchor is None or self.shards < 2 or hook is not None:
+            return kernel.execute(fetch, stats, hook=hook,
+                                  round_index=round_index)
+        source = kernel.sources[anchor]
+        relation = fetch(source[1], source[0])
+        chaos.checkpoint("parallel:scatter")
+        buckets = self.scatter(relation)
+        worker_mode = self._worker_mode(kernel, relation, mutable_preds)
+        if worker_mode == "fork":
+            out, calls = self._run_fork(kernel, fetch, anchor, buckets,
+                                        stats, budget, last_round)
+        else:
+            rels = kernel.resolve(fetch)
+            if worker_mode == "thread":
+                out, calls = self._run_threads(kernel, anchor, buckets,
+                                               rels, stats)
+            else:
+                out, calls = self._run_serial(kernel, anchor, buckets,
+                                              rels, stats)
+        if calls == 0:
+            # Every bucket was empty: run the plain firing so counters
+            # match the sequential executor's one entry exactly.
+            out = kernel.execute(fetch, stats)
+        else:
+            stats.atom_lookups -= calls - 1
+        chaos.checkpoint("parallel:merge")
+        return out
+
+    def scatter(self, relation: Relation) -> list[list[Row]]:
+        """Partition the anchor relation's rows into shard buckets.
+
+        A :class:`ShardedBackend` with a matching shard count hands its
+        live buckets over for free (the engine builds deltas that way —
+        see :meth:`make_delta`); any other relation is partitioned on
+        the fly by its statistics-chosen key column.
+        """
+        backend = relation.backend
+        if isinstance(backend, ShardedBackend) \
+                and backend.shard_count == self.shards:
+            return backend.shard_lists
+        column = choose_partition_key(relation) if relation.arity else 0
+        buckets: list[list[Row]] = [[] for _ in range(self.shards)]
+        if relation.arity:
+            for row in relation.raw_rows():
+                buckets[hash(row[column]) % self.shards].append(row)
+        else:
+            buckets[0] = list(relation.raw_rows())
+        return buckets
+
+    def _worker_mode(self, kernel: CompiledKernel, relation: Relation,
+                     mutable_preds) -> str:
+        """serial / thread / fork for this firing, policy + eligibility.
+
+        Worker offload requires every non-anchor source to be *static*
+        for the stratum (EDB or lower-stratum IDB — replicas stay
+        valid across rounds) and the rule to be arithmetic-free (see
+        :func:`_rule_has_arith`).  Ineligible or small firings shard
+        in-process, which is semantically identical.
+        """
+        if self.mode == "serial":
+            return "serial"
+        wants_workers = self.mode in ("thread", "fork") or (
+            self.mode == "auto" and len(relation) >= self.fork_threshold)
+        if not wants_workers:
+            return "serial"
+        rule_key = id(kernel.rule)
+        arith = self._arith_rules.get(rule_key)
+        if arith is None:
+            arith = _rule_has_arith(kernel.rule)
+            self._arith_rules[rule_key] = arith
+        if arith:
+            return "serial"
+        anchor = kernel.anchor
+        for ordinal, (_body_index, atom, _cols, _kind) \
+                in enumerate(kernel.sources):
+            if ordinal != anchor and atom.pred in mutable_preds:
+                return "serial"
+        if self.mode == "thread":
+            return "thread"
+        if not _fork_available():  # pragma: no cover - non-fork platform
+            return "thread"
+        return "fork"
+
+    # -- in-process modes ----------------------------------------------------
+    def _run_serial(self, kernel, anchor, buckets, rels,
+                    stats: EvalStats):
+        out: list[Row] = []
+        calls = 0
+        for bucket in buckets:
+            if not bucket:
+                continue
+            calls += 1
+            shard_rels = list(rels)
+            shard_rels[anchor] = bucket
+            out.extend(kernel.execute(None, stats, rels=shard_rels))
+        return out, calls
+
+    def _run_threads(self, kernel, anchor, buckets, rels,
+                     stats: EvalStats):
+        live = [bucket for bucket in buckets if bucket]
+        if not live:
+            return [], 0
+        pool = self._thread_pool
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=self.shards,
+                thread_name_prefix="repro-shard")
+            self._thread_pool = pool
+
+        def task(bucket):
+            shard_rels = list(rels)
+            shard_rels[anchor] = bucket
+            local = EvalStats()
+            return kernel.execute(None, local, rels=shard_rels), local
+
+        out: list[Row] = []
+        # ``map`` preserves submission order, so concatenation order —
+        # and therefore every downstream merge — is deterministic.
+        for shard_out, local in pool.map(task, live):
+            out.extend(shard_out)
+            stats.atom_lookups += local.atom_lookups
+            stats.rows_matched += local.rows_matched
+            stats.comparisons_checked += local.comparisons_checked
+            stats.negation_checks += local.negation_checks
+        return out, len(live)
+
+    # -- fork mode -----------------------------------------------------------
+    def _ensure_fork_pool(self) -> _ForkPool:
+        if self._fork_pool is None:
+            self._fork_pool = _ForkPool(self.shards,
+                                        interned=self.symbols is not None)
+        return self._fork_pool
+
+    def _ship_state(self, pool: _ForkPool, kernel: CompiledKernel,
+                    anchor: int, fetch_results: dict) -> None:
+        """Broadcast symbol/rule/replica deltas the firing needs."""
+        symbols = self.symbols
+        if symbols is not None and len(symbols) > pool.synced_symbols:
+            pool.broadcast(
+                ("sync", list(symbols.values[pool.synced_symbols:])))
+            pool.synced_symbols = len(symbols)
+        rule_key = id(kernel.rule)
+        if rule_key not in pool.shipped_rules:
+            pool.broadcast(("rule", rule_key, kernel.rule))
+            pool.shipped_rules.add(rule_key)
+        for ordinal, relation in fetch_results.items():
+            if ordinal == anchor:
+                continue
+            if pool.shipped.get(relation.name) == len(relation):
+                continue
+            rows = relation.raw_rows()
+            payload = _pack_rows(rows, relation.arity) \
+                if pool.interned else list(rows)
+            pool.broadcast(("rel", relation.name, relation.arity,
+                            payload))
+            pool.shipped[relation.name] = len(relation)
+
+    def _run_fork(self, kernel: CompiledKernel, fetch, anchor, buckets,
+                  stats: EvalStats, budget: Budget | None,
+                  last_round: int | None):
+        pool = self._ensure_fork_pool()
+        # Resolve the non-anchor sources once so replicas can ship;
+        # index construction happens worker-side against the replica.
+        fetch_results: dict[int, Relation] = {}
+        for ordinal, (body_index, atom, _cols, _kind) \
+                in enumerate(kernel.sources):
+            if ordinal != anchor:
+                fetch_results[ordinal] = fetch(atom, body_index)
+        self._ship_state(pool, kernel, anchor, fetch_results)
+        rule_key = id(kernel.rule)
+        order = list(kernel.order)
+        live: list[tuple[int, list[Row]]] = []
+        for index, bucket in enumerate(buckets):
+            if bucket:
+                live.append((index, bucket))
+        if not live:
+            return [], 0
+        anchor_arity = kernel.sources[anchor][1].arity
+        assignments = []
+        for slot, (_index, bucket) in enumerate(live):
+            conn = pool.connections[slot % len(pool.connections)]
+            payload = _pack_rows(bucket, anchor_arity) \
+                if pool.interned else bucket
+            conn.send(("fire", rule_key, order, anchor, payload))
+            assignments.append(conn)
+        out: list[Row] = []
+        try:
+            for conn in assignments:
+                # Budget-aware wait: deadline and cooperative
+                # cancellation propagate to workers — exhaustion tears
+                # the pool down before re-raising.
+                while not conn.poll(0.02):
+                    if budget is not None:
+                        budget.check_round(stats, last_round=last_round)
+                reply = conn.recv()
+                if reply[0] == "err":
+                    raise EvaluationError(
+                        f"parallel worker failed: {reply[1]}")
+                (_ok, payload, head_arity, lookups, rows, cmps,
+                 negs) = reply
+                out.extend(_unpack_rows(payload, head_arity)
+                           if pool.interned else payload)
+                stats.atom_lookups += lookups
+                stats.rows_matched += rows
+                stats.comparisons_checked += cmps
+                stats.negation_checks += negs
+        except BaseException:
+            self._abort_fork_pool()
+            raise
+        return out, len(live)
+
+    def _abort_fork_pool(self) -> None:
+        """Tear the worker pool down (cancellation/exhaustion path)."""
+        pool, self._fork_pool = self._fork_pool, None
+        if pool is not None:
+            for process in pool.processes:
+                process.terminate()
+            for process in pool.processes:
+                process.join(timeout=0.5)
+            for conn in pool.connections:
+                conn.close()
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+        pool, self._fork_pool = self._fork_pool, None
+        if pool is not None:
+            pool.terminate()
+        threads, self._thread_pool = self._thread_pool, None
+        if threads is not None:
+            threads.shutdown(wait=False)
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        """One-line summary for plan introspection."""
+        keys = ", ".join(f"{pred}->col{col}" for pred, col
+                         in sorted(self.partition_keys.items()))
+        return (f"parallel: {self.shards} shards, mode={self.mode}, "
+                f"partition keys [{keys or 'pending'}], "
+                f"{self.rebalances} rebalances")

@@ -32,6 +32,7 @@ from .bindings import (Binding, EvalStats, instantiate_head, solve_body,
                        validate_planner)
 from .compile import KernelCache, validate_executor
 from .naive import DEFAULT_MAX_ITERATIONS
+from .parallel import DEFAULT_SHARDS, ShardExecutor, validate_parallel_mode
 from .stratify import stratify
 
 #: Optional per-derivation hook: ``hook(rule, binding, round) -> bool`` —
@@ -48,7 +49,9 @@ def seminaive_evaluate(program: Program, edb: Database,
                        hook: Optional[DerivationHook] = None,
                        planner: str = "greedy",
                        budget: Budget | None = None,
-                       executor: str = "compiled") -> Database:
+                       executor: str = "compiled",
+                       shards: int | None = None,
+                       parallel_mode: str = "auto") -> Database:
     """Compute the IDB of ``program`` over ``edb`` semi-naively.
 
     Returns a new :class:`Database` of IDB relations.  ``hook``, when
@@ -62,8 +65,13 @@ def seminaive_evaluate(program: Program, edb: Database,
     slot-based kernel (:mod:`repro.engine.compile`) reused across all
     rounds; ``"interpreted"`` keeps the reference
     :func:`~repro.engine.bindings.solve_body` interpreter, the
-    semantics oracle.  Both derive identical databases; hooks, chaos
-    injection and budgets behave identically under either.
+    semantics oracle; ``"parallel"`` runs the same compiled kernels
+    sharded over a hash partition of each firing's anchor scan
+    (:mod:`repro.engine.parallel` — ``shards`` buckets, default
+    :data:`~repro.engine.parallel.DEFAULT_SHARDS`; ``parallel_mode``
+    picks the worker pool).  All derive identical databases with
+    identical counters; hooks, chaos injection and budgets behave
+    identically under any of them.
 
     ``planner`` orders joins: ``"greedy"`` (default) by boundness and
     relation size, ``"adaptive"`` by statistics-estimated selectivity
@@ -87,14 +95,24 @@ def seminaive_evaluate(program: Program, edb: Database,
 
     keep_atom_order = planner == "source"
     kernels = None
-    if executor == "compiled":
+    pool = None
+    if executor != "interpreted":
         kernels = KernelCache(keep_atom_order=keep_atom_order,
                               symbols=edb.symbols,
                               adaptive=planner == "adaptive")
-    for stratum in stratify(program):
-        _evaluate_stratum(program, stratum, edb, idb, stats,
-                          max_iterations, hook, keep_atom_order, budget,
-                          kernels)
+    if executor == "parallel":
+        validate_parallel_mode(parallel_mode)
+        pool = ShardExecutor(shards if shards is not None
+                             else DEFAULT_SHARDS,
+                             mode=parallel_mode, symbols=edb.symbols)
+    try:
+        for stratum in stratify(program):
+            _evaluate_stratum(program, stratum, edb, idb, stats,
+                              max_iterations, hook, keep_atom_order,
+                              budget, kernels, pool)
+    finally:
+        if pool is not None:
+            pool.close()
     if kernels is not None:
         stats.replans += kernels.replans
     return idb
@@ -106,7 +124,8 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                       hook: Optional[DerivationHook],
                       keep_atom_order: bool = False,
                       budget: Budget | None = None,
-                      kernels: KernelCache | None = None) -> None:
+                      kernels: KernelCache | None = None,
+                      pool: ShardExecutor | None = None) -> None:
     chaos_plan = chaos.active_plan()
     rules = [r for r in program if r.head.pred in stratum]
     # Unlabeled rules must not collapse into one per-head bucket: key
@@ -115,9 +134,17 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
     rule_keys = {id(rule): rule.label or f"{rule.head.pred}#{index}"
                  for index, rule in enumerate(rules)}
     symbols = idb.symbols
-    deltas: dict[str, Relation] = {
-        pred: Relation(pred, idb.relation(pred).arity, symbols=symbols)
-        for pred in stratum}
+
+    def make_delta(pred: str) -> Relation:
+        target = idb.relation(pred)
+        if pool is not None:
+            # Sharded buckets: next round's scatter over this delta is
+            # then free (see :meth:`ShardExecutor.make_delta`).
+            return pool.make_delta(pred, target)
+        return Relation(pred, target.arity, symbols=symbols)
+
+    deltas: dict[str, Relation] = {pred: make_delta(pred)
+                                   for pred in stratum}
 
     def base_fetch(atom: Atom, index: int) -> Relation:
         if atom.pred in program.idb_predicates:
@@ -167,8 +194,14 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                                         cost=cost_now)
             else:
                 kernel = kernels.kernel(rule, variant, sizes)
-            derived = kernel.execute(fetch, stats, hook=hook,
-                                     round_index=round_index)
+            if pool is not None:
+                derived = pool.run(kernel, fetch, stats,
+                                   round_index=round_index, hook=hook,
+                                   budget=budget,
+                                   mutable_preds=stratum)
+            else:
+                derived = kernel.execute(fetch, stats, hook=hook,
+                                         round_index=round_index)
             # Kernel rows are storage-domain already (codes when
             # interned): insert through the raw path, no re-encoding.
             target_add, delta_add = target.raw_add, delta.raw_add
@@ -230,14 +263,28 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                     countdown = budget.checkpoint(
                         stats, last_round=last_round)
 
+    def barrier() -> None:
+        """Per-round synchronization point of the parallel executor.
+
+        Fired after a round's new-delta rows have merged: a chaos
+        checkpoint for fault injection, then a skew check that may
+        repartition each delta — the relation next round's firings
+        scatter over — by a freshly-chosen key column.
+        """
+        if pool is None:
+            return
+        chaos.checkpoint("parallel:barrier")
+        for delta_rel in deltas.values():
+            pool.rebalance_if_skewed(delta_rel)
+
     # Initialization round.
-    next_deltas: dict[str, Relation] = {
-        pred: Relation(pred, idb.relation(pred).arity, symbols=symbols)
-        for pred in stratum}
+    next_deltas: dict[str, Relation] = {pred: make_delta(pred)
+                                        for pred in stratum}
     stats.iterations += 1
     for rule in rules:
         fire(rule, base_fetch, 0)
     deltas = next_deltas
+    barrier()
 
     rounds = 0
     while any(len(d) for d in deltas.values()):
@@ -252,10 +299,7 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
             # Exact round-boundary check: deadline, rounds, cancellation
             # (checkpoint above keeps the counters exact mid-round).
             budget.check_round(stats, last_round=rounds - 1)
-        next_deltas = {
-            pred: Relation(pred, idb.relation(pred).arity,
-                           symbols=symbols)
-            for pred in stratum}
+        next_deltas = {pred: make_delta(pred) for pred in stratum}
         for rule in rules:
             occurrences = [index for index, lit in enumerate(rule.body)
                            if isinstance(lit, Atom) and lit.pred in stratum]
@@ -273,6 +317,7 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
 
                 fire(rule, fetch, rounds, variant=delta_index)
         deltas = next_deltas
+        barrier()
 
 
 def answers(query_literals: Iterable, program: Program, edb: Database,

@@ -1,0 +1,304 @@
+"""Pluggable tuple-storage backends for :class:`~repro.facts.relation.Relation`.
+
+A :class:`Relation` owns the *semantics* of a stored predicate — arity
+checks, value/code translation against a shared symbol table, statistics
+— while the physical row container and its hash indexes live behind a
+*storage backend*.  The contract is deliberately small and concrete:
+
+- ``rows`` is the storage-domain row **set** (read-only to callers; the
+  kernels' scans and negation membership tests probe it directly);
+- ``indexes`` maps a sorted column tuple to the live hash index over
+  those columns (read-only to callers; kernel probes resolve buckets
+  from it directly);
+- every **mutation** goes through the backend's methods, so a backend
+  that maintains extra structure (shard buckets, columnar arrays, a
+  write-ahead log) observes every insert and delete.
+
+:class:`DictBackend` is the default: a ``set`` of tuples plus on-demand
+``dict`` indexes — semantically exactly the storage the engine always
+had.  :class:`ShardedBackend` additionally hash-partitions rows into
+``shard_count`` buckets by one *key column*, which is what the parallel
+executor (:mod:`repro.engine.parallel`) scatters kernel firings over.
+Future array/NumPy or disk-backed columnar backends slot in behind the
+same protocol (the ROADMAP's reason for this seam).
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable, Iterator, Protocol, runtime_checkable
+
+Row = tuple
+
+#: A hash index: bound-column key tuple -> list of rows with those values.
+Index = dict
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """The storage contract a :class:`Relation` delegates to.
+
+    ``rows`` and ``indexes`` are exposed as plain containers because the
+    compiled kernels' hot paths read them without per-probe indirection;
+    they must be treated as read-only outside the backend.
+    """
+
+    rows: set[Row]
+    indexes: dict[tuple[int, ...], Index]
+
+    def __len__(self) -> int: ...
+    def __contains__(self, row: Row) -> bool: ...
+    def __iter__(self) -> Iterator[Row]: ...
+    def insert(self, row: Row) -> bool: ...
+    def add_new(self, rows: Iterable[Row]) -> list[Row]: ...
+    def merge_new(self, rows: Collection[Row]) -> list[Row]: ...
+    def merge(self, rows: list[Row]) -> None: ...
+    def remove(self, row: Row) -> bool: ...
+    def clear(self) -> None: ...
+    def index_for(self, columns: tuple[int, ...]) -> Index: ...
+    def copy(self) -> "StorageBackend": ...
+
+
+class DictBackend:
+    """The default backend: a row set plus on-demand hash indexes."""
+
+    __slots__ = ("rows", "indexes")
+
+    def __init__(self, rows: Iterable[Row] | None = None) -> None:
+        self.rows: set[Row] = set(rows) if rows is not None else set()
+        self.indexes: dict[tuple[int, ...], Index] = {}
+
+    # -- container ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self.rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    # -- mutation -----------------------------------------------------------
+    def insert(self, row: Row) -> bool:
+        """Insert one row; True when it was new."""
+        if row in self.rows:
+            return False
+        self.rows.add(row)
+        for columns, index in self.indexes.items():
+            key = tuple(row[c] for c in columns)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def add_new(self, rows: Iterable[Row]) -> list[Row]:
+        """Insert rows one by one (order-preserving); returns the new ones."""
+        store = self.rows
+        new_rows: list[Row] = []
+        for row in rows:
+            if row not in store:
+                store.add(row)
+                new_rows.append(row)
+        self.extend_indexes(new_rows)
+        return new_rows
+
+    def merge_new(self, rows: Collection[Row]) -> list[Row]:
+        """Bulk insert via one C-level set difference; returns new rows."""
+        fresh = set(rows)
+        fresh.difference_update(self.rows)
+        if not fresh:
+            return []
+        new_rows = list(fresh)
+        self.rows.update(new_rows)
+        self.extend_indexes(new_rows)
+        return new_rows
+
+    def merge(self, rows: list[Row]) -> None:
+        """Bulk insert of rows known to be absent (no duplicate screen)."""
+        self.rows.update(rows)
+        self.extend_indexes(rows)
+
+    def remove(self, row: Row) -> bool:
+        """Remove one row; True when it was present."""
+        if row not in self.rows:
+            return False
+        self.rows.remove(row)
+        for columns, index in self.indexes.items():
+            key = tuple(row[c] for c in columns)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(row)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def clear(self) -> None:
+        self.rows.clear()
+        self.indexes.clear()
+
+    # -- indexes ------------------------------------------------------------
+    def extend_indexes(self, new_rows: list[Row]) -> None:
+        """Append already-stored ``new_rows`` to every live index.
+
+        Single-column indexes — the overwhelmingly common case in the
+        engines' joins — take a fast path that builds the one-element
+        key directly instead of a generator expression per row.
+        """
+        if not new_rows:
+            return
+        for columns, index in self.indexes.items():
+            if len(columns) == 1:
+                column = columns[0]
+                get = index.get
+                for row in new_rows:
+                    key = (row[column],)
+                    bucket = get(key)
+                    if bucket is None:
+                        index[key] = [row]
+                    else:
+                        bucket.append(row)
+            else:
+                for row in new_rows:
+                    index.setdefault(
+                        tuple(row[c] for c in columns), []).append(row)
+
+    def index_for(self, columns: tuple[int, ...]) -> Index:
+        """The live hash index over ``columns`` (built on first use)."""
+        index = self.indexes.get(columns)
+        if index is None:
+            index = self._build_index(columns)
+        return index
+
+    def _build_index(self, columns: tuple[int, ...]) -> Index:
+        index: Index = {}
+        if len(columns) == 1:
+            column = columns[0]
+            get = index.get
+            for row in self.rows:
+                key = (row[column],)
+                bucket = get(key)
+                if bucket is None:
+                    index[key] = [row]
+                else:
+                    bucket.append(row)
+        else:
+            for row in self.rows:
+                index.setdefault(
+                    tuple(row[c] for c in columns), []).append(row)
+        self.indexes[columns] = index
+        return index
+
+    # -- lifecycle ----------------------------------------------------------
+    def copy(self) -> "DictBackend":
+        """An independent backend with the same rows.
+
+        Indexes are **not** carried: they rebuild lazily on first probe
+        (:meth:`index_for`), so snapshot-style copies — serving's
+        published snapshots, incremental maintenance's before/mid state
+        reconstruction — pay O(rows) for the set copy and nothing for
+        indexes the copy never probes.
+        """
+        out = DictBackend.__new__(DictBackend)
+        out.rows = set(self.rows)
+        out.indexes = {}
+        return out
+
+
+class ShardedBackend(DictBackend):
+    """A dict backend that also hash-partitions rows into shard buckets.
+
+    Rows land in ``shard_lists[hash(row[key_column]) % shard_count]`` as
+    they are inserted, so the parallel executor's scatter step is a list
+    access, not a partition pass.  The key column is normally chosen by
+    :func:`repro.engine.parallel.choose_partition_key` (the column with
+    the most distinct values — statistics the relation already
+    maintains); partitioning never affects results, only balance, since
+    derived rows are merged and deduplicated centrally.
+    """
+
+    __slots__ = ("shard_count", "key_column", "shard_lists", "rebalances")
+
+    def __init__(self, shard_count: int, key_column: int = 0,
+                 rows: Iterable[Row] | None = None) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        super().__init__()
+        self.shard_count = shard_count
+        self.key_column = key_column
+        self.shard_lists: list[list[Row]] = [
+            [] for _ in range(shard_count)]
+        #: Times :meth:`rebalance` actually repartitioned.
+        self.rebalances = 0
+        if rows is not None:
+            self.merge_new(list(rows))
+
+    # -- mutation (bucket-maintaining overrides) ----------------------------
+    def _scatter(self, new_rows: Iterable[Row]) -> None:
+        lists = self.shard_lists
+        count = self.shard_count
+        column = self.key_column
+        for row in new_rows:
+            lists[hash(row[column]) % count].append(row)
+
+    def insert(self, row: Row) -> bool:
+        if super().insert(row):
+            self.shard_lists[
+                hash(row[self.key_column]) % self.shard_count].append(row)
+            return True
+        return False
+
+    def add_new(self, rows: Iterable[Row]) -> list[Row]:
+        new_rows = super().add_new(rows)
+        self._scatter(new_rows)
+        return new_rows
+
+    def merge_new(self, rows: Collection[Row]) -> list[Row]:
+        new_rows = super().merge_new(rows)
+        self._scatter(new_rows)
+        return new_rows
+
+    def merge(self, rows: list[Row]) -> None:
+        super().merge(rows)
+        self._scatter(rows)
+
+    def remove(self, row: Row) -> bool:
+        if super().remove(row):
+            self.shard_lists[
+                hash(row[self.key_column]) % self.shard_count].remove(row)
+            return True
+        return False
+
+    def clear(self) -> None:
+        super().clear()
+        self.shard_lists = [[] for _ in range(self.shard_count)]
+
+    # -- sharding -----------------------------------------------------------
+    def imbalance(self) -> float:
+        """Largest bucket over the ideal (rows / shards); 1.0 = perfect."""
+        total = len(self.rows)
+        if not total:
+            return 1.0
+        ideal = total / self.shard_count
+        return max(len(bucket) for bucket in self.shard_lists) / ideal
+
+    def rebalance(self, key_column: int) -> bool:
+        """Repartition every bucket by a new key column.
+
+        Returns True when the key actually changed (a no-op rebalance
+        onto the current key is skipped — hashing is deterministic, so
+        the partition would come out identical).
+        """
+        if key_column == self.key_column:
+            return False
+        self.key_column = key_column
+        self.shard_lists = [[] for _ in range(self.shard_count)]
+        self._scatter(self.rows)
+        self.rebalances += 1
+        return True
+
+    def copy(self) -> "ShardedBackend":
+        out = ShardedBackend.__new__(ShardedBackend)
+        out.rows = set(self.rows)
+        out.indexes = {}
+        out.shard_count = self.shard_count
+        out.key_column = self.key_column
+        out.shard_lists = [list(bucket) for bucket in self.shard_lists]
+        out.rebalances = self.rebalances
+        return out

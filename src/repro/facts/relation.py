@@ -23,6 +23,15 @@ In both modes :meth:`index_for` returns the live index over the
 that obtained their probe keys from the same storage domain — the
 kernels — never pay an encode/decode per probe.
 
+The physical row container and index maintenance live behind a
+pluggable :class:`~repro.facts.backend.StorageBackend`
+(:class:`~repro.facts.backend.DictBackend` by default; pass
+``backend=`` to supply another, e.g. a
+:class:`~repro.facts.backend.ShardedBackend` whose hash-partitioned
+buckets the parallel executor scatters over).  The relation keeps the
+semantics — arity checks, interning, statistics — and delegates the
+physical operations.
+
 When :meth:`enable_stats` has been called the relation also maintains a
 :class:`~repro.engine.stats.RelationStats` (cardinality + per-column
 distinct counts) incrementally on every insert, which feeds the
@@ -35,6 +44,7 @@ import warnings
 from typing import TYPE_CHECKING, Collection, Iterable, Iterator, Optional
 
 from ..datalog.terms import ConstValue
+from .backend import DictBackend, Index, StorageBackend
 from .symbols import SymbolTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -42,27 +52,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 Row = tuple[ConstValue, ...]
 
-#: A hash index: bound-column values -> list of rows with those values.
-Index = dict[tuple, list[Row]]
+__all__ = ["Relation", "Row", "Index"]
 
 
 class Relation:
     """A set of fixed-arity ground tuples with on-demand hash indexes."""
 
-    __slots__ = ("name", "arity", "symbols", "_rows", "_indexes",
+    __slots__ = ("name", "arity", "symbols", "backend",
                  "_stats", "_distinct_cache")
 
     def __init__(self, name: str, arity: int,
                  rows: Iterable[Row] | None = None,
-                 symbols: SymbolTable | None = None) -> None:
+                 symbols: SymbolTable | None = None,
+                 backend: StorageBackend | None = None) -> None:
         if arity < 0:
             raise ValueError("arity must be non-negative")
         self.name = name
         self.arity = arity
         #: The shared intern table, or None in raw mode.
         self.symbols = symbols
-        self._rows: set[Row] = set()
-        self._indexes: dict[tuple[int, ...], dict[tuple, list[Row]]] = {}
+        #: The physical row/index store (see :mod:`repro.facts.backend`).
+        self.backend: StorageBackend = \
+            backend if backend is not None else DictBackend()
         self._stats: Optional["RelationStats"] = None
         #: column -> (cardinality the count was taken at, count); the
         #: scan fallback of :meth:`distinct_count`.
@@ -76,20 +87,21 @@ class Relation:
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self.backend.rows)
 
     def __iter__(self) -> Iterator[Row]:
         if self.symbols is None:
-            return iter(self._rows)
+            return iter(self.backend.rows)
         values = self.symbols.values
-        return (tuple(values[code] for code in row) for row in self._rows)
+        return (tuple(values[code] for code in row)
+                for row in self.backend.rows)
 
     def __contains__(self, row: Row) -> bool:
         materialized = tuple(row)
         if self.symbols is None:
-            return materialized in self._rows
+            return materialized in self.backend.rows
         coded = self.symbols.code_row(materialized)
-        return coded is not None and coded in self._rows
+        return coded is not None and coded in self.backend.rows
 
     def __repr__(self) -> str:
         mode = ", interned" if self.symbols is not None else ""
@@ -118,12 +130,8 @@ class Relation:
         return self._insert(row)
 
     def _insert(self, materialized: Row) -> bool:
-        if materialized in self._rows:
+        if not self.backend.insert(materialized):
             return False
-        self._rows.add(materialized)
-        for columns, index in self._indexes.items():
-            key = tuple(materialized[c] for c in columns)
-            index.setdefault(key, []).append(materialized)
         if self._stats is not None:
             self._stats.observe(materialized)
         return True
@@ -137,31 +145,28 @@ class Relation:
         """
         arity = self.arity
         symbols = self.symbols
-        store = self._rows
-        new_rows: list[Row] = []
-        for row in rows:
-            materialized = tuple(row)
-            if len(materialized) != arity:
-                raise ValueError(
-                    f"{self.name}: expected arity {arity}, "
-                    f"got {len(materialized)}")
-            if symbols is not None:
-                materialized = symbols.intern_row(materialized)
-            if materialized not in store:
-                store.add(materialized)
-                new_rows.append(materialized)
-        self._extend_indexes(new_rows)
+
+        def materialize() -> Iterator[Row]:
+            for row in rows:
+                materialized = tuple(row)
+                if len(materialized) != arity:
+                    raise ValueError(
+                        f"{self.name}: expected arity {arity}, "
+                        f"got {len(materialized)}")
+                if symbols is not None:
+                    materialized = symbols.intern_row(materialized)
+                yield materialized
+
+        new_rows = self.backend.add_new(materialize())
+        if new_rows and self._stats is not None:
+            self._stats.observe_all(new_rows)
         return len(new_rows)
 
     def raw_add_all(self, rows: Iterable[Row]) -> int:
         """Bulk :meth:`raw_add`: storage-domain rows, one index sweep."""
-        store = self._rows
-        new_rows: list[Row] = []
-        for row in rows:
-            if row not in store:
-                store.add(row)
-                new_rows.append(row)
-        self._extend_indexes(new_rows)
+        new_rows = self.backend.add_new(rows)
+        if new_rows and self._stats is not None:
+            self._stats.observe_all(new_rows)
         return len(new_rows)
 
     def raw_merge_new(self, rows: Collection[Row]) -> list[Row]:
@@ -174,13 +179,9 @@ class Relation:
         are silently dropped, exactly as a sequence of :meth:`raw_add`
         calls would drop them.
         """
-        fresh = set(rows)
-        fresh.difference_update(self._rows)
-        if not fresh:
-            return []
-        new_rows = list(fresh)
-        self._rows.update(new_rows)
-        self._extend_indexes(new_rows)
+        new_rows = self.backend.merge_new(rows)
+        if new_rows and self._stats is not None:
+            self._stats.observe_all(new_rows)
         return new_rows
 
     def raw_merge(self, rows: list[Row]) -> None:
@@ -191,19 +192,9 @@ class Relation:
         relation's :meth:`raw_merge_new`); skipping the membership
         screen makes this the cheapest insert path.
         """
-        self._rows.update(rows)
-        self._extend_indexes(rows)
-
-    def _extend_indexes(self, new_rows: list[Row]) -> None:
-        if not new_rows:
-            return
-        for columns, index in self._indexes.items():
-            for materialized in new_rows:
-                index.setdefault(
-                    tuple(materialized[c] for c in columns),
-                    []).append(materialized)
-        if self._stats is not None:
-            self._stats.observe_all(new_rows)
+        self.backend.merge(rows)
+        if rows and self._stats is not None:
+            self._stats.observe_all(rows)
 
     # -- deletion ------------------------------------------------------------
     def discard(self, row: Iterable[ConstValue]) -> bool:
@@ -228,17 +219,10 @@ class Relation:
         return self._remove(row)
 
     def _remove(self, materialized: Row) -> bool:
-        if materialized not in self._rows:
+        if not self.backend.remove(materialized):
             return False
-        self._rows.remove(materialized)
-        for columns, index in self._indexes.items():
-            key = tuple(materialized[c] for c in columns)
-            bucket = index.get(key)
-            if bucket is not None:
-                bucket.remove(materialized)
-                if not bucket:
-                    del index[key]
-        self._distinct_cache.clear()
+        if self._distinct_cache:
+            self._distinct_cache.clear()
         if self._stats is not None:
             self._stats.forget(materialized)
         return True
@@ -252,8 +236,7 @@ class Relation:
         return [row for row in rows if self._remove(row)]
 
     def clear(self) -> None:
-        self._rows.clear()
-        self._indexes.clear()
+        self.backend.clear()
         self._distinct_cache.clear()
         if self._stats is not None:
             self._stats.reset()
@@ -270,7 +253,7 @@ class Relation:
         if self._stats is None:
             from ..engine.stats import RelationStats
 
-            self._stats = RelationStats(self.arity, self._rows)
+            self._stats = RelationStats(self.arity, self.backend.rows)
         return self._stats
 
     @property
@@ -291,14 +274,15 @@ class Relation:
         This is what keeps the adaptive planner's cost model off the
         insert hot path.
         """
-        index = self._indexes.get((column,))
+        index = self.backend.indexes.get((column,))
         if index is not None:
             return len(index)
-        cardinality = len(self._rows)
+        rows = self.backend.rows
+        cardinality = len(rows)
         cached = self._distinct_cache.get(column)
         if cached is not None and cached[0] == cardinality:
             return cached[1]
-        count = len({row[column] for row in self._rows})
+        count = len({row[column] for row in rows})
         self._distinct_cache[column] = (cardinality, count)
         return count
 
@@ -311,7 +295,7 @@ class Relation:
         planner uses this form so that evaluation never pays per-insert
         statistics maintenance.
         """
-        estimate = float(len(self._rows))
+        estimate = float(len(self.backend.rows))
         for column in bound_columns:
             estimate /= max(1, self.distinct_count(column))
         return estimate
@@ -319,10 +303,10 @@ class Relation:
     # -- lookup ----------------------------------------------------------------
     def rows(self) -> frozenset[Row]:
         if self.symbols is None:
-            return frozenset(self._rows)
+            return frozenset(self.backend.rows)
         values = self.symbols.values
         return frozenset(tuple(values[code] for code in row)
-                         for row in self._rows)
+                         for row in self.backend.rows)
 
     def raw_rows(self) -> Collection[Row]:
         """The internal storage-domain row container, read-only.
@@ -331,7 +315,7 @@ class Relation:
         scans and negation membership tests iterate/probe; callers must
         not mutate it or hold it across mutations.
         """
-        return self._rows
+        return self.backend.rows
 
     def lookup(self, bound: tuple[tuple[int, ConstValue], ...]
                ) -> Collection[Row]:
@@ -353,10 +337,10 @@ class Relation:
         symbols = self.symbols
         if not bound:
             if symbols is None:
-                return self._rows
+                return self.backend.rows
             values = symbols.values
             return [tuple(values[code] for code in row)
-                    for row in self._rows]
+                    for row in self.backend.rows]
         columns = tuple(c for c, _ in bound)
         if symbols is None:
             key = tuple(v for _, v in bound)
@@ -369,10 +353,7 @@ class Relation:
                     return ()
                 encoded.append(code)
             key = tuple(encoded)
-        index = self._indexes.get(columns)
-        if index is None:
-            index = self._build_index(columns)
-        bucket = index.get(key, ())
+        bucket = self.backend.index_for(columns).get(key, ())
         if symbols is None or not bucket:
             return bucket
         values = symbols.values
@@ -389,18 +370,7 @@ class Relation:
         read-only.  The kernel compiler pre-resolves this once per rule
         firing instead of re-deriving it per probe.
         """
-        index = self._indexes.get(columns)
-        if index is None:
-            index = self._build_index(columns)
-        return index
-
-    def _build_index(self, columns: tuple[int, ...]) -> Index:
-        index: Index = {}
-        for row in self._rows:
-            index.setdefault(
-                tuple(row[c] for c in columns), []).append(row)
-        self._indexes[columns] = index
-        return index
+        return self.backend.index_for(columns)
 
     def column_view(self, column: int):
         """A dense snapshot of one column, in the storage domain.
@@ -412,25 +382,24 @@ class Relation:
         if self.symbols is not None:
             from array import array
 
-            return array("q", (row[column] for row in self._rows))
-        return [row[column] for row in self._rows]
+            return array("q", (row[column] for row in self.backend.rows))
+        return [row[column] for row in self.backend.rows]
 
     def copy(self) -> "Relation":
-        """An independent relation with the same rows — and warm indexes.
+        """An independent relation with the same rows.
 
-        Index buckets are duplicated (not aliased), so mutating either
-        side stays safe; copying a bucket list is several times cheaper
-        than rebuilding the index from scratch on first probe, which is
-        what makes copy-then-adjust state reconstruction (incremental
-        maintenance's before/mid states) affordable.  Statistics are
-        not carried over; they rebuild lazily if needed.
+        Rows are copied (one C-level set copy); indexes are **not** —
+        they rebuild lazily on the copy's first probe, exactly as on a
+        freshly loaded relation.  Snapshot-style copies (serving's
+        published snapshots, incremental maintenance's state
+        reconstruction) therefore pay nothing for indexes the copy
+        never probes, which profiling showed dominating copy cost when
+        every index was eagerly duplicated.  The backend type is
+        preserved (a sharded relation copies to a sharded relation).
+        Statistics are not carried over; they rebuild lazily if needed.
         """
-        out = Relation(self.name, self.arity, symbols=self.symbols)
-        out._rows = set(self._rows)
-        out._indexes = {
-            columns: {key: list(bucket) for key, bucket in index.items()}
-            for columns, index in self._indexes.items()}
-        return out
+        return Relation(self.name, self.arity, symbols=self.symbols,
+                        backend=self.backend.copy())
 
     def difference(self, other: "Relation") -> "Relation":
         """A new relation with this one's rows that are not in ``other``.
@@ -441,8 +410,9 @@ class Relation:
         """
         out = Relation(self.name, self.arity, symbols=self.symbols)
         if self.symbols is other.symbols:
-            out.raw_add_all(row for row in self._rows
-                            if row not in other._rows)
+            other_rows = other.backend.rows
+            out.raw_add_all(row for row in self.backend.rows
+                            if row not in other_rows)
         else:
             out.add_all(row for row in self if row not in other)
         return out

@@ -142,7 +142,7 @@ def support_counts(program: Program, edb: Database, idb: Database,
     validate_executor(executor)
     counts = SupportCounts()
     kernels = KernelCache(symbols=edb.symbols) \
-        if executor == "compiled" else None
+        if executor in ("compiled", "parallel") else None
     symbols = edb.symbols
     arities = program.predicate_arities()
 
@@ -303,7 +303,7 @@ class _Maintenance:
         self.keep_atom_order = planner == "source"
         if kernels is not None:
             self.kernels: KernelCache | None = kernels
-        elif executor == "compiled":
+        elif executor in ("compiled", "parallel"):
             self.kernels = KernelCache(
                 keep_atom_order=self.keep_atom_order,
                 symbols=edb.symbols)

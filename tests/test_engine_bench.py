@@ -28,12 +28,26 @@ def test_build_workloads_rejects_unknown_scale():
 
 
 def _report(speedup, agreement_ok=True, configs_ok=True,
-            interned_speedup=2.0, repeats=3):
+            interned_speedup=2.0, parallel_speedup=2.0, repeats=3,
+            focus=None):
     def block(name):
+        methods = {
+            method: {"compiled": {"wall_ms": 10.0},
+                     "interpreted": {"wall_ms": 20.0},
+                     "speedup": 2.0}
+            for method in ("naive", "seminaive", "magic")}
+        methods["seminaive"]["speedup"] = speedup
         return {
             "name": name,
-            "methods": {"seminaive": {"speedup": speedup}},
+            "methods": methods,
+            "seminaive_configs": {
+                "baseline": {"wall_ms": 10.0},
+                "interned_adaptive": {
+                    "wall_ms": 10.0 / interned_speedup},
+                "parallel": {"wall_ms": 10.0 / parallel_speedup},
+            },
             "interned_speedup": interned_speedup,
+            "parallel_speedup": parallel_speedup,
             "agreement": {
                 "methods_agree": agreement_ok,
                 "executors_agree": True,
@@ -41,9 +55,14 @@ def _report(speedup, agreement_ok=True, configs_ok=True,
                 "configs_agree": configs_ok,
             },
         }
-    return {"repeats": repeats,
-            "workloads": [block("transitive_closure"),
-                          block("same_generation")]}
+    report = {"repeats": repeats,
+              "workloads": [block("transitive_closure"),
+                            block("same_generation")]}
+    if focus is not None:
+        report["focus"] = focus
+        for entry in report["workloads"]:
+            entry["methods"] = {}
+    return report
 
 
 def test_regression_gate_passes_when_compiled_is_faster():
@@ -71,8 +90,39 @@ def test_regression_gate_fails_on_config_disagreement():
     assert "transitive_closure: configs_agree is false" in failures
 
 
+def test_per_cell_floor_fails_on_missing_executor_cell():
+    report = _report(2.0)
+    del report["workloads"][0]["methods"]["magic"]["interpreted"]
+    failures = regression_failures(report)
+    assert failures == ["transitive_closure/magic/interpreted: cell "
+                        "missing or budget exceeded"]
+
+
+def test_per_cell_floor_fails_on_slow_config_cell():
+    # 2x slower than the compiled baseline is outside the default 1.5x
+    # allowance — the per-cell floor trips even with no speedup gates.
+    failures = regression_failures(_report(2.0, parallel_speedup=0.5))
+    assert any("parallel: 2.00x slower than the compiled baseline"
+               in f for f in failures)
+
+
+def test_focused_report_skips_method_grid():
+    # Smoke-mode reports carry no methods grid; the config floors and
+    # speedup gates still apply.
+    report = _report(2.0, focus="parallel")
+    assert regression_failures(report,
+                               min_parallel_speedup=1.3) == []
+    report = _report(2.0, parallel_speedup=1.1, focus="parallel")
+    failures = regression_failures(report, min_parallel_speedup=1.3)
+    assert any("parallel executor is only 1.10x" in f
+               for f in failures)
+
+
 def test_interned_gate_off_by_default():
-    assert regression_failures(_report(2.0, interned_speedup=0.5)) == []
+    # 1.2x slower than baseline stays inside the per-cell allowance, so
+    # without the explicit floor the eroded speedup passes.
+    assert regression_failures(
+        _report(2.0, interned_speedup=1 / 1.2)) == []
 
 
 def test_interned_gate_passes_at_threshold():
@@ -86,6 +136,27 @@ def test_interned_gate_fails_below_threshold():
     # Both gated workloads report the miss.
     assert len(failures) == 2
     assert all("interned+adaptive is only 1.10x" in f for f in failures)
+
+
+def test_parallel_gate_passes_at_threshold():
+    report = _report(2.0, parallel_speedup=1.4)
+    assert regression_failures(report, min_parallel_speedup=1.3) == []
+
+
+def test_parallel_gate_fails_below_threshold():
+    report = _report(2.0, parallel_speedup=1.1)
+    failures = regression_failures(report, min_parallel_speedup=1.3)
+    assert len(failures) == 1
+    assert "parallel executor is only 1.10x" in failures[0]
+
+
+def test_parallel_gate_fails_on_missing_measurement():
+    report = _report(2.0)
+    for block in report["workloads"]:
+        del block["parallel_speedup"]
+        del block["seminaive_configs"]["parallel"]
+    failures = regression_failures(report, min_parallel_speedup=1.3)
+    assert failures and "no parallel_speedup" in failures[0]
 
 
 def test_interned_gate_fails_on_missing_measurement():
@@ -109,6 +180,9 @@ def test_regression_gate_fails_on_too_few_repeats():
 
 def test_regression_gate_fails_on_timeout_row():
     report = _report(2.0)
+    cell = report["workloads"][0]["methods"]["seminaive"]["compiled"]
+    cell["budget_exceeded"] = True
     del report["workloads"][0]["methods"]["seminaive"]["speedup"]
     failures = regression_failures(report)
-    assert failures and "no compiled-vs-interpreted timing" in failures[0]
+    assert failures == ["transitive_closure/seminaive/compiled: cell "
+                        "missing or budget exceeded"]

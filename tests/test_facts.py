@@ -62,13 +62,15 @@ class TestRelation:
         cloned.add(("b",))
         assert len(rel) == 1 and len(cloned) == 2
 
-    def test_copy_carries_warm_indexes(self):
+    def test_copy_rebuilds_indexes_lazily(self):
         rel = Relation("r", 2, [("a", 1), ("a", 2), ("b", 1)])
         rel.index_for((0,))
         cloned = rel.copy()
-        assert (0,) in cloned._indexes
-        # The buckets are duplicated, not aliased: mutations on either
-        # side leave the other's index answers intact.
+        # Indexes are not carried: the copy pays only the row-set copy
+        # and rebuilds an index on its first probe.
+        assert (0,) not in cloned.backend.indexes
+        # Nothing is aliased: mutations on either side leave the
+        # other's index answers intact.
         cloned.add(("a", 3))
         cloned.discard(("b", 1))
         assert set(rel.lookup(((0, "a"),))) == {("a", 1), ("a", 2)}

@@ -20,10 +20,17 @@ from repro.runtime.budget import Budget
 from repro.runtime.chaos import ChaosPlan
 from repro.workloads import random_linear_program
 
-COMBOS = [(executor, planner, interning)
+#: (executor, planner, interning, shards).  ``shards`` is only
+#: meaningful for the parallel executor (None elsewhere); the parallel
+#: combos sweep shard counts so scatter/merge accounting is checked
+#: against the single-threaded executors at every partition width.
+COMBOS = [(executor, planner, interning, None)
           for executor in ("compiled", "interpreted")
           for planner in ("greedy", "adaptive", "source")
           for interning in ("off", "on")]
+COMBOS += [("parallel", "adaptive", interning, shards)
+           for interning in ("off", "on")
+           for shards in (1, 2, 4)]
 
 
 def fingerprint(result):
@@ -39,9 +46,10 @@ def test_all_combos_derive_identical_facts(seed):
     prints = {}
     counts = {}
     for combo in COMBOS:
-        executor, planner, interning = combo
+        executor, planner, interning, shards = combo
         result = evaluate(program, edb, executor=executor,
-                          planner=planner, interning=interning)
+                          planner=planner, interning=interning,
+                          shards=shards)
         prints[combo] = fingerprint(result)
         counts[combo] = (result.stats.derivations,
                          result.stats.duplicate_derivations)
@@ -58,11 +66,11 @@ def test_budget_exhaustion_payloads_match_across_combos(seed):
     text, edb = random_linear_program(random.Random(seed))
     program = parse_program(text)
     payloads = set()
-    for executor, planner, interning in COMBOS:
+    for executor, planner, interning, shards in COMBOS:
         budget = Budget(max_derivations=120)
         with pytest.raises(BudgetExceededError) as info:
             evaluate(program, edb, executor=executor, planner=planner,
-                     interning=interning, budget=budget)
+                     interning=interning, shards=shards, budget=budget)
         error = info.value
         # Which row tipped the counter over differs by enumeration
         # order, but the accounted totals at the boundary must not.
@@ -76,11 +84,12 @@ def test_chaos_fault_ordinals_match_across_combos(seed):
     text, edb = random_linear_program(random.Random(seed))
     program = parse_program(text)
     triggered = set()
-    for executor, planner, interning in COMBOS:
+    for executor, planner, interning, shards in COMBOS:
         plan = ChaosPlan().fail_derivation(40)
         with plan.active():
             with pytest.raises(ChaosError):
                 evaluate(program, edb, executor=executor,
-                         planner=planner, interning=interning)
+                         planner=planner, interning=interning,
+                         shards=shards)
         triggered.add(tuple(plan.triggered))
     assert len(triggered) == 1, triggered

@@ -1,0 +1,305 @@
+"""Sharded parallel execution: parity, policy, and plumbing.
+
+The parallel executor's contract is exact equivalence with the
+sequential compiled executor — same facts, same counters, same budget
+payloads, same chaos ordinals — with sharding visible only through the
+``parallel:*`` chaos stages and the executor's own introspection.
+These tests pin that contract across worker modes (in-process, thread
+pool, fork pool), shard counts, and the fallback paths (arithmetic
+rules, nullary deltas, mutable non-anchor sources).
+"""
+
+import random
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.engine import (DEFAULT_SHARDS, ShardExecutor,
+                          choose_partition_key, evaluate,
+                          evaluate_with_magic, explain_kernels)
+from repro.engine.parallel import validate_parallel_mode
+from repro.errors import BudgetExceededError, EvaluationError
+from repro.facts.backend import DictBackend, ShardedBackend
+from repro.facts.database import Database
+from repro.facts.relation import Relation
+from repro.runtime import ChaosError
+from repro.runtime.budget import Budget
+from repro.runtime.chaos import ChaosPlan
+from repro.workloads import random_digraph, transitive_closure_program
+
+TC = transitive_closure_program()
+
+SAME_GEN = """
+    r0: sg(X, X) :- person(X).
+    r1: sg(X, Y) :- par(X, Xp), sg(Xp, Yp), par(Y, Yp).
+"""
+
+ARITH = """
+    r0: dist(X, Y, 1) :- edge(X, Y).
+    r1: dist(X, Y, D1) :- dist(X, Z, D), edge(Z, Y), D < 6,
+                          D1 = D + 1.
+"""
+
+
+def _tc_db(nodes=40, edges=120, seed=3):
+    return random_digraph(nodes, edges, random.Random(seed))
+
+
+def _facts(result):
+    return {pred: frozenset(result.facts(pred))
+            for pred in result.program.idb_predicates}
+
+
+# ---------------------------------------------------------------------------
+# Partitioning primitives
+# ---------------------------------------------------------------------------
+
+class TestPartitioning:
+    def test_choose_partition_key_prefers_most_distinct(self):
+        relation = Relation("r", 2)
+        for i in range(6):
+            relation.add(("same", f"v{i}"))
+        assert choose_partition_key(relation) == 1
+
+    def test_choose_partition_key_breaks_ties_low(self):
+        relation = Relation("r", 2)
+        relation.add(("a", "b"))
+        relation.add(("c", "d"))
+        assert choose_partition_key(relation) == 0
+
+    def test_sharded_backend_buckets_cover_rows(self):
+        backend = ShardedBackend(3, key_column=0)
+        rows = [(f"n{i}", f"m{i}") for i in range(20)]
+        backend.merge_new(rows)
+        scattered = [row for bucket in backend.shard_lists
+                     for row in bucket]
+        assert sorted(scattered) == sorted(rows)
+        assert sum(len(b) for b in backend.shard_lists) == len(backend)
+
+    def test_sharded_backend_rebalance_repartitions(self):
+        backend = ShardedBackend(2, key_column=0)
+        backend.merge_new([("same", f"v{i}") for i in range(10)])
+        assert backend.imbalance() == pytest.approx(2.0)
+        assert backend.rebalance(1)
+        assert backend.key_column == 1
+        assert backend.imbalance() < 2.0
+        assert backend.rebalances == 1
+
+    def test_executor_make_delta_is_sharded(self):
+        executor = ShardExecutor(4)
+        target = Relation("p", 2)
+        delta = executor.make_delta("p", target)
+        assert isinstance(delta.backend, ShardedBackend)
+        assert delta.backend.shard_count == 4
+
+    def test_executor_make_delta_nullary_stays_plain(self):
+        executor = ShardExecutor(4)
+        delta = executor.make_delta("seed", Relation("seed", 0))
+        assert isinstance(delta.backend, DictBackend)
+        assert not isinstance(delta.backend, ShardedBackend)
+
+    def test_rebalance_if_skewed_rechooses_key(self):
+        executor = ShardExecutor(2)
+        delta = executor.make_delta("p", Relation("p", 2))
+        # Key column 0 is constant: every row lands in one bucket.
+        delta.add_all([("same", f"v{i}") for i in range(12)])
+        assert executor.rebalance_if_skewed(delta)
+        assert executor.partition_keys["p"] == 1
+        assert executor.rebalances == 1
+        assert not executor.rebalance_if_skewed(delta)
+
+    def test_scatter_reuses_live_buckets(self):
+        executor = ShardExecutor(3)
+        delta = executor.make_delta("p", Relation("p", 2))
+        delta.add_all([(f"n{i}", f"m{i}") for i in range(9)])
+        assert executor.scatter(delta) is delta.backend.shard_lists
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            validate_parallel_mode("gpu")
+        with pytest.raises(EvaluationError):
+            ShardExecutor(0)
+
+
+# ---------------------------------------------------------------------------
+# Parity with the sequential compiled executor
+# ---------------------------------------------------------------------------
+
+class TestParity:
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    @pytest.mark.parametrize("interning", ("off", "on"))
+    def test_seminaive_exact_stats_parity(self, shards, interning):
+        program = parse_program(TC)
+        db = _tc_db()
+        sequential = evaluate(program, db, executor="compiled",
+                              planner="adaptive", interning=interning)
+        parallel = evaluate(program, db, executor="parallel",
+                            planner="adaptive", interning=interning,
+                            shards=shards)
+        assert _facts(sequential) == _facts(parallel)
+        assert sequential.stats.as_dict() == parallel.stats.as_dict()
+
+    @pytest.mark.parametrize("mode", ("serial", "thread", "fork"))
+    def test_forced_worker_modes_match(self, mode):
+        program = parse_program(SAME_GEN)
+        db = Database()
+        for parent, child in [("a", "b"), ("a", "c"), ("b", "d"),
+                              ("b", "e"), ("c", "f")]:
+            db.add_fact("par", child, parent)
+        for person in "abcdef":
+            db.add_fact("person", person)
+        sequential = evaluate(program, db, executor="compiled",
+                              interning="on")
+        parallel = evaluate(program, db, executor="parallel",
+                            interning="on", shards=2,
+                            parallel_mode=mode)
+        assert _facts(sequential) == _facts(parallel)
+        assert sequential.stats.as_dict() == parallel.stats.as_dict()
+
+    def test_naive_method_parity(self):
+        program = parse_program(TC)
+        db = _tc_db(nodes=25, edges=60, seed=9)
+        sequential = evaluate(program, db, method="naive",
+                              executor="compiled", interning="on")
+        parallel = evaluate(program, db, method="naive",
+                            executor="parallel", interning="on",
+                            shards=3)
+        assert _facts(sequential) == _facts(parallel)
+        assert sequential.stats.as_dict() == parallel.stats.as_dict()
+
+    def test_magic_evaluation_parity(self):
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant, Variable
+
+        program = parse_program(TC)
+        db = _tc_db(nodes=30, edges=80, seed=5)
+        query = Atom("reach", (Constant("n0"), Variable("Y")))
+        sequential = evaluate_with_magic(program, db, query,
+                                         executor="compiled")
+        parallel = evaluate_with_magic(program, db, query,
+                                       executor="parallel", shards=4)
+        assert sequential.magic is not None
+        assert parallel.magic is not None
+        assert frozenset(sequential.magic.answers(sequential.idb)) \
+            == frozenset(parallel.magic.answers(parallel.idb))
+        assert sequential.stats.derivations == parallel.stats.derivations
+
+    def test_arith_rules_fall_back_in_process(self):
+        program = parse_program(ARITH)
+        db = Database()
+        for src, dst in [("a", "b"), ("b", "c"), ("c", "d")]:
+            db.add_fact("edge", src, dst)
+        sequential = evaluate(program, db, executor="compiled",
+                              interning="on")
+        # Forced fork mode must not ship arithmetic rules to workers
+        # (result interning would diverge); the firing shards in
+        # process instead and results stay identical.
+        parallel = evaluate(program, db, executor="parallel",
+                            interning="on", shards=2,
+                            parallel_mode="fork")
+        assert _facts(sequential) == _facts(parallel)
+        assert sequential.stats.as_dict() == parallel.stats.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Budgets and chaos seams
+# ---------------------------------------------------------------------------
+
+class TestResilience:
+    def test_budget_payload_matches_sequential(self):
+        program = parse_program(TC)
+        db = _tc_db()
+
+        def payload(**knobs):
+            with pytest.raises(BudgetExceededError) as info:
+                evaluate(program, db,
+                         budget=Budget(max_derivations=100), **knobs)
+            error = info.value
+            return (error.resource, error.limit, error.spent,
+                    error.last_round)
+
+        assert payload(executor="compiled") == payload(
+            executor="parallel", shards=4)
+
+    def test_fork_workers_do_not_outlive_evaluation(self):
+        import multiprocessing
+
+        program = parse_program(SAME_GEN)
+        db = Database()
+        for parent, child in [("a", "b"), ("a", "c"), ("b", "d")]:
+            db.add_fact("par", child, parent)
+        for person in "abcd":
+            db.add_fact("person", person)
+        before = set(multiprocessing.active_children())
+        evaluate(program, db, executor="parallel", interning="on",
+                 shards=2, parallel_mode="fork")
+        for process in multiprocessing.active_children():
+            if process not in before:
+                process.join(timeout=5)
+        assert set(multiprocessing.active_children()) <= before
+
+    def test_budget_exhaustion_tears_down_fork_pool(self):
+        import multiprocessing
+
+        program = parse_program(TC)
+        db = _tc_db()
+        before = set(multiprocessing.active_children())
+        with pytest.raises(BudgetExceededError):
+            evaluate(program, db, executor="parallel", interning="on",
+                     shards=2, parallel_mode="fork",
+                     budget=Budget(max_derivations=50))
+        for process in multiprocessing.active_children():
+            if process not in before:
+                process.join(timeout=5)
+        assert set(multiprocessing.active_children()) <= before
+
+    @pytest.mark.parametrize("stage", ("parallel:scatter",
+                                       "parallel:merge",
+                                       "parallel:barrier"))
+    def test_chaos_stages_are_injectable(self, stage):
+        program = parse_program(TC)
+        db = _tc_db(nodes=15, edges=40)
+        plan = ChaosPlan().fail_stage(stage)
+        with plan.active():
+            with pytest.raises(ChaosError):
+                evaluate(program, db, executor="parallel", shards=2)
+        assert ("stage", stage) in plan.triggered
+
+    def test_parallel_stages_silent_under_sequential(self):
+        program = parse_program(TC)
+        db = _tc_db(nodes=15, edges=40)
+        plan = ChaosPlan().fail_stage("parallel:scatter")
+        with plan.active():
+            evaluate(program, db, executor="compiled")
+        assert plan.triggered == []
+
+
+# ---------------------------------------------------------------------------
+# Introspection
+# ---------------------------------------------------------------------------
+
+class TestIntrospection:
+    def test_explain_kernels_parallel_section(self):
+        program = parse_program(TC)
+        db = _tc_db(nodes=15, edges=40)
+        text = explain_kernels(program, db, executor="parallel",
+                               shards=4)
+        assert "parallel execution: 4 shards" in text
+        assert "hash-partitioned on column" in text
+        assert "reused across 4 shard calls" in text
+
+    def test_explain_kernels_default_shard_count(self):
+        program = parse_program(TC)
+        text = explain_kernels(program, Database(),
+                               executor="parallel")
+        assert f"parallel execution: {DEFAULT_SHARDS} shards" in text
+
+    def test_describe_reports_keys_and_rebalances(self):
+        executor = ShardExecutor(2, mode="serial")
+        delta = executor.make_delta("p", Relation("p", 2))
+        delta.add_all([("same", f"v{i}") for i in range(12)])
+        executor.rebalance_if_skewed(delta)
+        text = executor.describe()
+        assert "2 shards" in text
+        assert "p->col1" in text
+        assert "1 rebalances" in text
