@@ -25,6 +25,7 @@ the transitive-closure workload, and every agreement flag must hold.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import platform
@@ -40,6 +41,7 @@ from ..datalog.program import Program
 from ..datalog.terms import Constant, Variable
 from ..engine.engine import (EvaluationResult, evaluate,
                              evaluate_with_magic)
+from ..engine.profile import EvalProfile
 from ..engine.topdown import topdown_query
 from ..errors import BudgetExceededError
 from ..facts.database import Database
@@ -56,8 +58,11 @@ EXECUTORS = ("compiled", "interpreted")
 #: ``baseline`` (greedy planner, raw storage, single-threaded compiled)
 #: is the reference the ``interned_speedup`` and ``parallel_speedup``
 #: metrics and the CI gates divide by; ``interned_adaptive`` is the
-#: single-threaded fast path; ``parallel`` runs the same knobs through
-#: the sharded executor at :data:`~repro.engine.parallel.DEFAULT_SHARDS`.
+#: single-threaded fast path — and the reference ``vectorized_speedup``
+#: divides by; ``parallel`` runs the same knobs through the sharded
+#: executor at :data:`~repro.engine.parallel.DEFAULT_SHARDS`;
+#: ``vectorized`` runs the same knobs as whole-frontier batch kernels
+#: over columnar storage.
 SEMINAIVE_CONFIGS = (
     ("baseline", {"planner": "greedy", "interning": "off"}),
     ("interned_greedy", {"planner": "greedy", "interning": "on"}),
@@ -65,6 +70,8 @@ SEMINAIVE_CONFIGS = (
     ("interned_adaptive", {"planner": "adaptive", "interning": "on"}),
     ("parallel", {"planner": "adaptive", "interning": "on",
                   "executor": "parallel", "shards": 4}),
+    ("vectorized", {"planner": "adaptive", "interning": "on",
+                    "executor": "vectorized"}),
 )
 
 #: Report format version (bump when the JSON shape changes).
@@ -171,11 +178,21 @@ def build_workloads(scale: str = "default",
 
 def _timed(run: Callable[[], EvaluationResult], repeats: int,
            timeout_s: float | None):
-    """Run ``repeats`` times under a deadline; keep the last result."""
+    """Run ``repeats`` times under a deadline; keep the last result.
+
+    The cyclic collector is paused while the clock runs and invoked
+    explicitly between repeats: a generation-2 collection over the
+    millions of live row tuples an evaluation holds costs tens of
+    milliseconds and lands in whichever cell happens to cross the
+    allocation threshold — which would be charged to that cell's
+    measurement rather than to the engine under test.
+    """
     seconds: list[float] = []
     result: Optional[EvaluationResult] = None
+    gc_was_enabled = gc.isenabled()
     for _ in range(max(1, repeats)):
         budget = Budget(timeout_s=timeout_s)
+        gc.disable()
         start = time.perf_counter()
         try:
             with budget.activate():
@@ -183,8 +200,51 @@ def _timed(run: Callable[[], EvaluationResult], repeats: int,
         except BudgetExceededError:
             seconds.append(time.perf_counter() - start)
             return seconds, None
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         seconds.append(time.perf_counter() - start)
+        gc.collect()
     return seconds, result
+
+
+def _paired_ratio(run_a: Callable[[], EvaluationResult],
+                  run_b: Callable[[], EvaluationResult],
+                  repeats: int,
+                  timeout_s: float | None) -> float | None:
+    """Best-of interleaved a/b wall ratio (>1 means b is faster).
+
+    Speedup gates compare two cells, and timing them in separate
+    windows lets a burst of machine noise (CPU steal, frequency
+    shifts, a neighbouring process) land under exactly one of them —
+    faking a regression or an improvement no code change caused.  Here
+    the two runs alternate back-to-back, so a noisy window degrades
+    both sides, and the per-side minimum over repeats then discards
+    the noisy windows entirely.  Returns None when a run exhausts its
+    budget.
+    """
+    best_a = best_b = float("inf")
+    gc_was_enabled = gc.isenabled()
+    for _ in range(max(1, repeats)):
+        for side, run in (("a", run_a), ("b", run_b)):
+            budget = Budget(timeout_s=timeout_s)
+            gc.disable()
+            start = time.perf_counter()
+            try:
+                with budget.activate():
+                    run()
+            except BudgetExceededError:
+                return None
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            elapsed = time.perf_counter() - start
+            if side == "a":
+                best_a = min(best_a, elapsed)
+            else:
+                best_b = min(best_b, elapsed)
+            gc.collect()
+    return round(best_a / max(best_b, 1e-6), 3)
 
 
 def _fingerprint(idb: Database) -> str:
@@ -215,6 +275,7 @@ def _entry(seconds: list[float],
            result: Optional[EvaluationResult]) -> dict:
     entry: dict = {
         "wall_ms": round(statistics.median(seconds) * 1000, 3),
+        "best_ms": round(min(seconds) * 1000, 3),
         "runs_ms": [round(s * 1000, 3) for s in seconds],
     }
     if result is None:
@@ -230,7 +291,8 @@ def _entry(seconds: list[float],
 def run_engine_benchmark(scale: str = "default", repeats: int = 3,
                          timeout_s: float | None = 120.0,
                          seed: int = DEFAULT_SEED,
-                         focus_executor: str | None = None) -> dict:
+                         focus_executor: str | None = None,
+                         profile: bool = False) -> dict:
     """Run the engine baseline and return the report dict.
 
     Per workload: every bottom-up method (naive, seminaive, magic) runs
@@ -241,18 +303,25 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
     timings/counters, an ``agreement`` block recording the differential
     checks, and per-workload ``interned_speedup`` /
     ``parallel_speedup`` — baseline wall time over the interned+adaptive
-    (resp. parallel) configuration's.
+    (resp. parallel) configuration's — plus ``vectorized_speedup``,
+    the interned+adaptive wall time over the vectorized executor's
+    (both run the identical planner and storage knobs, so the ratio
+    isolates the batch-kernel win).
 
-    ``focus_executor="parallel"`` is the CI smoke mode: it skips the
-    method x executor grid and top-down, measuring only the baseline
-    and parallel configurations per workload (the two cells
-    ``parallel_speedup`` needs), and stamps ``focus`` into the report
-    so the gate knows the grid cells are intentionally absent.
+    ``focus_executor`` (``"parallel"`` or ``"vectorized"``) is the CI
+    smoke mode: it skips the method x executor grid and top-down,
+    measuring only the cells the focused speedup needs, and stamps
+    ``focus`` into the report so the gate knows the grid cells are
+    intentionally absent.
+
+    ``profile=True`` attaches a per-kernel wall-time and per-round
+    delta-size breakdown (:class:`~repro.engine.profile.EvalProfile`)
+    to every semi-naive configuration cell.
     """
-    if focus_executor not in (None, "parallel"):
+    if focus_executor not in (None, "parallel", "vectorized"):
         raise ValueError(
             f"unknown focus executor {focus_executor!r}; "
-            "expected 'parallel'")
+            "expected 'parallel' or 'vectorized'")
     full_grid = focus_executor is None
     report: dict = {
         "version": REPORT_VERSION,
@@ -326,19 +395,36 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
         # the grid was skipped and baseline is timed directly.
         configs: dict = {}
         config_fingerprints: dict[str, str] = {}
+        # The vectorized speedup divides interned_adaptive by
+        # vectorized, so its focus mode keeps the denominator cell too.
+        focus_configs = {"baseline", focus_executor}
+        if focus_executor == "vectorized":
+            focus_configs.add("interned_adaptive")
+        config_runs: dict[str, Callable[[], EvaluationResult]] = {}
         for config_name, knobs in SEMINAIVE_CONFIGS:
-            if not full_grid and config_name not in (
-                    "baseline", focus_executor):
+            if not full_grid and config_name not in focus_configs:
                 continue
+            holder: dict = {}
+
+            def run_config(_knobs=knobs,
+                           _holder=holder) -> EvaluationResult:
+                prof = EvalProfile() if profile else None
+                result = evaluate(workload.program, workload.edb,
+                                  **{"executor": "compiled",
+                                     **_knobs},
+                                  profile=prof)
+                if prof is not None:
+                    _holder["profile"] = prof
+                return result
+
+            config_runs[config_name] = run_config
             if config_name == "baseline" and full_grid:
                 entry = dict(block["methods"]["seminaive"]["compiled"])
             else:
-                seconds, result = _timed(
-                    lambda _knobs=knobs: evaluate(
-                        workload.program, workload.edb,
-                        **{"executor": "compiled", **_knobs}),
-                    repeats, timeout_s)
+                seconds, result = _timed(run_config, repeats, timeout_s)
                 entry = _entry(seconds, result)
+                if result is not None and "profile" in holder:
+                    entry["profile"] = holder["profile"].as_dict()
             configs[config_name] = entry
             if "fingerprint" in entry:
                 config_fingerprints[config_name] = entry["fingerprint"]
@@ -352,6 +438,17 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
         if "fingerprint" in baseline and "fingerprint" in sharded:
             block["parallel_speedup"] = round(
                 baseline["wall_ms"] / max(sharded["wall_ms"], 1e-6), 3)
+        batched = configs.get("vectorized", {})
+        if "fingerprint" in fast and "fingerprint" in batched:
+            # This ratio is a CI gate, so it is re-measured with the
+            # two cells interleaved (see :func:`_paired_ratio`) rather
+            # than derived from the medians above, which were taken in
+            # separate windows.
+            ratio = _paired_ratio(config_runs["interned_adaptive"],
+                                  config_runs["vectorized"],
+                                  repeats, timeout_s)
+            if ratio is not None:
+                block["vectorized_speedup"] = ratio
 
         if full_grid:
             seconds, topdown = _timed_topdown(
@@ -403,6 +500,9 @@ def run_engine_benchmark(scale: str = "default", repeats: int = 3,
         if "parallel_speedup" in block:
             summary[f"{key}_parallel_speedup"] = \
                 block["parallel_speedup"]
+        if "vectorized_speedup" in block:
+            summary[f"{key}_vectorized_speedup"] = \
+                block["vectorized_speedup"]
     report["summary"] = summary
     return report
 
@@ -458,6 +558,7 @@ def regression_failures(report: dict, max_slowdown: float = 1.5,
                         workload: str = "transitive_closure",
                         min_interned_speedup: float | None = None,
                         min_parallel_speedup: float | None = None,
+                        min_vectorized_speedup: float | None = None,
                         min_repeats: int = MIN_GATE_REPEATS
                         ) -> list[str]:
     """Check the report against the CI gate; returns failure messages.
@@ -480,6 +581,10 @@ def regression_failures(report: dict, max_slowdown: float = 1.5,
     same-generation workloads.  With ``min_parallel_speedup`` set,
     fails when the parallel executor is not at least that many times
     faster than the single-threaded compiled baseline on ``workload``.
+    With ``min_vectorized_speedup`` set, fails when the vectorized
+    executor is not at least that many times faster than the
+    interned+adaptive compiled configuration on the transitive-closure
+    and same-generation workloads.
 
     Focused reports (``focus`` stamped by the smoke mode) only carry
     the baseline and focused configuration, so the method-grid floors
@@ -564,4 +669,20 @@ def regression_failures(report: dict, max_slowdown: float = 1.5,
                 f"{workload}: parallel executor is only "
                 f"{parallel:.2f}x the single-threaded compiled "
                 f"baseline (required {min_parallel_speedup:.2f}x)")
+    if min_vectorized_speedup is not None:
+        for name in ("transitive_closure", "same_generation"):
+            entry = _workload_block(report, name)
+            if entry is None:
+                continue
+            vectorized = entry.get("vectorized_speedup")
+            if vectorized is None:
+                failures.append(
+                    f"{name}: no vectorized_speedup measurement "
+                    "(budget exceeded?)")
+            elif vectorized < min_vectorized_speedup:
+                failures.append(
+                    f"{name}: vectorized executor is only "
+                    f"{vectorized:.2f}x the interned+adaptive compiled "
+                    f"configuration (required "
+                    f"{min_vectorized_speedup:.2f}x)")
     return failures

@@ -299,7 +299,8 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     report = run_engine_benchmark(scale=args.scale, repeats=args.repeats,
                                   timeout_s=args.timeout_s,
                                   seed=args.seed,
-                                  focus_executor=args.focus_executor)
+                                  focus_executor=args.focus_executor,
+                                  profile=args.profile)
     write_engine_benchmark(report, args.out)
     focus = f", focus={args.focus_executor}" if args.focus_executor \
         else ""
@@ -318,6 +319,9 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
         parallel = workload.get("parallel_speedup")
         if parallel is not None:
             parts.append(f"parallel {parallel:.2f}x")
+        vectorized = workload.get("vectorized_speedup")
+        if vectorized is not None:
+            parts.append(f"vectorized {vectorized:.2f}x")
         agreement = workload["agreement"]
         ok = agreement.get("methods_agree", True) \
             and agreement.get("executors_agree", True) \
@@ -329,7 +333,8 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
         failures = regression_failures(
             report, max_slowdown=args.max_slowdown,
             min_interned_speedup=args.min_interned_speedup,
-            min_parallel_speedup=args.min_parallel_speedup)
+            min_parallel_speedup=args.min_parallel_speedup,
+            min_vectorized_speedup=args.min_vectorized_speedup)
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:
@@ -593,11 +598,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "statistics-driven with replanning "
                              "(adaptive), or rule order (source)")
     p_eval.add_argument("--executor", default="compiled",
-                        choices=["compiled", "interpreted", "parallel"],
+                        choices=["compiled", "interpreted", "parallel",
+                                 "vectorized"],
                         help="compiled slot-based kernels (default), "
-                             "the reference interpreter, or sharded "
+                             "the reference interpreter, sharded "
                              "parallel execution of the compiled "
-                             "kernels")
+                             "kernels, or columnar whole-frontier "
+                             "batch kernels (vectorized; pair with "
+                             "--interning on)")
     p_eval.add_argument("--shards", type=int, default=None, metavar="N",
                         help="with --executor parallel, hash-partition "
                              "each delta into N shards (default 4)")
@@ -629,10 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="show the compiled step programs "
                                 "instead of the planner view")
     p_explain.add_argument("--executor", default="compiled",
-                           choices=["compiled", "parallel"],
+                           choices=["compiled", "parallel",
+                                    "vectorized"],
                            help="with --kernels, 'parallel' appends the "
-                                "sharded-execution view: shard count, "
-                                "anchor partition key, kernel reuse")
+                                "sharded-execution view (shard count, "
+                                "anchor partition key, kernel reuse); "
+                                "'vectorized' appends the batch "
+                                "lowering per rule")
     p_explain.add_argument("--shards", type=int, default=None,
                            metavar="N",
                            help="shard count for --executor parallel "
@@ -722,7 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["greedy", "adaptive", "source"])
     p_serve.add_argument("--executor", default="compiled",
                          choices=["compiled", "interpreted",
-                                  "parallel"])
+                                  "parallel", "vectorized"])
     p_serve.add_argument("--interning", default="off",
                          choices=["on", "off"])
     p_serve.add_argument("--describe", action="store_true",
@@ -841,11 +852,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "executor to be at least X times the "
                               "single-threaded compiled baseline on "
                               "transitive closure")
+    p_bench.add_argument("--min-vectorized-speedup", type=float,
+                         default=None, metavar="X",
+                         help="with --check, require the vectorized "
+                              "executor to be at least X times the "
+                              "interned+adaptive compiled baseline on "
+                              "transitive closure and same generation")
     p_bench.add_argument("--executor", default=None,
-                         choices=["parallel"], dest="focus_executor",
+                         choices=["parallel", "vectorized"],
+                         dest="focus_executor",
                          help="smoke mode: measure only the baseline "
                               "and this executor's configuration per "
                               "workload (skips the full method grid)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="attach a per-kernel wall-time and "
+                              "per-round delta-size breakdown to each "
+                              "workload in the report")
     p_bench.add_argument("--seed", type=int, default=7,
                          help="RNG seed for the generated EDBs "
                               "(default 7; fixed for reproducibility)")

@@ -7,6 +7,9 @@ from .compile import (EXECUTORS, CompiledKernel, KernelCache,
 from .stats import RelationStats
 from .parallel import (DEFAULT_SHARDS, PARALLEL_MODES, ShardExecutor,
                        choose_partition_key, validate_parallel_mode)
+from .profile import EvalProfile
+from .vectorize import (BatchKernel, PredicateCache, VectorRunner,
+                        columnar_backend_factory, compile_batch)
 from .engine import (EvaluationResult, consistent_answers, evaluate,
                      evaluate_with_magic, magic_answers, query_answers)
 from .magic import MagicProgram, adornment_of, magic_rewrite
@@ -24,6 +27,9 @@ __all__ = [
     "RelationStats",
     "DEFAULT_SHARDS", "PARALLEL_MODES", "ShardExecutor",
     "choose_partition_key", "validate_parallel_mode",
+    "EvalProfile",
+    "BatchKernel", "PredicateCache", "VectorRunner",
+    "columnar_backend_factory", "compile_batch",
     "EvaluationResult", "consistent_answers", "evaluate",
     "evaluate_with_magic", "magic_answers", "query_answers",
     "MagicProgram", "adornment_of", "magic_rewrite",

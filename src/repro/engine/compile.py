@@ -72,8 +72,10 @@ from .bindings import (Binding, Cost, EvalStats, Fetch, _check_atom_args,
 
 #: Known executors for the bottom-up engines.  ``parallel`` runs the
 #: same compiled kernels sharded over a partition of each firing's
-#: anchor scan (see :mod:`repro.engine.parallel`).
-EXECUTORS = ("compiled", "interpreted", "parallel")
+#: anchor scan (see :mod:`repro.engine.parallel`); ``vectorized`` lowers
+#: each firing to a whole-frontier batch kernel over columnar storage
+#: (see :mod:`repro.engine.vectorize`).
+EXECUTORS = ("compiled", "interpreted", "parallel", "vectorized")
 
 #: ``sizes(atom, body_index) -> int`` — relation-size estimate used by
 #: the greedy planner at compile time.
@@ -349,6 +351,7 @@ class CompiledKernel:
 
     __slots__ = ("rule", "order", "n_slots", "sources", "symbols",
                  "plan_costs", "fused", "deep_fused", "anchor",
+                 "batch_plan", "batch_head",
                  "_entry", "_fast_entry", "_deep_fn", "_head_fn",
                  "_slot_items", "_step_notes")
 
@@ -356,7 +359,8 @@ class CompiledKernel:
                  keep_atom_order: bool = False,
                  cost: Cost | None = None,
                  symbols: SymbolTable | None = None,
-                 order: list[int] | None = None) -> None:
+                 order: list[int] | None = None,
+                 fuse: bool = True) -> None:
         self.rule = rule
         self.symbols = symbols
         # ``order`` pins the plan (the parallel executor's fork workers
@@ -382,6 +386,35 @@ class CompiledKernel:
         # Symbolic probe descriptions for whole-body fusion: one entry
         # per atom step, or None once any non-atom step appears.
         sym_plans: list[tuple] | None = []
+
+        # Fully symbolic step program for the vectorized batch executor
+        # (:mod:`repro.engine.vectorize`): unlike ``sym_plans`` it also
+        # carries member/negation/comparison/bind steps.  Terms appear
+        # as ``("const", payload)`` / ``("slot", slot)``; arithmetic
+        # (the one term kind that must round-trip through the value
+        # domain per row) disqualifies the batch lowering entirely and
+        # the vectorized executor falls back to this kernel's
+        # :meth:`execute`.
+        batch_ok = True
+        bsteps: list[tuple] = []
+
+        def _sym_coded(term):
+            """Storage-domain symbolic term, or None for arithmetic."""
+            if isinstance(term, Constant):
+                return ("const", symbols.intern(term.value)
+                        if symbols is not None else term.value)
+            if isinstance(term, Variable):
+                return ("slot", slot_of[term])
+            return None
+
+        def _sym_value(term):
+            """Value-domain symbolic term (slots still hold codes)."""
+            if isinstance(term, Constant):
+                return ("const", term.value)
+            if isinstance(term, Variable):
+                return ("slot", slot_of[term])
+            return None
+
         for index in self.order:
             lit = rule.body[index]
             if not isinstance(lit, Atom) or isinstance(lit, Negation):
@@ -396,11 +429,25 @@ class CompiledKernel:
                     else:
                         target, source = lit.rhs, lit.lhs
                     getter = _coded_term_getter(source, slot_of, symbols)
-                    plans.append(("bind", slot(target), getter))
+                    source_sym = _sym_coded(source) if batch_ok else None
+                    target_slot = slot(target)
+                    plans.append(("bind", target_slot, getter))
+                    if source_sym is None:
+                        batch_ok = False
+                    else:
+                        bsteps.append(("bind", target_slot, source_sym))
                     self._step_notes.append(f"bind         {lit}")
                 else:
                     lhs = _decoded_term_getter(lit.lhs, slot_of, symbols)
                     rhs = _decoded_term_getter(lit.rhs, slot_of, symbols)
+                    if batch_ok:
+                        lhs_sym = _sym_value(lit.lhs)
+                        rhs_sym = _sym_value(lit.rhs)
+                        if lhs_sym is None or rhs_sym is None:
+                            batch_ok = False
+                        else:
+                            bsteps.append(
+                                ("check", lit.op, lhs_sym, rhs_sym))
                     plans.append(("check", lit.op, lhs, rhs))
                     self._step_notes.append(f"check        {lit}")
                 bound.update(lit.variable_set())
@@ -412,6 +459,13 @@ class CompiledKernel:
                 src = len(self.sources)
                 self.sources.append((index, lit.atom, (), "neg"))
                 plans.append(("neg", src, getters))
+                if batch_ok:
+                    neg_syms = tuple(_sym_coded(arg)
+                                     for arg in lit.atom.args)
+                    if any(sym is None for sym in neg_syms):
+                        batch_ok = False
+                    else:
+                        bsteps.append(("neg", src, neg_syms))
                 self._step_notes.append(f"absent       {lit}")
                 continue
             # Database atom.
@@ -452,6 +506,7 @@ class CompiledKernel:
                 src = len(self.sources)
                 self.sources.append((index, lit, (), "member"))
                 plans.append(("member", src, tuple(key_getters)))
+                bsteps.append(("member", src, tuple(key_syms)))
                 sym_plans = None
                 self._step_notes.append(f"{'member':12} {lit}")
                 bound.update(lit.variable_set())
@@ -462,6 +517,9 @@ class CompiledKernel:
             plans.append(("atom", src,
                           tuple(key_getters) if cols else None,
                           tuple(writes), tuple(checks)))
+            bsteps.append(("atom", src,
+                           tuple(key_syms) if cols else None,
+                           tuple(writes), tuple(checks)))
             if sym_plans is not None:
                 sym_plans.append((src,
                                   tuple(key_syms) if cols else None,
@@ -487,6 +545,21 @@ class CompiledKernel:
             head_getters.append(_coded_term_getter(arg, slot_of, symbols))
         head_getters = tuple(head_getters)
 
+        bhead: list[tuple] = []
+        if batch_ok:
+            for arg in rule.head.args:
+                sym = _sym_coded(arg)
+                if sym is None:  # ArithExpr head: generic path only.
+                    batch_ok = False
+                    break
+                bhead.append(sym)
+        #: Symbolic batch program + head for the vectorized executor,
+        #: or None when the body/head uses arithmetic (or is empty) and
+        #: the batch lowering must fall back to :meth:`execute`.
+        self.batch_plan = tuple(bsteps) if batch_ok and bsteps else None
+        self.batch_head = tuple(bhead) if self.batch_plan is not None \
+            else None
+
         def head_fn(env, _getters=head_getters):
             return tuple(g(env) for g in _getters)
 
@@ -499,9 +572,19 @@ class CompiledKernel:
             ctx.emit(env)
 
         self._entry = _chain(plans, emit_solution)
-        self._fast_entry = self._try_fuse_tail(plans, slot_of)
+        # ``fuse=False`` skips both fusion passes when the caller knows
+        # this kernel will run through its batch form (the vectorized
+        # executor): fusion's codegen would be paid on every compile
+        # and used only on the rare hook/decline fallback, where the
+        # unfused chain produces identical rows and counters anyway.
+        # Kernels without a batch plan always fall back, so fuse those.
+        if not fuse and self.batch_plan is not None:
+            self._fast_entry = None
+            self._deep_fn = None
+        else:
+            self._fast_entry = self._try_fuse_tail(plans, slot_of)
+            self._deep_fn = self._try_fuse_body(sym_plans, slot_of)
         self.fused = self._fast_entry is not None
-        self._deep_fn = self._try_fuse_body(sym_plans, slot_of)
         self.deep_fused = self._deep_fn is not None
         #: Ordinal (into :attr:`sources`) of the anchor: the full-scan
         #: source that is also the *first executed step* of the plan —
@@ -756,16 +839,20 @@ class KernelCache:
 
     __slots__ = ("keep_atom_order", "symbols", "adaptive",
                  "replan_threshold", "replan_floor", "max_replans",
-                 "replans", "_kernels", "_replan_counts")
+                 "replans", "fuse", "_kernels", "_replan_counts")
 
     def __init__(self, keep_atom_order: bool = False,
                  symbols: SymbolTable | None = None,
                  adaptive: bool = False,
                  replan_threshold: float = 4.0,
                  replan_floor: int = 16,
-                 max_replans: int = 16) -> None:
+                 max_replans: int = 16,
+                 fuse: bool = True) -> None:
         self.keep_atom_order = keep_atom_order
         self.symbols = symbols
+        #: False under the vectorized executor: batch-lowerable kernels
+        #: skip the fusion codegen they would never use.
+        self.fuse = fuse
         self.adaptive = adaptive
         self.replan_threshold = replan_threshold
         #: Sources smaller than this (both then and now) never trigger.
@@ -816,7 +903,7 @@ class KernelCache:
             self.replans += 1
         kernel = CompiledKernel(
             rule, sizes, keep_atom_order=self.keep_atom_order,
-            cost=cost, symbols=self.symbols)
+            cost=cost, symbols=self.symbols, fuse=self.fuse)
         self._kernels[key] = (kernel, self._snapshot(kernel, sizes))
         return kernel
 

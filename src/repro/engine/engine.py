@@ -24,7 +24,9 @@ from .bindings import EvalStats
 from .compile import EXECUTORS, validate_executor
 from .magic import MagicProgram, adornment_of, magic_rewrite
 from .naive import naive_evaluate
+from .profile import EvalProfile
 from .seminaive import DerivationHook, answers, seminaive_evaluate
+from .vectorize import columnar_backend_factory
 
 #: Known fixpoint methods.
 METHODS = ("seminaive", "naive")
@@ -71,7 +73,8 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
              executor: str = "compiled",
              interning: str = "off",
              shards: int | None = None,
-             parallel_mode: str = "auto") -> EvaluationResult:
+             parallel_mode: str = "auto",
+             profile: EvalProfile | None = None) -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``edb``.
 
     Args:
@@ -93,8 +96,13 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
             slot-based kernels (:mod:`repro.engine.compile`);
             ``"interpreted"`` uses the reference interpreter;
             ``"parallel"`` shards each kernel firing over a hash
-            partition of its anchor scan (:mod:`repro.engine.parallel`).
-            All derive identical databases with identical counters.
+            partition of its anchor scan (:mod:`repro.engine.parallel`);
+            ``"vectorized"`` stores relations in columnar arrays and
+            processes whole delta frontiers per firing as batch kernels
+            with column-level predicate caching
+            (:mod:`repro.engine.vectorize`; most effective with
+            ``interning="on"``).  All derive identical databases with
+            identical counters.
         shards: shard count for ``executor="parallel"`` (default
             :data:`~repro.engine.parallel.DEFAULT_SHARDS`); ignored by
             the other executors.
@@ -107,19 +115,26 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
             (default) evaluates in whatever mode ``edb`` already is —
             an EDB loaded with ``load_directory(..., interning=True)``
             stays interned either way.
+        profile: optional :class:`~repro.engine.profile.EvalProfile`
+            collecting per-kernel wall time and per-round delta sizes
+            (semi-naive method only).
     """
     stats = EvalStats()
     validate_executor(executor)
     validate_interning(interning)
     budget = resolve_budget(budget)
     if interning == "on":
-        edb = edb.interned()
+        # The vectorized executor gets columnar EDB storage in the same
+        # single re-encoding pass interning already pays for.
+        edb = edb.interned(backend_factory=columnar_backend_factory
+                           if executor == "vectorized" else None)
     start = time.perf_counter()
     if method == "seminaive":
         idb = seminaive_evaluate(program, edb, stats, hook=hook,
                                  planner=planner, budget=budget,
                                  executor=executor, shards=shards,
-                                 parallel_mode=parallel_mode)
+                                 parallel_mode=parallel_mode,
+                                 profile=profile)
     elif method == "naive":
         if hook is not None:
             raise EvaluationError("hooks require the semi-naive method")
@@ -152,7 +167,8 @@ def evaluate_with_magic(program: Program, edb: Database, query: Atom,
     budget = resolve_budget(budget)
     validate_interning(interning)
     if interning == "on":
-        edb = edb.interned()
+        edb = edb.interned(backend_factory=columnar_backend_factory
+                           if executor == "vectorized" else None)
     rewritten = magic_rewrite(program, query, budget=budget)
     stats = EvalStats()
     start = time.perf_counter()

@@ -20,6 +20,7 @@ from .bindings import (EvalStats, instantiate_head, solve_body,
 from .compile import KernelCache, validate_executor
 from .parallel import DEFAULT_SHARDS, ShardExecutor, validate_parallel_mode
 from .stratify import stratify
+from .vectorize import VectorRunner, columnar_backend_factory
 
 #: Safety valve for runaway fixpoints (e.g. value-inventing arithmetic).
 DEFAULT_MAX_ITERATIONS = 100_000
@@ -56,7 +57,10 @@ def naive_evaluate(program: Program, edb: Database,
     budget = resolve_budget(budget)
     chaos_plan = chaos.active_plan()
     arities = program.predicate_arities()
-    idb = Database(symbols=edb.symbols)
+    vectorized = executor == "vectorized"
+    backend_factory = columnar_backend_factory \
+        if vectorized and edb.symbols is not None else None
+    idb = Database(symbols=edb.symbols, backend_factory=backend_factory)
     for pred in program.idb_predicates:
         idb.ensure(pred, arities[pred])
 
@@ -76,9 +80,11 @@ def naive_evaluate(program: Program, edb: Database,
     adaptive = planner == "adaptive"
     kernels = None
     pool = None
+    vec = VectorRunner(symbols=edb.symbols) if vectorized else None
     if executor != "interpreted":
         kernels = KernelCache(keep_atom_order=keep_atom_order,
-                              symbols=edb.symbols, adaptive=adaptive)
+                              symbols=edb.symbols, adaptive=adaptive,
+                              fuse=not vectorized)
     if executor == "parallel":
         validate_parallel_mode(parallel_mode)
         pool = ShardExecutor(shards if shards is not None
@@ -87,7 +93,7 @@ def naive_evaluate(program: Program, edb: Database,
     try:
         _naive_strata(program, edb, idb, stats, max_iterations, budget,
                       chaos_plan, fetch, sizes, cost, keep_atom_order,
-                      adaptive, kernels, pool)
+                      adaptive, kernels, pool, vec)
     finally:
         if pool is not None:
             pool.close()
@@ -98,7 +104,7 @@ def naive_evaluate(program: Program, edb: Database,
 
 def _naive_strata(program, edb, idb, stats, max_iterations, budget,
                   chaos_plan, fetch, sizes, cost, keep_atom_order,
-                  adaptive, kernels, pool) -> None:
+                  adaptive, kernels, pool, vec=None) -> None:
     for stratum in stratify(program):
         rules = [r for r in program if r.head.pred in stratum]
         changed = True
@@ -126,6 +132,8 @@ def _naive_strata(program, edb, idb, stats, max_iterations, budget,
                         derived = pool.run(kernel, fetch, stats,
                                            budget=budget,
                                            mutable_preds=stratum)
+                    elif vec is not None:
+                        derived = vec.run(kernel, fetch, stats)
                     else:
                         derived = kernel.execute(fetch, stats)
                     target_add = target.raw_add

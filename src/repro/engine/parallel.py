@@ -53,7 +53,7 @@ from ..datalog.atoms import Atom, Comparison, Negation
 from ..datalog.rules import Rule
 from ..datalog.terms import ArithExpr
 from ..errors import EvaluationError
-from ..facts.backend import ShardedBackend
+from ..facts.backend import ColumnarBackend, ShardedBackend
 from ..facts.relation import Relation, Row
 from ..facts.symbols import SymbolTable
 from ..runtime import chaos
@@ -140,6 +140,21 @@ def _unpack_rows(flat, arity: int) -> list[Row]:
     return [row for row in zip(*([it] * arity))]
 
 
+def _columnar_payload(relation: Relation):
+    """Columnar replica payload: the backend's column arrays, verbatim.
+
+    A columnar relation already holds one ``array('q')`` per column, so
+    the replica ships those buffers directly — no per-row packing loop
+    at all — and the worker rebuilds rows with one C-level ``zip``.
+    ``None`` when the relation is not columnar (or arity 0, where the
+    column set cannot carry the row count).
+    """
+    backend = relation.backend
+    if relation.arity == 0 or not isinstance(backend, ColumnarBackend):
+        return None
+    return tuple(backend.columns())
+
+
 def _rule_has_arith(rule: Rule) -> bool:
     """Rules with arithmetic cannot run in fork/thread workers.
 
@@ -199,8 +214,13 @@ def _worker_main(conn) -> None:  # pragma: no cover - subprocess body
             elif tag == "rel":
                 _tag, name, arity, payload = message
                 relation = Relation(name, arity, symbols=symbols)
-                rows = _unpack_rows(payload, arity) if interned \
-                    else payload
+                if isinstance(payload, tuple):
+                    # Columnar replica: one array('q') per column.
+                    rows = list(zip(*payload))
+                elif interned:
+                    rows = _unpack_rows(payload, arity)
+                else:
+                    rows = payload
                 relation.raw_merge(rows)
                 relations[name] = relation
             elif tag == "fire":
@@ -528,9 +548,12 @@ class ShardExecutor:
                 continue
             if pool.shipped.get(relation.name) == len(relation):
                 continue
-            rows = relation.raw_rows()
-            payload = _pack_rows(rows, relation.arity) \
-                if pool.interned else list(rows)
+            payload = _columnar_payload(relation) \
+                if pool.interned else None
+            if payload is None:
+                rows = relation.raw_rows()
+                payload = _pack_rows(rows, relation.arity) \
+                    if pool.interned else list(rows)
             pool.broadcast(("rel", relation.name, relation.arity,
                             payload))
             pool.shipped[relation.name] = len(relation)

@@ -205,6 +205,12 @@ def explain_kernels(program: Program, edb: Database,
     which atom), the statistics-chosen partition-key column of that
     anchor's relation, and the kernel reuse — one compiled kernel per
     (rule, variant), executed once per shard per firing.
+
+    With ``executor="vectorized"`` the trailing section shows, per
+    rule, the whole-frontier batch lowering — the step kinds the batch
+    kernel chains and which comparison steps hit the column-level
+    predicate cache — or the reason the rule falls back to the
+    row-at-a-time compiled kernel.
     """
     from .compile import compile_rule
 
@@ -237,6 +243,8 @@ def explain_kernels(program: Program, edb: Database,
     body = "\n\n".join(kernel.describe() for kernel in kernels)
     if executor == "parallel":
         body += "\n\n" + _parallel_section(kernels, relation_for, shards)
+    elif executor == "vectorized":
+        body += "\n\n" + _vectorized_section(kernels, edb)
     if show_stats:
         body += "\n\n" + _stats_section(program, edb, idb)
     return body
@@ -263,4 +271,42 @@ def _parallel_section(kernels, relation_for, shards: int | None) -> str:
             f"  {label}: anchor scan {atom} hash-partitioned on "
             f"column {key}; 1 compiled kernel reused across "
             f"{count} shard calls per firing")
+    return "\n".join(lines)
+
+
+def _vectorized_section(kernels, edb) -> str:
+    """Render the batch-lowering summary for ``explain_kernels``."""
+    from .vectorize import compile_batch
+
+    lines = ["vectorized execution: whole-frontier batch kernels"
+             + ("" if edb.symbols is not None
+                else " (EDB not interned: every rule falls back)")]
+    for kernel in kernels:
+        label = kernel.rule.label or str(kernel.rule.head)
+        plan = kernel.batch_plan
+        if plan is None:
+            lines.append(f"  {label}: falls back to the compiled "
+                         "kernel (body not batch-lowerable)")
+            continue
+        if compile_batch(kernel) is None:
+            lines.append(f"  {label}: falls back to the compiled "
+                         "kernel (batch codegen declined)")
+            continue
+        steps = []
+        for step in plan:
+            kind = step[0]
+            if kind == "atom":
+                _kind, src, keys, _writes, _checks = step
+                steps.append("probe" if keys else "scan")
+            elif kind == "member":
+                steps.append("member")
+            elif kind == "neg":
+                steps.append("neg")
+            elif kind == "check":
+                steps.append(f"check[{step[1]}]")
+            elif kind == "bind":
+                steps.append("bind")
+        lines.append(f"  {label}: batch chain "
+                     + " -> ".join(steps or ["copy"])
+                     + "; one call per frontier")
     return "\n".join(lines)

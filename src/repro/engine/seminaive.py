@@ -18,6 +18,7 @@ evaluation-based approach lives.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterable, Optional
 
 from ..datalog.atoms import Atom
@@ -33,7 +34,9 @@ from .bindings import (Binding, EvalStats, instantiate_head, solve_body,
 from .compile import KernelCache, validate_executor
 from .naive import DEFAULT_MAX_ITERATIONS
 from .parallel import DEFAULT_SHARDS, ShardExecutor, validate_parallel_mode
+from .profile import EvalProfile
 from .stratify import stratify
+from .vectorize import VectorRunner, columnar_backend_factory
 
 #: Optional per-derivation hook: ``hook(rule, binding, round) -> bool`` —
 #: return False to suppress the derivation (used by residue-guided
@@ -51,7 +54,8 @@ def seminaive_evaluate(program: Program, edb: Database,
                        budget: Budget | None = None,
                        executor: str = "compiled",
                        shards: int | None = None,
-                       parallel_mode: str = "auto") -> Database:
+                       parallel_mode: str = "auto",
+                       profile: EvalProfile | None = None) -> Database:
     """Compute the IDB of ``program`` over ``edb`` semi-naively.
 
     Returns a new :class:`Database` of IDB relations.  ``hook``, when
@@ -69,9 +73,15 @@ def seminaive_evaluate(program: Program, edb: Database,
     sharded over a hash partition of each firing's anchor scan
     (:mod:`repro.engine.parallel` — ``shards`` buckets, default
     :data:`~repro.engine.parallel.DEFAULT_SHARDS`; ``parallel_mode``
-    picks the worker pool).  All derive identical databases with
+    picks the worker pool); ``"vectorized"`` stores relations
+    columnarly and runs each firing as a whole-frontier batch kernel
+    (:mod:`repro.engine.vectorize`) with comparison/negation checks
+    cached per column.  All derive identical databases with
     identical counters; hooks, chaos injection and budgets behave
     identically under any of them.
+
+    ``profile``, when given, accumulates per-kernel wall time and
+    per-round delta sizes (:class:`~repro.engine.profile.EvalProfile`).
 
     ``planner`` orders joins: ``"greedy"`` (default) by boundness and
     relation size, ``"adaptive"`` by statistics-estimated selectivity
@@ -89,17 +99,22 @@ def seminaive_evaluate(program: Program, edb: Database,
     validate_planner(planner)
     budget = resolve_budget(budget)
     arities = program.predicate_arities()
-    idb = Database(symbols=edb.symbols)
+    vectorized = executor == "vectorized"
+    backend_factory = columnar_backend_factory \
+        if vectorized and edb.symbols is not None else None
+    idb = Database(symbols=edb.symbols, backend_factory=backend_factory)
     for pred in program.idb_predicates:
         idb.ensure(pred, arities[pred])
 
     keep_atom_order = planner == "source"
     kernels = None
     pool = None
+    vec = VectorRunner(symbols=edb.symbols) if vectorized else None
     if executor != "interpreted":
         kernels = KernelCache(keep_atom_order=keep_atom_order,
                               symbols=edb.symbols,
-                              adaptive=planner == "adaptive")
+                              adaptive=planner == "adaptive",
+                              fuse=not vectorized)
     if executor == "parallel":
         validate_parallel_mode(parallel_mode)
         pool = ShardExecutor(shards if shards is not None
@@ -109,7 +124,7 @@ def seminaive_evaluate(program: Program, edb: Database,
         for stratum in stratify(program):
             _evaluate_stratum(program, stratum, edb, idb, stats,
                               max_iterations, hook, keep_atom_order,
-                              budget, kernels, pool)
+                              budget, kernels, pool, vec, profile)
     finally:
         if pool is not None:
             pool.close()
@@ -125,7 +140,9 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                       keep_atom_order: bool = False,
                       budget: Budget | None = None,
                       kernels: KernelCache | None = None,
-                      pool: ShardExecutor | None = None) -> None:
+                      pool: ShardExecutor | None = None,
+                      vec: VectorRunner | None = None,
+                      profile: EvalProfile | None = None) -> None:
     chaos_plan = chaos.active_plan()
     rules = [r for r in program if r.head.pred in stratum]
     # Unlabeled rules must not collapse into one per-head bucket: key
@@ -141,6 +158,12 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
             # Sharded buckets: next round's scatter over this delta is
             # then free (see :meth:`ShardExecutor.make_delta`).
             return pool.make_delta(pred, target)
+        if vec is not None and symbols is not None:
+            # Columnar deltas: batch kernels gather frontier columns
+            # and probe per-column indexes without tuple allocation.
+            return Relation(pred, target.arity, symbols=symbols,
+                            backend=columnar_backend_factory(
+                                pred, target.arity))
         return Relation(pred, target.arity, symbols=symbols)
 
     deltas: dict[str, Relation] = {pred: make_delta(pred)
@@ -162,6 +185,7 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
         target = idb.relation(rule.head.pred)
         delta = next_deltas[rule.head.pred]
         rows_before = stats.rows_matched
+        fire_start = perf_counter() if profile is not None else 0.0
         # Buffer insertions so the body scan sees a snapshot of the
         # relations (a rule may read the relation it writes).
         if kernels is not None:
@@ -199,6 +223,9 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                                    round_index=round_index, hook=hook,
                                    budget=budget,
                                    mutable_preds=stratum)
+            elif vec is not None:
+                derived = vec.run(kernel, fetch, stats, hook=hook,
+                                  round_index=round_index)
             else:
                 derived = kernel.execute(fetch, stats, hook=hook,
                                          round_index=round_index)
@@ -215,6 +242,10 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                 derived.append(instantiate_head(rule, binding))
             target_add, delta_add = target.add, delta.add
         key = rule_keys[id(rule)]
+        if profile is not None:
+            fire_key = key if variant is None else f"{key}@d{variant}"
+            profile.record_fire(fire_key, perf_counter() - fire_start,
+                                len(derived))
         stats.rule_rows[key] = stats.rule_rows.get(key, 0) \
             + stats.rows_matched - rows_before
         # Budget ticks are amortized: `checkpoint` returns how many
@@ -284,6 +315,9 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
     for rule in rules:
         fire(rule, base_fetch, 0)
     deltas = next_deltas
+    if profile is not None:
+        profile.record_round(0, {pred: len(rel)
+                                 for pred, rel in deltas.items()})
     barrier()
 
     rounds = 0
@@ -317,6 +351,9 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
 
                 fire(rule, fetch, rounds, variant=delta_index)
         deltas = next_deltas
+        if profile is not None:
+            profile.record_round(rounds, {pred: len(rel)
+                                          for pred, rel in deltas.items()})
         barrier()
 
 

@@ -1,7 +1,8 @@
 """EDB storage: indexed relations, databases, interning, CSV I/O."""
 
 from .symbols import INTERNING_MODES, SymbolTable, validate_interning
-from .backend import DictBackend, ShardedBackend, StorageBackend
+from .backend import (ColumnarBackend, DictBackend, ShardedBackend,
+                      StorageBackend)
 from .relation import Relation, Row
 from .database import Database
 from .changelog import (AppliedChange, Changeset, VersionedDatabase,
@@ -9,7 +10,8 @@ from .changelog import (AppliedChange, Changeset, VersionedDatabase,
 from .io import load_csv, load_directory, save_csv, save_directory
 
 __all__ = ["INTERNING_MODES", "SymbolTable", "validate_interning",
-           "DictBackend", "ShardedBackend", "StorageBackend",
+           "ColumnarBackend", "DictBackend", "ShardedBackend",
+           "StorageBackend",
            "Relation", "Row", "Database",
            "AppliedChange", "Changeset", "VersionedDatabase",
            "random_changeset",

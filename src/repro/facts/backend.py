@@ -14,23 +14,47 @@ checks, value/code translation against a shared symbol table, statistics
   that maintains extra structure (shard buckets, columnar arrays, a
   write-ahead log) observes every insert and delete.
 
+Every backend also carries a ``(uid, version)`` identity: ``uid`` is
+unique per backend instance and ``version`` bumps on every mutation that
+changed content.  The vectorized executor's column-level predicate cache
+(:mod:`repro.engine.vectorize`) keys memoized check results on this pair,
+so the *invalidation rule* is simply "any content change bumps the
+version and orphans the cached entry".
+
+Three index families are maintained:
+
+- ``indexes`` — tuple-keyed multi-column indexes (``index_for``);
+- ``code_indexes`` — single-column indexes keyed by the **bare** stored
+  value (``code_index_for``), saving a 1-tuple allocation + hash per
+  probe on the single-column joins that dominate recursive workloads;
+- ``proj_indexes`` — projection indexes mapping a bare key-column value
+  to the list of *another column's* entries for matching rows
+  (``projection_index``), so a final join level can emit projected
+  values without touching row tuples at all.
+
 :class:`DictBackend` is the default: a ``set`` of tuples plus on-demand
 ``dict`` indexes — semantically exactly the storage the engine always
 had.  :class:`ShardedBackend` additionally hash-partitions rows into
 ``shard_count`` buckets by one *key column*, which is what the parallel
 executor (:mod:`repro.engine.parallel`) scatters kernel firings over.
-Future array/NumPy or disk-backed columnar backends slot in behind the
-same protocol (the ROADMAP's reason for this seam).
+:class:`ColumnarBackend` mirrors interned rows into per-column
+``array('q')`` stores with O(1) copy-on-write snapshots — the substrate
+the vectorized executor and the fork pool's raw-array shipping use.
 """
 
 from __future__ import annotations
 
+import itertools
+from array import array
 from typing import Collection, Iterable, Iterator, Protocol, runtime_checkable
 
 Row = tuple
 
 #: A hash index: bound-column key tuple -> list of rows with those values.
 Index = dict
+
+#: Monotone source of backend identities (see ``StorageBackend.uid``).
+_uids = itertools.count(1)
 
 
 @runtime_checkable
@@ -44,6 +68,10 @@ class StorageBackend(Protocol):
 
     rows: set[Row]
     indexes: dict[tuple[int, ...], Index]
+    code_indexes: dict[int, dict]
+    proj_indexes: dict[tuple[int, int], dict]
+    uid: int
+    version: int
 
     def __len__(self) -> int: ...
     def __contains__(self, row: Row) -> bool: ...
@@ -55,17 +83,24 @@ class StorageBackend(Protocol):
     def remove(self, row: Row) -> bool: ...
     def clear(self) -> None: ...
     def index_for(self, columns: tuple[int, ...]) -> Index: ...
+    def code_index_for(self, column: int) -> dict: ...
+    def projection_index(self, key_column: int, value_column: int) -> dict: ...
     def copy(self) -> "StorageBackend": ...
 
 
 class DictBackend:
     """The default backend: a row set plus on-demand hash indexes."""
 
-    __slots__ = ("rows", "indexes")
+    __slots__ = ("rows", "indexes", "code_indexes", "proj_indexes",
+                 "uid", "version")
 
     def __init__(self, rows: Iterable[Row] | None = None) -> None:
         self.rows: set[Row] = set(rows) if rows is not None else set()
         self.indexes: dict[tuple[int, ...], Index] = {}
+        self.code_indexes: dict[int, dict] = {}
+        self.proj_indexes: dict[tuple[int, int], dict] = {}
+        self.uid = next(_uids)
+        self.version = 0
 
     # -- container ----------------------------------------------------------
     def __len__(self) -> int:
@@ -86,6 +121,11 @@ class DictBackend:
         for columns, index in self.indexes.items():
             key = tuple(row[c] for c in columns)
             index.setdefault(key, []).append(row)
+        for column, cindex in self.code_indexes.items():
+            cindex.setdefault(row[column], []).append(row)
+        for (kcol, vcol), pindex in self.proj_indexes.items():
+            pindex.setdefault(row[kcol], []).append(row[vcol])
+        self.version += 1
         return True
 
     def add_new(self, rows: Iterable[Row]) -> list[Row]:
@@ -127,11 +167,27 @@ class DictBackend:
                 bucket.remove(row)
                 if not bucket:
                     del index[key]
+        for column, cindex in self.code_indexes.items():
+            bucket = cindex.get(row[column])
+            if bucket is not None:
+                bucket.remove(row)
+                if not bucket:
+                    del cindex[row[column]]
+        for (kcol, vcol), pindex in self.proj_indexes.items():
+            bucket = pindex.get(row[kcol])
+            if bucket is not None:
+                bucket.remove(row[vcol])
+                if not bucket:
+                    del pindex[row[kcol]]
+        self.version += 1
         return True
 
     def clear(self) -> None:
         self.rows.clear()
         self.indexes.clear()
+        self.code_indexes.clear()
+        self.proj_indexes.clear()
+        self.version += 1
 
     # -- indexes ------------------------------------------------------------
     def extend_indexes(self, new_rows: list[Row]) -> None:
@@ -158,6 +214,25 @@ class DictBackend:
                 for row in new_rows:
                     index.setdefault(
                         tuple(row[c] for c in columns), []).append(row)
+        for column, cindex in self.code_indexes.items():
+            get = cindex.get
+            for row in new_rows:
+                code = row[column]
+                bucket = get(code)
+                if bucket is None:
+                    cindex[code] = [row]
+                else:
+                    bucket.append(row)
+        for (kcol, vcol), pindex in self.proj_indexes.items():
+            get = pindex.get
+            for row in new_rows:
+                code = row[kcol]
+                bucket = get(code)
+                if bucket is None:
+                    pindex[code] = [row[vcol]]
+                else:
+                    bucket.append(row[vcol])
+        self.version += 1
 
     def index_for(self, columns: tuple[int, ...]) -> Index:
         """The live hash index over ``columns`` (built on first use)."""
@@ -185,6 +260,50 @@ class DictBackend:
         self.indexes[columns] = index
         return index
 
+    def code_index_for(self, column: int) -> dict:
+        """A single-column index keyed by the **bare** stored value.
+
+        Unlike ``index_for((column,))`` the keys are the column values
+        themselves, not 1-tuples — the vectorized kernels probe it with
+        ``index.get(code)`` and never allocate a key tuple per row.
+        """
+        index = self.code_indexes.get(column)
+        if index is None:
+            index = {}
+            get = index.get
+            for row in self.rows:
+                code = row[column]
+                bucket = get(code)
+                if bucket is None:
+                    index[code] = [row]
+                else:
+                    bucket.append(row)
+            self.code_indexes[column] = index
+        return index
+
+    def projection_index(self, key_column: int, value_column: int) -> dict:
+        """Bare key-column value -> list of ``value_column`` entries.
+
+        One entry per matching row (a multiset, so duplicate projected
+        values are preserved and the vectorized kernels' row counts stay
+        exact).  Lets a final join level emit projected head values
+        without indexing into row tuples at all.
+        """
+        key = (key_column, value_column)
+        proj = self.proj_indexes.get(key)
+        if proj is None:
+            proj = {}
+            get = proj.get
+            for row in self.rows:
+                code = row[key_column]
+                bucket = get(code)
+                if bucket is None:
+                    proj[code] = [row[value_column]]
+                else:
+                    bucket.append(row[value_column])
+            self.proj_indexes[key] = proj
+        return proj
+
     # -- lifecycle ----------------------------------------------------------
     def copy(self) -> "DictBackend":
         """An independent backend with the same rows.
@@ -193,11 +312,17 @@ class DictBackend:
         (:meth:`index_for`), so snapshot-style copies — serving's
         published snapshots, incremental maintenance's before/mid state
         reconstruction — pay O(rows) for the set copy and nothing for
-        indexes the copy never probes.
+        indexes the copy never probes.  The copy gets a fresh
+        ``(uid, version)`` identity so cached predicate checks against
+        the source never leak to it.
         """
         out = DictBackend.__new__(DictBackend)
         out.rows = set(self.rows)
         out.indexes = {}
+        out.code_indexes = {}
+        out.proj_indexes = {}
+        out.uid = next(_uids)
+        out.version = 0
         return out
 
 
@@ -211,9 +336,14 @@ class ShardedBackend(DictBackend):
     the most distinct values — statistics the relation already
     maintains); partitioning never affects results, only balance, since
     derived rows are merged and deduplicated centrally.
+
+    The largest bucket size is tracked incrementally (``_max_shard``)
+    so the barrier-time ``rebalance_if_skewed`` skew probe —
+    :meth:`imbalance` — is O(1) instead of a scan over every shard.
     """
 
-    __slots__ = ("shard_count", "key_column", "shard_lists", "rebalances")
+    __slots__ = ("shard_count", "key_column", "shard_lists", "rebalances",
+                 "_max_shard")
 
     def __init__(self, shard_count: int, key_column: int = 0,
                  rows: Iterable[Row] | None = None) -> None:
@@ -226,6 +356,8 @@ class ShardedBackend(DictBackend):
             [] for _ in range(shard_count)]
         #: Times :meth:`rebalance` actually repartitioned.
         self.rebalances = 0
+        #: Incrementally maintained ``max(len(bucket))`` over the shards.
+        self._max_shard = 0
         if rows is not None:
             self.merge_new(list(rows))
 
@@ -234,13 +366,21 @@ class ShardedBackend(DictBackend):
         lists = self.shard_lists
         count = self.shard_count
         column = self.key_column
+        largest = self._max_shard
         for row in new_rows:
-            lists[hash(row[column]) % count].append(row)
+            bucket = lists[hash(row[column]) % count]
+            bucket.append(row)
+            if len(bucket) > largest:
+                largest = len(bucket)
+        self._max_shard = largest
 
     def insert(self, row: Row) -> bool:
         if super().insert(row):
-            self.shard_lists[
-                hash(row[self.key_column]) % self.shard_count].append(row)
+            bucket = self.shard_lists[
+                hash(row[self.key_column]) % self.shard_count]
+            bucket.append(row)
+            if len(bucket) > self._max_shard:
+                self._max_shard = len(bucket)
             return True
         return False
 
@@ -260,23 +400,37 @@ class ShardedBackend(DictBackend):
 
     def remove(self, row: Row) -> bool:
         if super().remove(row):
-            self.shard_lists[
-                hash(row[self.key_column]) % self.shard_count].remove(row)
+            bucket = self.shard_lists[
+                hash(row[self.key_column]) % self.shard_count]
+            was_max = len(bucket) >= self._max_shard
+            bucket.remove(row)
+            if was_max:
+                # The shrunk bucket may have been the (only) largest;
+                # the true max is within 1 of the counter, so this
+                # O(shards) recompute runs only on removals from a
+                # maximal bucket — never on the append fast path.
+                self._max_shard = max(
+                    (len(b) for b in self.shard_lists), default=0)
             return True
         return False
 
     def clear(self) -> None:
         super().clear()
         self.shard_lists = [[] for _ in range(self.shard_count)]
+        self._max_shard = 0
 
     # -- sharding -----------------------------------------------------------
     def imbalance(self) -> float:
-        """Largest bucket over the ideal (rows / shards); 1.0 = perfect."""
+        """Largest bucket over the ideal (rows / shards); 1.0 = perfect.
+
+        O(1): reads the incrementally maintained largest-bucket counter
+        instead of scanning every shard at each barrier-time check.
+        """
         total = len(self.rows)
         if not total:
             return 1.0
         ideal = total / self.shard_count
-        return max(len(bucket) for bucket in self.shard_lists) / ideal
+        return self._max_shard / ideal
 
     def rebalance(self, key_column: int) -> bool:
         """Repartition every bucket by a new key column.
@@ -289,6 +443,7 @@ class ShardedBackend(DictBackend):
             return False
         self.key_column = key_column
         self.shard_lists = [[] for _ in range(self.shard_count)]
+        self._max_shard = 0
         self._scatter(self.rows)
         self.rebalances += 1
         return True
@@ -297,8 +452,197 @@ class ShardedBackend(DictBackend):
         out = ShardedBackend.__new__(ShardedBackend)
         out.rows = set(self.rows)
         out.indexes = {}
+        out.code_indexes = {}
+        out.proj_indexes = {}
+        out.uid = next(_uids)
+        out.version = 0
         out.shard_count = self.shard_count
         out.key_column = self.key_column
         out.shard_lists = [list(bucket) for bucket in self.shard_lists]
         out.rebalances = self.rebalances
+        out._max_shard = self._max_shard
+        return out
+
+
+class ColumnarBackend(DictBackend):
+    """Interned rows mirrored into append-only per-column ``array('q')``.
+
+    The row **set** stays the membership/dedup structure (the engines'
+    set-difference bulk inserts and negation probes are untouched), but
+    every stored column is also kept as a dense signed-64 array of
+    interned codes:
+
+    - the fork-mode parallel pool ships replicas as the raw column
+      arrays (no per-row packing pass);
+    - ``Relation.column_view`` snapshots are a C-level array copy;
+    - :meth:`id_index_for` maps a key-column code to the ``array('q')``
+      of row ids carrying it (row-id runs), from which
+      :meth:`projection_index` gathers projected columns directly.
+
+    ``copy()`` is O(1) copy-on-write: parent and child share the row set
+    and column arrays until either side next mutates, at which point the
+    writer privatizes its containers.  Rows must be tuples of ints
+    (interned codes) — the backend is only ever constructed for interned
+    databases.
+
+    Removals mark the columns *dirty* (append-only arrays cannot cheaply
+    delete); the next columnar read rebuilds them from the row set.
+
+    Column arrays are **lazy**: nothing is materialized until the first
+    columnar read (``columns()`` / ``id_index_for``).  Relations that
+    are only ever probed through the dict indexes — delta frontiers,
+    IDB accumulators — therefore pay exactly what :class:`DictBackend`
+    pays on the hot insert path; the arrays exist only where a reader
+    (projection index, column view, fork-pool replica shipping)
+    actually asked for them, and from then on are maintained
+    incrementally by the append path.
+    """
+
+    __slots__ = ("arity", "_columns", "_id_indexes", "_shared", "_dirty")
+
+    def __init__(self, arity: int, rows: Iterable[Row] | None = None) -> None:
+        super().__init__()
+        self.arity = arity
+        self._columns: list[array] | None = None
+        self._id_indexes: dict[int, dict] = {}
+        self._shared = False
+        self._dirty = False
+        if rows is not None:
+            self.merge_new(list(rows))
+
+    # -- copy-on-write ------------------------------------------------------
+    def _privatize(self) -> None:
+        """Detach from any snapshot sharing this backend's containers."""
+        self.rows = set(self.rows)
+        if self._columns is not None:
+            self._columns = [array("q", col) for col in self._columns]
+        self._id_indexes = {}
+        self._shared = False
+
+    def _append_rows(self, new_rows: Collection[Row]) -> None:
+        cols = self._columns
+        if cols is None or self._dirty or not new_rows:
+            return
+        if not cols:
+            return
+        base = len(cols[0])
+        for i, col in enumerate(cols):
+            col.extend([row[i] for row in new_rows])
+        for column, index in self._id_indexes.items():
+            get = index.get
+            rid = base
+            for row in new_rows:
+                code = row[column]
+                ids = get(code)
+                if ids is None:
+                    index[code] = array("q", (rid,))
+                else:
+                    ids.append(rid)
+                rid += 1
+
+    # -- mutation (column-maintaining overrides) ----------------------------
+    def insert(self, row: Row) -> bool:
+        if self._shared and row not in self.rows:
+            self._privatize()
+        if not super().insert(row):
+            return False
+        self._append_rows((row,))
+        return True
+
+    def add_new(self, rows: Iterable[Row]) -> list[Row]:
+        if self._shared:
+            self._privatize()
+        new_rows = super().add_new(rows)
+        self._append_rows(new_rows)
+        return new_rows
+
+    def merge_new(self, rows: Collection[Row]) -> list[Row]:
+        if self._shared:
+            self._privatize()
+        new_rows = super().merge_new(rows)
+        self._append_rows(new_rows)
+        return new_rows
+
+    def merge(self, rows: list[Row]) -> None:
+        if self._shared:
+            self._privatize()
+        super().merge(rows)
+        self._append_rows(rows)
+
+    def remove(self, row: Row) -> bool:
+        if self._shared and row in self.rows:
+            self._privatize()
+        if not super().remove(row):
+            return False
+        self._dirty = True
+        self._id_indexes.clear()
+        return True
+
+    def clear(self) -> None:
+        # Never clear shared containers in place — replace them.
+        self.rows = set()
+        self.indexes = {}
+        self.code_indexes = {}
+        self.proj_indexes = {}
+        self._columns = None
+        self._id_indexes = {}
+        self._shared = False
+        self._dirty = False
+        self.version += 1
+
+    # -- columnar access ----------------------------------------------------
+    def columns(self) -> list[array]:
+        """The live per-column arrays (built lazily, rebuilt when dirty)."""
+        if self._columns is None or self._dirty:
+            snapshot = list(self.rows)
+            self._columns = [
+                array("q", [row[i] for row in snapshot])
+                for i in range(self.arity)]
+            self._dirty = False
+        return self._columns
+
+    def id_index_for(self, column: int) -> dict:
+        """Key-column code -> ``array('q')`` of row ids carrying it."""
+        index = self._id_indexes.get(column)
+        if index is None:
+            index = {}
+            get = index.get
+            for rid, code in enumerate(self.columns()[column]):
+                ids = get(code)
+                if ids is None:
+                    index[code] = array("q", (rid,))
+                else:
+                    ids.append(rid)
+            self._id_indexes[column] = index
+        return index
+
+    def projection_index(self, key_column: int, value_column: int) -> dict:
+        key = (key_column, value_column)
+        proj = self.proj_indexes.get(key)
+        if proj is None:
+            # Gather from the dense value column through the row-id runs
+            # — no row-tuple indexing on the build either.
+            vals = self.columns()[value_column]
+            proj = {
+                code: [vals[i] for i in ids]
+                for code, ids in self.id_index_for(key_column).items()}
+            self.proj_indexes[key] = proj
+        return proj
+
+    # -- lifecycle ----------------------------------------------------------
+    def copy(self) -> "ColumnarBackend":
+        """An O(1) snapshot sharing rows and columns copy-on-write."""
+        out = ColumnarBackend.__new__(ColumnarBackend)
+        out.rows = self.rows
+        out.indexes = {}
+        out.code_indexes = {}
+        out.proj_indexes = {}
+        out.uid = next(_uids)
+        out.version = 0
+        out.arity = self.arity
+        out._columns = self._columns
+        out._id_indexes = {}
+        out._shared = True
+        out._dirty = self._dirty
+        self._shared = True
         return out

@@ -44,7 +44,7 @@ import warnings
 from typing import TYPE_CHECKING, Collection, Iterable, Iterator, Optional
 
 from ..datalog.terms import ConstValue
-from .backend import DictBackend, Index, StorageBackend
+from .backend import ColumnarBackend, DictBackend, Index, StorageBackend
 from .symbols import SymbolTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -84,6 +84,16 @@ class Relation:
     @property
     def interned(self) -> bool:
         return self.symbols is not None
+
+    @property
+    def version(self) -> int:
+        """The backend's mutation counter (see its ``version`` attr).
+
+        Bumps on every content change; together with the backend's
+        ``uid`` it keys the vectorized executor's column-level predicate
+        cache, whose invalidation rule is exactly "the version moved".
+        """
+        return self.backend.version
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -277,6 +287,9 @@ class Relation:
         index = self.backend.indexes.get((column,))
         if index is not None:
             return len(index)
+        cindex = self.backend.code_indexes.get(column)
+        if cindex is not None:
+            return len(cindex)
         rows = self.backend.rows
         cardinality = len(rows)
         cached = self._distinct_cache.get(column)
@@ -372,17 +385,35 @@ class Relation:
         """
         return self.backend.index_for(columns)
 
+    def code_index_for(self, column: int) -> dict:
+        """Single-column index keyed by the bare storage value.
+
+        Same buckets as ``index_for((column,))`` but without the 1-tuple
+        key wrapper — the vectorized kernels' probe path.  Live and
+        read-only, like :meth:`index_for`.
+        """
+        return self.backend.code_index_for(column)
+
+    def projection_index(self, key_column: int, value_column: int) -> dict:
+        """Bare key value -> list of ``value_column`` entries (live)."""
+        return self.backend.projection_index(key_column, value_column)
+
     def column_view(self, column: int):
         """A dense snapshot of one column, in the storage domain.
 
         In interned mode this is an ``array('q')`` of codes — a compact,
         cache-friendly columnar view suitable for bulk scans; in raw
         mode it is a plain list of values.  A snapshot, not a live view.
+        On a :class:`~repro.facts.backend.ColumnarBackend` the snapshot
+        is a C-level copy of the already-materialized column array.
         """
         if self.symbols is not None:
             from array import array
 
-            return array("q", (row[column] for row in self.backend.rows))
+            backend = self.backend
+            if isinstance(backend, ColumnarBackend):
+                return array("q", backend.columns()[column])
+            return array("q", (row[column] for row in backend.rows))
         return [row[column] for row in self.backend.rows]
 
     def copy(self) -> "Relation":

@@ -232,10 +232,10 @@ def test_compile_rejects_unsafe_head():
 
 def test_validate_executor_rejects_unknown():
     with pytest.raises(EvaluationError, match="executor"):
-        validate_executor("vectorized")
+        validate_executor("gpu")
     program, edb, _query = _tc_workload()
     with pytest.raises(EvaluationError, match="executor"):
-        evaluate(program, edb, executor="vectorized")
+        evaluate(program, edb, executor="gpu")
 
 
 def test_explain_kernels_renders_steps(tc_program, chain_db):

@@ -24,8 +24,12 @@ from repro.workloads import random_linear_program
 #: meaningful for the parallel executor (None elsewhere); the parallel
 #: combos sweep shard counts so scatter/merge accounting is checked
 #: against the single-threaded executors at every partition width.
+#: The vectorized combos sweep every planner both interned (batch
+#: kernels over columnar storage) and not (falls back to the compiled
+#: kernels), so the whole-frontier accounting is differentially checked
+#: against the row-at-a-time executors under each join order.
 COMBOS = [(executor, planner, interning, None)
-          for executor in ("compiled", "interpreted")
+          for executor in ("compiled", "interpreted", "vectorized")
           for planner in ("greedy", "adaptive", "source")
           for interning in ("off", "on")]
 COMBOS += [("parallel", "adaptive", interning, shards)
