@@ -9,18 +9,21 @@ violation is reported identically everywhere — and *before* the
 optimizer or an engine trips over it.
 """
 
+from .dataflow import DataflowResult, Domain, analyze_dataflow
 from .diagnostics import SEVERITIES, AnalysisReport, Diagnostic
 from .linter import (LintTarget, bundled_reports, bundled_targets,
                      lint_file, lint_program, lint_source, lint_target)
 from .passes import (CODES, PRECONDITION_PASSES, REGISTRY, AnalysisContext,
                      AnalysisPass, analyze_program, make_diagnostic,
                      run_passes, severity_of)
+from .sarif import render_sarif, sarif_report
 
 __all__ = [
     "SEVERITIES", "AnalysisReport", "Diagnostic",
+    "DataflowResult", "Domain", "analyze_dataflow",
     "LintTarget", "bundled_reports", "bundled_targets",
     "lint_file", "lint_program", "lint_source", "lint_target",
     "CODES", "PRECONDITION_PASSES", "REGISTRY", "AnalysisContext",
     "AnalysisPass", "analyze_program", "make_diagnostic", "run_passes",
-    "severity_of",
+    "severity_of", "render_sarif", "sarif_report",
 ]

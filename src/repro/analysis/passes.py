@@ -62,6 +62,12 @@ CODES: dict[str, tuple[str, str]] = {
     "PERF003": ("warning", "source-order evaluation forces a cross product"),
     "PERF004": ("warning",
                 "recursive existence guard degrades deletion maintenance"),
+    "TYPE002": ("warning",
+                "rule heads give a predicate column conflicting types"),
+    "DEAD003": ("warning", "predicate is provably empty"),
+    "SAT001": ("warning", "comparison is statically unsatisfiable"),
+    "BOUND001": ("warning",
+                 "non-linear recursion has no static size bound"),
     "PARSE001": ("error", "source text could not be parsed"),
 }
 
@@ -148,8 +154,11 @@ def run_passes(context: AnalysisContext,
         try:
             analysis_pass = REGISTRY[name]
         except KeyError:
+            import difflib
+            close = difflib.get_close_matches(name, list(REGISTRY), n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
             raise ValueError(
-                f"unknown analysis pass {name!r}; "
+                f"unknown analysis pass {name!r}{hint}; "
                 f"known: {', '.join(REGISTRY)}") from None
         for diagnostic in analysis_pass.run(context):
             if diagnostic.pass_name:
@@ -684,3 +693,66 @@ def _source_order_cross_product(rule: Rule) -> Atom | None:
             if builtins.can_bind(lit, bound):
                 bound.update(lit.variable_set())
     return None
+
+
+# ---------------------------------------------------------------------------
+# 11. dataflow (abstract interpretation)
+# ---------------------------------------------------------------------------
+
+@register("dataflow", ["TYPE002", "DEAD003", "SAT001", "BOUND001"],
+          "fixpoint abstract interpretation: cross-rule column types, "
+          "provably empty predicates, statically unsatisfiable "
+          "comparisons, and unbounded non-linear recursion")
+def check_dataflow(context: AnalysisContext) -> Iterator[Diagnostic]:
+    from ..errors import ReproError
+    from .dataflow import INF, analyze_dataflow
+    program = context.program
+    try:
+        flow = analyze_dataflow(program, query=context.query)
+    except ReproError:
+        return  # inconsistent arities etc.; the consistency pass reports
+    for entry in flow.unsat:
+        yield make_diagnostic(
+            "SAT001",
+            f"comparison {entry.comparison} can never hold: "
+            f"{entry.reason}; the rule derives nothing",
+            span=entry.comparison.span or _rule_span(entry.rule),
+            rule=entry.rule.label, subject=entry.rule.head.pred)
+    for pred in sorted(flow.empty & program.idb_predicates):
+        rules = program.rules_for(pred)
+        span = _rule_span(rules[0]) if rules else None
+        reasons = sorted({reason for rule, reason in flow.dead_rules.items()
+                          if rule.head.pred == pred})
+        detail = f" ({reasons[0]})" if reasons else ""
+        yield make_diagnostic(
+            "DEAD003",
+            f"{pred} is provably empty: no rule for it can ever "
+            f"derive a fact{detail}",
+            span=span, subject=pred)
+    for (pred, column), entries in sorted(flow.head_kinds.items()):
+        for index, (label_a, kinds_a) in enumerate(entries):
+            conflict = next(
+                ((label_b, kinds_b)
+                 for label_b, kinds_b in entries[index + 1:]
+                 if not (kinds_a & kinds_b)), None)
+            if conflict is not None:
+                label_b, kinds_b = conflict
+                yield make_diagnostic(
+                    "TYPE002",
+                    f"column {column} of {pred} is "
+                    f"{'/'.join(sorted(kinds_a))} in rule {label_a} but "
+                    f"{'/'.join(sorted(kinds_b))} in rule {label_b}; "
+                    "the join of these rules can never share values",
+                    subject=pred)
+                break
+    info = program.recursion_info()
+    for pred in sorted(info.nonlinear_predicates):
+        if flow.size_bound(pred) == INF:
+            rules = program.recursive_rules(pred)
+            yield make_diagnostic(
+                "BOUND001",
+                f"{pred} recurses non-linearly and the size-bound "
+                "analysis cannot bound its growth; evaluation cost may "
+                "be quadratic in the fixpoint size per round",
+                span=_rule_span(rules[0]) if rules else None,
+                subject=pred)

@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 serialization of analysis reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning (and most editor lint
+surfaces) ingest.  One :func:`sarif_report` call turns any number of
+``(artifact, AnalysisReport)`` pairs into a single-run SARIF log:
+every code in :data:`CODES` becomes a rule of the tool driver, every
+:class:`Diagnostic` a result with its severity mapped onto SARIF
+levels (``error``/``warning`` pass through; ``info`` becomes
+``note``) and its :class:`Span` onto a physical-location region.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .diagnostics import AnalysisReport, Diagnostic
+from .passes import CODES, REGISTRY
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: repro severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _rules() -> list[dict[str, Any]]:
+    """One SARIF ``reportingDescriptor`` per diagnostic code."""
+    owner: dict[str, str] = {}
+    for analysis_pass in REGISTRY.values():
+        for code in analysis_pass.codes:
+            owner.setdefault(code, analysis_pass.name)
+    rules = []
+    for code, (severity, summary) in CODES.items():
+        rule: dict[str, Any] = {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": _LEVELS[severity]},
+        }
+        if code in owner:
+            rule["properties"] = {"pass": owner[code]}
+        rules.append(rule)
+    return rules
+
+
+def _result(artifact: str, diagnostic: Diagnostic) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+    }
+    location: dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": artifact},
+        }
+    }
+    if diagnostic.span is not None:
+        location["physicalLocation"]["region"] = {
+            "startLine": diagnostic.span.line,
+            "startColumn": diagnostic.span.column,
+            "endLine": diagnostic.span.end_line,
+            "endColumn": diagnostic.span.end_column,
+        }
+    if diagnostic.rule_label or diagnostic.subject:
+        properties: dict[str, Any] = {}
+        if diagnostic.rule_label:
+            properties["rule"] = diagnostic.rule_label
+        if diagnostic.subject:
+            properties["subject"] = diagnostic.subject
+        if diagnostic.pass_name:
+            properties["pass"] = diagnostic.pass_name
+        result["properties"] = properties
+    result["locations"] = [location]
+    return result
+
+
+def sarif_report(reports: Iterable[tuple[str, AnalysisReport]],
+                 tool_version: str | None = None) -> dict[str, Any]:
+    """A SARIF log (as a JSON-ready dict) covering ``reports``.
+
+    ``reports`` pairs an artifact URI (the linted file or target name)
+    with its :class:`AnalysisReport`.
+    """
+    driver: dict[str, Any] = {
+        "name": "repro-lint",
+        "informationUri": "https://example.invalid/repro",
+        "rules": _rules(),
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    results: list[dict[str, Any]] = []
+    for artifact, report in reports:
+        results.extend(_result(artifact, diagnostic)
+                       for diagnostic in report)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": driver},
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(reports: Iterable[tuple[str, AnalysisReport]],
+                 tool_version: str | None = None) -> str:
+    """:func:`sarif_report` as an indented JSON string."""
+    return json.dumps(sarif_report(reports, tool_version=tool_version),
+                      indent=2, sort_keys=False)

@@ -124,7 +124,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                       executor=args.executor,
                       interning=args.interning,
                       shards=args.shards,
-                      parallel_mode=args.parallel_mode)
+                      parallel_mode=args.parallel_mode,
+                      dataflow=args.dataflow)
     if args.query:
         for row in sorted(result.query(args.query), key=str):
             print("\t".join(str(v) for v in row))
@@ -149,16 +150,36 @@ def cmd_explain(args: argparse.Namespace) -> int:
     program = _load_program(args)
     db = Database.from_text(_read(args.database)) if args.database \
         else Database()
+    flow = None
+    if args.dataflow:
+        # Analyze in the value domain, before any interning re-encode
+        # (same order the engine uses).
+        from .analysis.dataflow import analyze_dataflow
+        from .datalog.atoms import Atom
+        from .datalog.parser import parse_query
+
+        query = None
+        if args.query:
+            query = next((lit for lit
+                          in parse_query(args.query).literals
+                          if isinstance(lit, Atom)), None)
+        flow = analyze_dataflow(program,
+                                edb=db if args.database else None,
+                                query=query)
+        print(flow.render())
+        print()
     if args.interning == "on":
         db = db.interned()
     if args.kernels:
         print(explain_kernels(program, db, planner=args.planner,
                               show_stats=args.stats,
                               executor=args.executor,
-                              shards=args.shards))
+                              shards=args.shards,
+                              dataflow=flow))
     else:
         print(explain_plan(program, db, planner=args.planner,
-                           show_stats=args.stats))
+                           show_stats=args.stats,
+                           dataflow=flow))
     return 0
 
 
@@ -226,14 +247,20 @@ def _lint_bundled(args: argparse.Namespace) -> int:
     failed = False
     lines: list[str] = []
     payload: list[dict] = []
+    pairs: list[tuple] = []
     for target, report in bundled_reports(examples_dir=examples_dir):
         failed = failed or report.has_errors
+        pairs.append((target.name, report))
         if args.format == "json":
             payload.append({"target": target.name, **report.to_dict()})
         else:
             lines.append(f"{target.name}: {report.summary()}")
             lines.extend("  " + e.render() for e in report.errors)
-    if args.format == "json":
+    if args.format == "sarif":
+        from .analysis import render_sarif
+
+        text = render_sarif(pairs)
+    elif args.format == "json":
         text = json.dumps({"targets": payload,
                            "ok": not failed}, indent=2)
     else:
@@ -251,8 +278,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
     import json
     import pathlib
 
-    from .analysis import lint_source
+    from .analysis import REGISTRY, lint_source
 
+    if args.passes is not None:
+        if not args.passes:
+            raise ReproError(
+                "--passes needs at least one pass name; available: "
+                + ", ".join(sorted(REGISTRY)))
+        for name in args.passes:
+            if name not in REGISTRY:
+                import difflib
+
+                close = difflib.get_close_matches(
+                    name, list(REGISTRY), n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                raise ReproError(
+                    f"unknown analysis pass {name!r}{hint}")
     if args.bundled:
         return _lint_bundled(args)
     if not args.program:
@@ -260,8 +301,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
     report = lint_source(_read(args.program),
                          ic_text=_read(args.ics) if args.ics else None,
                          query_text=args.query,
-                         names=args.passes or None)
-    if args.format == "json":
+                         names=args.passes)
+    if args.format == "sarif":
+        from .analysis import render_sarif
+
+        source_name = "<stdin>" if args.program == "-" else args.program
+        text = render_sarif([(source_name, report)])
+    elif args.format == "json":
         text = json.dumps(report.to_dict(), indent=2)
     else:
         text = report.render()
@@ -620,6 +666,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="intern constants to dense ints and join "
                              "over codes (on) or evaluate values as-is "
                              "(off, default)")
+    p_eval.add_argument("--dataflow", default="off",
+                        choices=["on", "off"],
+                        help="run the static dataflow analysis first "
+                             "and feed it into evaluation: dead-rule "
+                             "pruning, provably-true check elision in "
+                             "batch kernels, and cold-start size "
+                             "bounds for the adaptive planner (same "
+                             "answers and counters either way)")
     p_eval.add_argument("--stats", action="store_true",
                         help="print counters to stderr")
     _add_budget_flags(p_eval)
@@ -655,6 +709,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="include selectivity estimates' source "
                                 "statistics (cardinality, distinct "
                                 "counts, epoch) per relation")
+    p_explain.add_argument("--dataflow", action="store_true",
+                           help="run the static dataflow analysis and "
+                                "print the inferred column domains, "
+                                "binding-pattern adornments and size "
+                                "bounds per predicate; adaptive cost "
+                                "estimates then seed cold relations "
+                                "from the static bounds")
+    p_explain.add_argument("--query", metavar="Q",
+                           help="with --dataflow, query atom seeding "
+                                "the binding-pattern analysis")
     p_explain.set_defaults(func=cmd_explain)
 
     p_opt = sub.add_parser("optimize", help="push IC residues")
@@ -704,7 +768,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="query atom enabling the reachability and "
                              "residue-usefulness passes")
     p_lint.add_argument("--format", default="text",
-                        choices=["text", "json"])
+                        choices=["text", "json", "sarif"],
+                        help="plain text (default), the report's JSON "
+                             "dict, or SARIF 2.1.0 for code-scanning "
+                             "upload")
     p_lint.add_argument("--out",
                         help="write the report to this file instead of "
                              "stdout")

@@ -446,8 +446,12 @@ class CompiledKernel:
                         if lhs_sym is None or rhs_sym is None:
                             batch_ok = False
                         else:
+                            # The trailing body index lets the batch
+                            # lowering match this check against
+                            # dataflow's provably-true comparisons.
                             bsteps.append(
-                                ("check", lit.op, lhs_sym, rhs_sym))
+                                ("check", lit.op, lhs_sym, rhs_sym,
+                                 index))
                     plans.append(("check", lit.op, lhs, rhs))
                     self._step_notes.append(f"check        {lit}")
                 bound.update(lit.variable_set())

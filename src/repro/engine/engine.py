@@ -16,7 +16,7 @@ from ..datalog.atoms import Atom
 from ..datalog.parser import parse_query
 from ..datalog.program import Program
 from ..datalog.terms import Constant, Variable
-from ..errors import EvaluationError
+from ..errors import EvaluationError, ReproError
 from ..facts.database import Database
 from ..facts.symbols import validate_interning
 from ..runtime.budget import Budget, resolve_budget
@@ -74,7 +74,8 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
              interning: str = "off",
              shards: int | None = None,
              parallel_mode: str = "auto",
-             profile: EvalProfile | None = None) -> EvaluationResult:
+             profile: EvalProfile | None = None,
+             dataflow: str = "off") -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``edb``.
 
     Args:
@@ -118,11 +119,31 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
         profile: optional :class:`~repro.engine.profile.EvalProfile`
             collecting per-kernel wall time and per-round delta sizes
             (semi-naive method only).
+        dataflow: ``"on"`` runs the static dataflow analysis
+            (:mod:`repro.analysis.dataflow`) over the program + EDB
+            first and feeds the result into evaluation: provably-dead
+            rules are skipped, provably-true comparisons drop out of
+            the vectorized batch kernels, and the adaptive planner
+            seeds cold (empty-relation) cost probes with static size
+            bounds.  ``"off"`` (default) changes nothing.  Derived
+            facts, derivation counts, budget payloads and chaos
+            ordinals are identical either way.
     """
     stats = EvalStats()
     validate_executor(executor)
     validate_interning(interning)
     budget = resolve_budget(budget)
+    flow = None
+    if dataflow not in ("off", "on"):
+        raise EvaluationError(
+            f"unknown dataflow mode {dataflow!r}; expected 'off' or 'on'")
+    if dataflow == "on":
+        # Analyze in the value domain, before any interning re-encode.
+        from ..analysis.dataflow import analyze_dataflow
+        try:
+            flow = analyze_dataflow(program, edb=edb)
+        except ReproError:
+            flow = None  # malformed programs fail at load time instead
     if interning == "on":
         # The vectorized executor gets columnar EDB storage in the same
         # single re-encoding pass interning already pays for.
@@ -134,13 +155,14 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
                                  planner=planner, budget=budget,
                                  executor=executor, shards=shards,
                                  parallel_mode=parallel_mode,
-                                 profile=profile)
+                                 profile=profile, dataflow=flow)
     elif method == "naive":
         if hook is not None:
             raise EvaluationError("hooks require the semi-naive method")
         idb = naive_evaluate(program, edb, stats, budget=budget,
                              executor=executor, planner=planner,
-                             shards=shards, parallel_mode=parallel_mode)
+                             shards=shards, parallel_mode=parallel_mode,
+                             dataflow=flow)
     else:
         raise EvaluationError(
             f"unknown method {method!r}; expected one of {METHODS}")

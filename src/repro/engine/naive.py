@@ -8,6 +8,8 @@ transformation) is property-tested against.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
 from ..errors import BudgetExceededError
@@ -22,6 +24,9 @@ from .parallel import DEFAULT_SHARDS, ShardExecutor, validate_parallel_mode
 from .stratify import stratify
 from .vectorize import VectorRunner, columnar_backend_factory
 
+if TYPE_CHECKING:
+    from ..analysis.dataflow import DataflowResult
+
 #: Safety valve for runaway fixpoints (e.g. value-inventing arithmetic).
 DEFAULT_MAX_ITERATIONS = 100_000
 
@@ -33,7 +38,8 @@ def naive_evaluate(program: Program, edb: Database,
                    executor: str = "compiled",
                    planner: str = "greedy",
                    shards: int | None = None,
-                   parallel_mode: str = "auto") -> Database:
+                   parallel_mode: str = "auto",
+                   dataflow: "DataflowResult | None" = None) -> Database:
     """Compute the IDB of ``program`` over ``edb`` naively.
 
     Returns a new :class:`Database` containing only IDB relations; the EDB
@@ -74,13 +80,20 @@ def naive_evaluate(program: Program, edb: Database,
 
     def cost(atom: Atom, index: int,
              bound_cols: tuple[int, ...]) -> float:
-        return fetch(atom, index).probe_estimate(bound_cols)
+        relation = fetch(atom, index)
+        if dataflow is not None and not len(relation):
+            # Cold statistics: seed from the static size bounds.
+            return dataflow.probe_estimate(atom.pred, bound_cols)
+        return relation.probe_estimate(bound_cols)
 
     keep_atom_order = planner == "source"
     adaptive = planner == "adaptive"
     kernels = None
     pool = None
-    vec = VectorRunner(symbols=edb.symbols) if vectorized else None
+    vec = VectorRunner(symbols=edb.symbols,
+                       true_checks=dataflow.true_checks
+                       if dataflow is not None else None) \
+        if vectorized else None
     if executor != "interpreted":
         kernels = KernelCache(keep_atom_order=keep_atom_order,
                               symbols=edb.symbols, adaptive=adaptive,
@@ -93,7 +106,7 @@ def naive_evaluate(program: Program, edb: Database,
     try:
         _naive_strata(program, edb, idb, stats, max_iterations, budget,
                       chaos_plan, fetch, sizes, cost, keep_atom_order,
-                      adaptive, kernels, pool, vec)
+                      adaptive, kernels, pool, vec, dataflow)
     finally:
         if pool is not None:
             pool.close()
@@ -104,9 +117,13 @@ def naive_evaluate(program: Program, edb: Database,
 
 def _naive_strata(program, edb, idb, stats, max_iterations, budget,
                   chaos_plan, fetch, sizes, cost, keep_atom_order,
-                  adaptive, kernels, pool, vec=None) -> None:
+                  adaptive, kernels, pool, vec=None,
+                  dataflow=None) -> None:
     for stratum in stratify(program):
-        rules = [r for r in program if r.head.pred in stratum]
+        # Provably-dead rules derive no rows under any join order, so
+        # skipping them leaves every counter and ordinal unchanged.
+        rules = [r for r in program if r.head.pred in stratum
+                 and not (dataflow is not None and dataflow.is_dead(r))]
         changed = True
         rounds = 0
         while changed:

@@ -13,6 +13,7 @@ probe and the statistics epoch the estimate was derived from.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..datalog.atoms import Atom, Comparison, Negation
 from ..datalog.program import Program
@@ -21,6 +22,9 @@ from ..datalog.terms import Variable
 from ..facts.database import Database
 from ..facts.relation import Relation
 from .bindings import bound_columns_of, plan_body, validate_planner
+
+if TYPE_CHECKING:
+    from ..analysis.dataflow import DataflowResult
 
 
 @dataclass(frozen=True)
@@ -80,7 +84,8 @@ class RulePlan:
 
 def plan_rule(rule: Rule, program: Program, edb: Database,
               idb: Database | None = None,
-              planner: str = "greedy") -> RulePlan:
+              planner: str = "greedy",
+              dataflow: "DataflowResult | None" = None) -> RulePlan:
     """Compute the execution plan one rule would use.
 
     IDB relation sizes come from ``idb`` when given (e.g. a finished
@@ -88,7 +93,10 @@ def plan_rule(rule: Rule, program: Program, edb: Database,
     what the engine would see at the start of the fixpoint.  The body
     ``index`` of each occurrence is threaded through to the size and
     cost callbacks, exactly as the engines' delta-aware ``fetch`` does,
-    so per-occurrence resolution stays faithful to execution.
+    so per-occurrence resolution stays faithful to execution.  When
+    ``dataflow`` is given, the adaptive planner seeds cold (missing or
+    empty) relations with the analysis's static size bounds instead of
+    a flat zero, mirroring the engines.
     """
     validate_planner(planner)
 
@@ -108,7 +116,9 @@ def plan_rule(rule: Rule, program: Program, edb: Database,
         def cost(atom: Atom, index: int,
                  bound_cols: tuple[int, ...]) -> float:
             relation = relation_for(atom, index)
-            if relation is None:
+            if relation is None or not len(relation):
+                if dataflow is not None:
+                    return dataflow.probe_estimate(atom.pred, bound_cols)
                 return 0.0
             return relation.enable_stats().probe_estimate(bound_cols)
 
@@ -169,15 +179,18 @@ def _stats_section(program: Program, edb: Database,
 def explain_plan(program: Program, edb: Database,
                  idb: Database | None = None,
                  planner: str = "greedy",
-                 show_stats: bool = False) -> str:
+                 show_stats: bool = False,
+                 dataflow: "DataflowResult | None" = None) -> str:
     """Render the plans of every rule of the program.
 
     With ``show_stats`` a trailing section lists, per relation, the
     cardinality, per-column distinct counts and statistics epoch the
     estimates were derived from (``repro explain --stats``).
+    ``dataflow`` is as in :func:`plan_rule`.
     """
     body = "\n\n".join(
-        plan_rule(rule, program, edb, idb, planner).render()
+        plan_rule(rule, program, edb, idb, planner,
+                  dataflow=dataflow).render()
         for rule in program)
     if show_stats:
         body += "\n\n" + _stats_section(program, edb, idb)
@@ -189,7 +202,8 @@ def explain_kernels(program: Program, edb: Database,
                     planner: str = "greedy",
                     show_stats: bool = False,
                     executor: str = "compiled",
-                    shards: int | None = None) -> str:
+                    shards: int | None = None,
+                    dataflow: "DataflowResult | None" = None) -> str:
     """Render the compiled kernel of every rule of the program.
 
     This is the compiled-executor counterpart of :func:`explain_plan`:
@@ -232,7 +246,9 @@ def explain_kernels(program: Program, edb: Database,
         def cost(atom: Atom, index: int,
                  bound_cols: tuple[int, ...]) -> float:
             relation = relation_for(atom, index)
-            if relation is None:
+            if relation is None or not len(relation):
+                if dataflow is not None:
+                    return dataflow.probe_estimate(atom.pred, bound_cols)
                 return 0.0
             return relation.enable_stats().probe_estimate(bound_cols)
 

@@ -19,7 +19,10 @@ evaluation-based approach lives.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:
+    from ..analysis.dataflow import DataflowResult
 
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
@@ -55,7 +58,9 @@ def seminaive_evaluate(program: Program, edb: Database,
                        executor: str = "compiled",
                        shards: int | None = None,
                        parallel_mode: str = "auto",
-                       profile: EvalProfile | None = None) -> Database:
+                       profile: EvalProfile | None = None,
+                       dataflow: "DataflowResult | None" = None,
+                       ) -> Database:
     """Compute the IDB of ``program`` over ``edb`` semi-naively.
 
     Returns a new :class:`Database` of IDB relations.  ``hook``, when
@@ -109,7 +114,10 @@ def seminaive_evaluate(program: Program, edb: Database,
     keep_atom_order = planner == "source"
     kernels = None
     pool = None
-    vec = VectorRunner(symbols=edb.symbols) if vectorized else None
+    vec = VectorRunner(symbols=edb.symbols,
+                       true_checks=dataflow.true_checks
+                       if dataflow is not None else None) \
+        if vectorized else None
     if executor != "interpreted":
         kernels = KernelCache(keep_atom_order=keep_atom_order,
                               symbols=edb.symbols,
@@ -124,7 +132,8 @@ def seminaive_evaluate(program: Program, edb: Database,
         for stratum in stratify(program):
             _evaluate_stratum(program, stratum, edb, idb, stats,
                               max_iterations, hook, keep_atom_order,
-                              budget, kernels, pool, vec, profile)
+                              budget, kernels, pool, vec, profile,
+                              dataflow)
     finally:
         if pool is not None:
             pool.close()
@@ -142,9 +151,14 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                       kernels: KernelCache | None = None,
                       pool: ShardExecutor | None = None,
                       vec: VectorRunner | None = None,
-                      profile: EvalProfile | None = None) -> None:
+                      profile: EvalProfile | None = None,
+                      dataflow: "DataflowResult | None" = None) -> None:
     chaos_plan = chaos.active_plan()
-    rules = [r for r in program if r.head.pred in stratum]
+    # Provably-dead rules (dataflow analysis) derive no rows under any
+    # join order: skipping them changes no facts, derivation counts,
+    # budget payloads or chaos ordinals — just saves the firings.
+    rules = [r for r in program if r.head.pred in stratum
+             and not (dataflow is not None and dataflow.is_dead(r))]
     # Unlabeled rules must not collapse into one per-head bucket: key
     # rule_rows by label when present, else by head predicate and the
     # rule's position within the stratum.
@@ -200,8 +214,15 @@ def _evaluate_stratum(program: Program, stratum: frozenset[str],
                 def cost_now(atom: Atom, index: int,
                              bound_cols: tuple[int, ...],
                              _target: object = variant) -> float:
-                    estimate = fetch(atom, index) \
-                        .probe_estimate(bound_cols)
+                    relation = fetch(atom, index)
+                    if dataflow is not None and not len(relation):
+                        # Cold statistics: the relation is still empty
+                        # (first stratum rounds), so probe the static
+                        # size bounds instead of a flat zero.
+                        estimate = dataflow.probe_estimate(
+                            atom.pred, bound_cols)
+                    else:
+                        estimate = relation.probe_estimate(bound_cols)
                     if index == _target and not bound_cols:
                         # Frontier-anchoring bias: strongly prefer
                         # scanning the delta occurrence.  Every delta

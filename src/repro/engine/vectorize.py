@@ -45,8 +45,11 @@ per-row path.
 from __future__ import annotations
 
 import math
-from typing import Optional
+import types
+from typing import (TYPE_CHECKING, Any, Callable, Mapping, Optional,
+                    Sequence)
 
+from ..datalog.rules import Rule
 from ..errors import EvaluationError
 from ..facts.relation import Relation, Row
 from ..facts.symbols import SymbolTable
@@ -54,11 +57,14 @@ from . import builtins
 from .bindings import EvalStats, Fetch
 from .compile import CompiledKernel, Hook
 
+if TYPE_CHECKING:
+    from ..facts.backend import ColumnarBackend
+
 __all__ = ["BatchKernel", "PredicateCache", "VectorRunner",
            "compile_batch", "columnar_backend_factory"]
 
 
-def columnar_backend_factory(name: str, arity: int):
+def columnar_backend_factory(name: str, arity: int) -> ColumnarBackend:
     """``Database.backend_factory`` building columnar storage.
 
     Passed by the evaluation entry points when ``executor="vectorized"``
@@ -80,10 +86,10 @@ class _Unvectorizable(Exception):
 #: the same (plan shape, interned constants) recur across evaluations
 #: — every benchmark repeat, every serving refresh — and ``compile`` is
 #: the expensive half of instantiating one.
-_CODE_CACHE: dict[str, object] = {}
+_CODE_CACHE: dict[str, types.CodeType] = {}
 
 
-def _lit(value) -> str:
+def _lit(value: object) -> str:
     """Embed a storage constant into generated code, or refuse.
 
     Only round-trippable literals are embedded; anything exotic (a
@@ -108,8 +114,9 @@ class _CheckedColumn:
 
     __slots__ = ("passing", "raising", "op", "const", "slot_left", "values")
 
-    def __init__(self, passing: frozenset, raising: frozenset, op: str,
-                 const, slot_left: bool, values) -> None:
+    def __init__(self, passing: frozenset[Any], raising: frozenset[Any],
+                 op: str, const: object, slot_left: bool,
+                 values: Sequence[Any] | None) -> None:
         self.passing = passing
         self.raising = raising
         self.op = op
@@ -117,7 +124,7 @@ class _CheckedColumn:
         self.slot_left = slot_left
         self.values = values
 
-    def __contains__(self, code) -> bool:
+    def __contains__(self, code: Any) -> bool:
         if code in self.raising:
             value = self.values[code] if self.values is not None else code
             left, right = ((value, self.const) if self.slot_left
@@ -143,12 +150,12 @@ class PredicateCache:
 
     def __init__(self, symbols: SymbolTable | None = None) -> None:
         self.symbols = symbols
-        self.entries: dict[tuple, tuple[int, object]] = {}
+        self.entries: dict[tuple[Any, ...], tuple[int, object]] = {}
         #: Cache-miss rebuilds, for introspection/tests.
         self.builds = 0
 
     def passing(self, relation: Relation, column: int, op: str,
-                const, slot_left: bool):
+                const: object, slot_left: bool) -> object:
         backend = relation.backend
         key = (backend.uid, column, op, const, slot_left)
         version = backend.version
@@ -157,8 +164,8 @@ class PredicateCache:
             return entry[1]
         values = self.symbols.values if self.symbols is not None else None
         compare = builtins.compare_values
-        passing = set()
-        raising = set()
+        passing: set[Any] = set()
+        raising: set[Any] = set()
         for code in relation.code_index_for(column):
             value = values[code] if values is not None else code
             left, right = ((value, const) if slot_left
@@ -191,13 +198,16 @@ class BatchKernel:
 
     __slots__ = ("fn", "resolvers", "source")
 
-    def __init__(self, fn, resolvers: tuple, source: str) -> None:
+    def __init__(self, fn: Callable[..., tuple[list[Row], int, int,
+                                               int, int]],
+                 resolvers: tuple[Any, ...], source: str) -> None:
         self.fn = fn
         self.resolvers = resolvers
         self.source = source
 
 
-def _eq_const_codes(plan: tuple, symbols) -> tuple:
+def _eq_const_codes(plan: tuple[Any, ...],
+                    symbols: SymbolTable | None) -> tuple[Any, ...]:
     """Interned codes of ``=``/``!=`` comparison constants.
 
     These are the only symbol-table lookups :func:`_generate` performs
@@ -209,7 +219,7 @@ def _eq_const_codes(plan: tuple, symbols) -> tuple:
     """
     if symbols is None:
         return ()
-    codes = []
+    codes: list[Any] = []
     for step in plan:
         if step[0] == "check" and step[1] in ("=", "!="):
             for sym in (step[2], step[3]):
@@ -224,30 +234,39 @@ def _eq_const_codes(plan: tuple, symbols) -> tuple:
 #: skip the string assembly and go straight to the cached bytecode —
 #: only the per-table ``exec`` instantiation remains.
 _DECLINED = object()
-_TEXT_CACHE: dict[tuple, object] = {}
+_TEXT_CACHE: dict[tuple[Any, ...], object] = {}
 
 
-def compile_batch(kernel: CompiledKernel) -> BatchKernel | None:
-    """Lower a kernel's symbolic batch plan, or None when it can't be."""
+def compile_batch(kernel: CompiledKernel,
+                  true_checks: frozenset[int] = frozenset(),
+                  ) -> BatchKernel | None:
+    """Lower a kernel's symbolic batch plan, or None when it can't be.
+
+    ``true_checks`` lists body indexes of comparisons the dataflow
+    analysis proved always true for every reachable row; the generated
+    code drops their per-row conditions (the accounting still counts
+    them, so ``EvalStats`` stay bit-identical to the unskipped form).
+    """
     if kernel.batch_plan is None or kernel.batch_head is None:
         return None
     symbols = kernel.symbols
     try:
         key = (kernel.batch_plan, kernel.batch_head, symbols is not None,
-               _eq_const_codes(kernel.batch_plan, symbols))
+               _eq_const_codes(kernel.batch_plan, symbols),
+               tuple(sorted(true_checks)))
     except TypeError:  # unhashable constant somewhere in the plan
         key = None
     if key is not None:
         cached = _TEXT_CACHE.get(key)
         if cached is _DECLINED:
             return None
-        if cached is not None:
+        if isinstance(cached, tuple):
             source_text, specs = cached
             return _instantiate(
                 source_text, specs,
                 symbols.values if symbols is not None else None)
     try:
-        batch = _generate(kernel)
+        batch = _generate(kernel, true_checks)
     except _Unvectorizable:
         if key is not None:
             _TEXT_CACHE[key] = _DECLINED
@@ -257,9 +276,11 @@ def compile_batch(kernel: CompiledKernel) -> BatchKernel | None:
     return batch
 
 
-def _generate(kernel: CompiledKernel) -> BatchKernel:
+def _generate(kernel: CompiledKernel,
+              true_checks: frozenset[int] = frozenset()) -> BatchKernel:
     plan = kernel.batch_plan
     head = kernel.batch_head
+    assert plan is not None and head is not None
     symbols = kernel.symbols
     interned = symbols is not None
     values = symbols.values if interned else None
@@ -273,10 +294,10 @@ def _generate(kernel: CompiledKernel) -> BatchKernel:
     deferred_binds = [step for pos, step in enumerate(plan)
                       if step[0] == "bind" and pos > last_level]
 
-    specs: list[tuple] = []
-    spec_idx: dict[tuple, int] = {}
+    specs: list[tuple[Any, ...]] = []
+    spec_idx: dict[tuple[Any, ...], int] = {}
 
-    def arg_of(spec: tuple) -> int:
+    def arg_of(spec: tuple[Any, ...]) -> int:
         found = spec_idx.get(spec)
         if found is None:
             found = len(specs)
@@ -294,9 +315,9 @@ def _generate(kernel: CompiledKernel) -> BatchKernel:
     rm: list[str] = []
     cc: list[str] = []
     nc: list[str] = []
-    state = {"count": "1", "frontier": None, "levels": 0}
+    state: dict[str, Any] = {"count": "1", "frontier": None, "levels": 0}
 
-    def sym_storage(sym) -> str:
+    def sym_storage(sym: tuple[str, Any]) -> str:
         kind, payload = sym
         if kind == "const":
             return _lit(payload)
@@ -329,7 +350,8 @@ def _generate(kernel: CompiledKernel) -> BatchKernel:
             return regs[0]
         return "(" + ", ".join(regs) + ",)"
 
-    def atom_source(src: int, keys, cols) -> str:
+    def atom_source(src: int, keys: tuple[Any, ...] | None,
+                    cols: tuple[int, ...]) -> str:
         if keys is None:
             return f"a{arg_of(('rows', src))}"
         if len(cols) == 1:
@@ -339,7 +361,8 @@ def _generate(kernel: CompiledKernel) -> BatchKernel:
         key = "(" + ", ".join(sym_storage(k) for k in keys) + ",)"
         return f"g{j}({key}, E)"
 
-    def membership_cond(src: int, syms, positive: bool) -> str:
+    def membership_cond(src: int, syms: tuple[Any, ...],
+                        positive: bool) -> str:
         word = "in" if positive else "not in"
         if len(syms) == 1:
             j = arg_of(("member1", src, 0))
@@ -350,7 +373,8 @@ def _generate(kernel: CompiledKernel) -> BatchKernel:
         key = "(" + ", ".join(sym_storage(s) for s in syms) + ",)"
         return f"{key} {word} a{j}"
 
-    def check_cond(op: str, lhs_sym, rhs_sym) -> str | None:
+    def check_cond(op: str, lhs_sym: tuple[str, Any],
+                   rhs_sym: tuple[str, Any]) -> str | None:
         """A per-row condition for a comparison, or None when always
         true.  ``=``/``!=`` compare in the storage domain (interning is
         first-wins over value equality, so code equality is value
@@ -374,7 +398,7 @@ def _generate(kernel: CompiledKernel) -> BatchKernel:
             slot_sym, const_val = ((lhs_sym, rval) if lkind == "slot"
                                    else (rhs_sym, lval))
             sexpr = sym_storage(slot_sym)
-            if interned:
+            if symbols is not None:
                 code = symbols.code(const_val)
                 if code is None:
                     # Never-interned constant: no stored value equals it.
@@ -437,16 +461,21 @@ def _generate(kernel: CompiledKernel) -> BatchKernel:
             reg_exprs[slot_no] = sym_storage(sym)
             continue
         if tag == "check":
-            _tag, op, lhs_sym, rhs_sym = step
+            _tag, op, lhs_sym, rhs_sym, body_index = step
             cc.append(state["count"])
+            # Dataflow proved the comparison true for every reachable
+            # row: no condition needed (the count above still accrues,
+            # matching the row-at-a-time executors exactly).
+            skip = body_index in true_checks
             if is_last:
-                cond = check_cond(op, lhs_sym, rhs_sym)
+                cond = None if skip else check_cond(op, lhs_sym, rhs_sym)
                 parts = head_parts()
                 head_expr = ("(" + ", ".join(parts) + ",)"
                              if parts else "()")
                 emit_filter(cond, True, head_expr)
             else:
-                emit_filter(check_cond(op, lhs_sym, rhs_sym), False)
+                cond = None if skip else check_cond(op, lhs_sym, rhs_sym)
+                emit_filter(cond, False)
             continue
         if tag in ("member", "neg"):
             _tag, src, syms = step
@@ -545,8 +574,8 @@ def _generate(kernel: CompiledKernel) -> BatchKernel:
     return _instantiate("\n".join(body), tuple(specs), values)
 
 
-def _instantiate(source_text: str, specs: tuple,
-                 values) -> BatchKernel:
+def _instantiate(source_text: str, specs: tuple[Any, ...],
+                 values: Sequence[Any] | None) -> BatchKernel:
     """Exec generated batch source into a :class:`BatchKernel`.
 
     Bytecode compilation dominates codegen cost and depends only on the
@@ -558,7 +587,7 @@ def _instantiate(source_text: str, specs: tuple,
     if code is None:
         code = compile(source_text, "<batch-kernel>", "exec")
         _CODE_CACHE[source_text] = code
-    namespace: dict = {}
+    namespace: dict[str, Any] = {}
     exec(code,  # noqa: S102 - generated from the symbolic plan
          {"__builtins__": {}, "len": len, "list": list, "E": (),
           "C": builtins.compare_values, "V": values},
@@ -577,11 +606,16 @@ class VectorRunner:
     identical rows and statistics.
     """
 
-    __slots__ = ("symbols", "cache", "_compiled")
+    __slots__ = ("symbols", "cache", "true_checks", "_compiled")
 
-    def __init__(self, symbols: SymbolTable | None = None) -> None:
+    def __init__(self, symbols: SymbolTable | None = None,
+                 true_checks: Mapping[Rule, frozenset[int]] | None = None,
+                 ) -> None:
         self.symbols = symbols
         self.cache = PredicateCache(symbols)
+        #: rule -> body indexes of provably-true comparisons (from the
+        #: dataflow analysis); kernels for those rules skip the checks.
+        self.true_checks = true_checks or {}
         # id(kernel) -> (kernel, batch | None); the strong kernel ref
         # keeps ids stable for the lifetime of this runner.
         self._compiled: dict[int, tuple[CompiledKernel,
@@ -590,7 +624,8 @@ class VectorRunner:
     def batch_for(self, kernel: CompiledKernel) -> BatchKernel | None:
         entry = self._compiled.get(id(kernel))
         if entry is None or entry[0] is not kernel:
-            entry = (kernel, compile_batch(kernel))
+            skips = self.true_checks.get(kernel.rule, frozenset())
+            entry = (kernel, compile_batch(kernel, skips))
             self._compiled[id(kernel)] = entry
         return entry[1]
 
@@ -612,7 +647,7 @@ class VectorRunner:
                 fetched[src] = relation
             return relation
 
-        args = []
+        args: list[Any] = []
         for spec in batch.resolvers:
             tag = spec[0]
             if tag == "rows":

@@ -46,12 +46,13 @@ from __future__ import annotations
 
 import itertools
 from array import array
-from typing import Collection, Iterable, Iterator, Protocol, runtime_checkable
+from typing import (Any, Collection, Iterable, Iterator, Protocol,
+                    runtime_checkable)
 
-Row = tuple
+Row = tuple[Any, ...]
 
 #: A hash index: bound-column key tuple -> list of rows with those values.
-Index = dict
+Index = dict[tuple[Any, ...], list[Row]]
 
 #: Monotone source of backend identities (see ``StorageBackend.uid``).
 _uids = itertools.count(1)
@@ -68,8 +69,8 @@ class StorageBackend(Protocol):
 
     rows: set[Row]
     indexes: dict[tuple[int, ...], Index]
-    code_indexes: dict[int, dict]
-    proj_indexes: dict[tuple[int, int], dict]
+    code_indexes: dict[int, dict[Any, list[Row]]]
+    proj_indexes: dict[tuple[int, int], dict[Any, list[Any]]]
     uid: int
     version: int
 
@@ -83,8 +84,9 @@ class StorageBackend(Protocol):
     def remove(self, row: Row) -> bool: ...
     def clear(self) -> None: ...
     def index_for(self, columns: tuple[int, ...]) -> Index: ...
-    def code_index_for(self, column: int) -> dict: ...
-    def projection_index(self, key_column: int, value_column: int) -> dict: ...
+    def code_index_for(self, column: int) -> dict[Any, list[Row]]: ...
+    def projection_index(self, key_column: int,
+                         value_column: int) -> dict[Any, list[Any]]: ...
     def copy(self) -> "StorageBackend": ...
 
 
@@ -97,8 +99,8 @@ class DictBackend:
     def __init__(self, rows: Iterable[Row] | None = None) -> None:
         self.rows: set[Row] = set(rows) if rows is not None else set()
         self.indexes: dict[tuple[int, ...], Index] = {}
-        self.code_indexes: dict[int, dict] = {}
-        self.proj_indexes: dict[tuple[int, int], dict] = {}
+        self.code_indexes: dict[int, dict[Any, list[Row]]] = {}
+        self.proj_indexes: dict[tuple[int, int], dict[Any, list[Any]]] = {}
         self.uid = next(_uids)
         self.version = 0
 
@@ -260,7 +262,7 @@ class DictBackend:
         self.indexes[columns] = index
         return index
 
-    def code_index_for(self, column: int) -> dict:
+    def code_index_for(self, column: int) -> dict[Any, list[Row]]:
         """A single-column index keyed by the **bare** stored value.
 
         Unlike ``index_for((column,))`` the keys are the column values
@@ -281,7 +283,8 @@ class DictBackend:
             self.code_indexes[column] = index
         return index
 
-    def projection_index(self, key_column: int, value_column: int) -> dict:
+    def projection_index(self, key_column: int,
+                         value_column: int) -> dict[Any, list[Any]]:
         """Bare key-column value -> list of ``value_column`` entries.
 
         One entry per matching row (a multiset, so duplicate projected
@@ -503,8 +506,8 @@ class ColumnarBackend(DictBackend):
     def __init__(self, arity: int, rows: Iterable[Row] | None = None) -> None:
         super().__init__()
         self.arity = arity
-        self._columns: list[array] | None = None
-        self._id_indexes: dict[int, dict] = {}
+        self._columns: list[array[int]] | None = None
+        self._id_indexes: dict[int, dict[int, array[int]]] = {}
         self._shared = False
         self._dirty = False
         if rows is not None:
@@ -591,7 +594,7 @@ class ColumnarBackend(DictBackend):
         self.version += 1
 
     # -- columnar access ----------------------------------------------------
-    def columns(self) -> list[array]:
+    def columns(self) -> list[array[int]]:
         """The live per-column arrays (built lazily, rebuilt when dirty)."""
         if self._columns is None or self._dirty:
             snapshot = list(self.rows)
@@ -601,7 +604,7 @@ class ColumnarBackend(DictBackend):
             self._dirty = False
         return self._columns
 
-    def id_index_for(self, column: int) -> dict:
+    def id_index_for(self, column: int) -> dict[int, array[int]]:
         """Key-column code -> ``array('q')`` of row ids carrying it."""
         index = self._id_indexes.get(column)
         if index is None:
@@ -616,7 +619,8 @@ class ColumnarBackend(DictBackend):
             self._id_indexes[column] = index
         return index
 
-    def projection_index(self, key_column: int, value_column: int) -> dict:
+    def projection_index(self, key_column: int,
+                         value_column: int) -> dict[Any, list[Any]]:
         key = (key_column, value_column)
         proj = self.proj_indexes.get(key)
         if proj is None:

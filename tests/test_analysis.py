@@ -48,6 +48,14 @@ FIXTURES: dict[str, dict] = {
     "PERF003": {"text": "p(X, Y) :- a(X), b(Y), c(X, Y)."},
     "PERF004": {"text": "r0: alive(X) :- seed(X). "
                         "r1: alive(X) :- alive(Y), node(X)."},
+    # TYPE002 needs the *inferred* domains to conflict (the constants
+    # sit in comparisons, where TYPE001 never looks).
+    "TYPE002": {"text": "p(X) :- e(X), X = 1. p(X) :- f(X), X = abc."},
+    "DEAD003": {"text": "p(X) :- e(X), X = 1, X > 5. q(X) :- p(X)."},
+    "SAT001": {"text": "p(X) :- e(X), X = 1, X > 5."},
+    "BOUND001": {"text": "sg(X, Y) :- flat(X, Y). "
+                         "sg(X, Y) :- up(X, A), sg(A, B), sg(B, C), "
+                         "down(C, Y)."},
     "PARSE001": {"text": "p(X :-"},
 }
 
@@ -106,6 +114,18 @@ class TestRegistry:
     def test_unknown_pass_rejected(self):
         with pytest.raises(ValueError):
             lint_source("p(X) :- q(X).", names=["no-such-pass"])
+
+    def test_docs_catalogue_lists_every_code(self):
+        # docs/linting.md is the user-facing catalogue; a new code
+        # without a table row drifts silently without this check.
+        import pathlib
+
+        docs = pathlib.Path(__file__).resolve().parent.parent \
+            / "docs" / "linting.md"
+        text = docs.read_text()
+        missing = [code for code in CODES if f"`{code}`" not in text]
+        assert not missing, \
+            f"codes missing from docs/linting.md: {missing}"
 
     def test_pass_selection(self):
         report = lint_source(FIXTURES["RR001"]["text"],

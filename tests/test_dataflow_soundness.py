@@ -1,0 +1,192 @@
+"""Soundness fuzzing for the dataflow analysis.
+
+Two obligations, both differential:
+
+1. **Emptiness soundness.**  Any IDB predicate the analysis proves
+   empty must evaluate to zero rows under every executor/planner/method
+   combination.  Programs are generated over small integer EDBs with
+   comparison/equality rules biased toward (but not guaranteed to
+   produce) unsatisfiable conjunctions, so both verdicts get exercised.
+
+2. **Observational transparency.**  Running the engine with
+   ``dataflow="on"`` must not change facts, derivation counters, budget
+   payloads or chaos fault ordinals on any workload.  Dead-rule
+   skipping may legitimately shed the *dead* rule's lookup/firing
+   counters, but ``random_linear_program`` output is lint-clean (no
+   dead rules), so there the full stats dict must match bit-for-bit.
+"""
+
+import random
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - dev extra not installed
+    HAVE_HYPOTHESIS = False
+
+from repro.analysis.dataflow import analyze_dataflow
+from repro.datalog import parse_program
+from repro.engine import evaluate
+from repro.errors import BudgetExceededError
+from repro.facts import Database
+from repro.runtime import ChaosError
+from repro.runtime.budget import Budget
+from repro.runtime.chaos import ChaosPlan
+from repro.workloads import random_linear_program
+
+#: Trimmed combo matrix: one representative per executor/method axis
+#: plus the planner variants that change join order.
+COMBOS = [
+    {"executor": "compiled", "planner": "greedy"},
+    {"executor": "compiled", "planner": "adaptive"},
+    {"executor": "interpreted", "planner": "source"},
+    {"executor": "compiled", "method": "naive"},
+    {"executor": "vectorized", "interning": "on", "planner": "adaptive"},
+    {"executor": "parallel", "shards": 2, "parallel_mode": "serial"},
+]
+
+
+def build_program(rng):
+    """A small random program over integer EDBs e/2 and f/2.
+
+    Rules mix joins, recursion and integer-constant comparisons chosen
+    so some conjunctions are satisfiable and others provably are not
+    (EDB values live in 0..5; constants range over -2..12).
+    """
+    edb = Database()
+    for _ in range(rng.randint(3, 8)):
+        edb.add_fact("e", rng.randint(0, 5), rng.randint(0, 5))
+    for _ in range(rng.randint(2, 6)):
+        edb.add_fact("f", rng.randint(0, 5), rng.randint(0, 5))
+    ops = ("<", "<=", ">", ">=", "=", "!=")
+    lines = ["b0: p(X, Y) :- e(X, Y).",
+             "r0: p(X, Z) :- p(X, Y), f(Y, Z)."]
+    flat_emitted = False
+    for i in range(rng.randint(1, 4)):
+        op1 = rng.choice(ops)
+        c1 = rng.randint(-2, 12)
+        if rng.random() < 0.5:
+            op2 = rng.choice(ops)
+            c2 = rng.randint(-2, 12)
+            lines.append(f"q{i}: out{i}(X) :- p(X, Y), "
+                         f"X {op1} {c1}, Y {op2} {c2}.")
+        else:
+            lines.append(f"q{i}: flat{i}(X, Y) :- e(X, Y), "
+                         f"X {op1} {c1}.")
+            flat_emitted = True
+    if flat_emitted and rng.random() < 0.5:
+        lines.append("c0: chained(X) :- flat0(X, X)."
+                     if "flat0" in "\n".join(lines)
+                     else "c0: chained(X) :- p(X, X).")
+    return parse_program("\n".join(lines)), edb
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_inferred_empty_predicates_evaluate_empty(seed):
+    rng = random.Random(seed)
+    program, edb = build_program(rng)
+    flow = analyze_dataflow(program, edb=edb)
+    empty_idb = flow.empty & set(program.idb_predicates)
+    combo = COMBOS[seed % len(COMBOS)]
+    result = evaluate(program, edb, **combo)
+    for pred in empty_idb:
+        assert result.count(pred) == 0, \
+            (f"seed {seed}: {pred} inferred empty but evaluated "
+             f"to {result.count(pred)} rows under {combo}")
+    # The inverse is not required (the analysis over-approximates),
+    # but the verdict must also never flip the actual facts:
+    flowed = evaluate(program, edb, dataflow="on", **combo)
+    for pred in program.idb_predicates:
+        assert flowed.facts(pred) == result.facts(pred)
+
+
+@pytest.mark.parametrize("seed", range(30, 40))
+def test_every_combo_respects_empty_verdicts(seed):
+    """One seed, the full combo sweep — emptiness must hold under all
+    join orders, executors and evaluation methods."""
+    rng = random.Random(seed)
+    program, edb = build_program(rng)
+    flow = analyze_dataflow(program, edb=edb)
+    empty_idb = flow.empty & set(program.idb_predicates)
+    if not empty_idb:
+        pytest.skip(f"seed {seed}: analysis proved nothing empty")
+    for combo in COMBOS:
+        result = evaluate(program, edb, **combo)
+        for pred in empty_idb:
+            assert result.count(pred) == 0, (seed, pred, combo)
+
+
+if HAVE_HYPOTHESIS:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_hypothesis_emptiness_soundness(seed):
+        rng = random.Random(seed)
+        program, edb = build_program(rng)
+        flow = analyze_dataflow(program, edb=edb)
+        empty_idb = flow.empty & set(program.idb_predicates)
+        result = evaluate(program, edb, dataflow="on",
+                          planner="adaptive")
+        for pred in empty_idb:
+            assert result.count(pred) == 0, (seed, pred)
+        baseline = evaluate(program, edb, planner="adaptive")
+        for pred in program.idb_predicates:
+            assert result.facts(pred) == baseline.facts(pred)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_hypothesis_size_bounds_are_upper_bounds(seed):
+        rng = random.Random(seed)
+        program, edb = build_program(rng)
+        flow = analyze_dataflow(program, edb=edb)
+        result = evaluate(program, edb)
+        for pred in program.idb_predicates:
+            assert result.count(pred) <= flow.size_bound(pred), \
+                (seed, pred, result.count(pred), flow.size_bound(pred))
+
+
+class TestLintCleanParity:
+    """random_linear_program output has no dead rules or decidable
+    checks, so dataflow on/off must agree on *every* counter."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stats_dict_identical(self, seed):
+        text, edb = random_linear_program(random.Random(seed))
+        program = parse_program(text)
+        combo = COMBOS[seed % len(COMBOS)]
+        baseline = evaluate(program, edb, **combo)
+        flowed = evaluate(program, edb, dataflow="on", **combo)
+        for pred in program.idb_predicates:
+            assert flowed.facts(pred) == baseline.facts(pred)
+        assert flowed.stats.as_dict() == baseline.stats.as_dict()
+
+    @pytest.mark.parametrize("seed", (3, 11))
+    def test_budget_payloads_unchanged(self, seed):
+        text, edb = random_linear_program(random.Random(seed))
+        program = parse_program(text)
+        payloads = set()
+        for dataflow in ("off", "on"):
+            budget = Budget(max_derivations=120)
+            with pytest.raises(BudgetExceededError) as info:
+                evaluate(program, edb, dataflow=dataflow, budget=budget)
+            error = info.value
+            payloads.add((error.resource, error.limit, error.spent,
+                          error.last_round))
+        assert len(payloads) == 1, payloads
+
+    @pytest.mark.parametrize("seed", (5,))
+    def test_chaos_ordinals_unchanged(self, seed):
+        text, edb = random_linear_program(random.Random(seed))
+        program = parse_program(text)
+        triggered = set()
+        for dataflow in ("off", "on"):
+            plan = ChaosPlan().fail_derivation(40)
+            with plan.active():
+                with pytest.raises(ChaosError):
+                    evaluate(program, edb, dataflow=dataflow)
+            triggered.add(tuple(plan.triggered))
+        assert len(triggered) == 1, triggered
