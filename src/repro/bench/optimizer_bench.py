@@ -1,0 +1,295 @@
+"""Cost-based optimizer benchmark: the ``BENCH_optimizer.json`` artifact.
+
+Where :mod:`repro.bench.engine_bench` tracks the raw engines, this
+report answers a different question: *does plan enumeration pay for
+itself?*  Each workload is a (program, EDB, query) triple where the
+rewrite choice matters — a bound-argument query over a recursive
+program, where the enumerating optimizer should pick a magic-sets
+candidate while the adaptive planner materializes the full fixpoint —
+plus a free-query control where the identity candidate should win and
+the two planners ought to tie.
+
+Per workload the report records the chosen plan (transform labels,
+program fingerprint, estimated cost, group/path counts), the
+enumeration time, both planners' timed entries, and a *paired* speedup:
+the adaptive and cbo runs alternate back-to-back (best-of over repeats,
+collector paused) so machine noise cannot fake a win — the same
+discipline as the engine report's interleaved ratio cells.
+
+:func:`regression_failures` is the CI gate: answers must agree between
+the two planners on every workload, enumeration must stay under the
+per-workload budget, and — when a floor is passed — at least one
+workload where rewrite choice matters must clear the minimum speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom
+from ..datalog.parser import parse_program
+from ..datalog.program import Program
+from ..datalog.terms import Constant, Variable
+from ..engine.engine import evaluate
+from ..engine.optimizer import ChosenPlan, cbo_evaluate, choose_plan
+from ..facts.database import Database
+from .engine_bench import (MIN_GATE_REPEATS, SAME_GENERATION, _entry,
+                           _paired_ratio, _query_rows, _timed)
+from ..workloads.generators import (random_digraph, tree_edges,
+                                    transitive_closure_program)
+
+#: Report format version (bump when the JSON shape changes).
+REPORT_VERSION = 1
+
+#: Default artifact filename.
+DEFAULT_REPORT_PATH = "BENCH_optimizer.json"
+
+#: Default RNG seed (matches the engine report so the bound-TC EDB here
+#: is directly comparable to its ``magic`` workload).
+DEFAULT_SEED = 7
+
+#: Per-workload ceiling on plan-enumeration time, in milliseconds.  The
+#: whole point of a *bounded* rewrite space is that choosing a plan is
+#: negligible next to running one; the gate enforces it.
+MAX_ENUMERATION_MS = 50.0
+
+#: Scale presets: ``(nodes, edges)`` for the TC graphs, ``(depth,
+#: fanout)`` for the same-generation tree.
+SCALES: dict[str, dict[str, tuple[int, int]]] = {
+    "smoke": {
+        "bound_tc": (120, 360),
+        "bound_sg": (3, 3),
+        "free_tc": (80, 240),
+    },
+    "default": {
+        "bound_tc": (300, 900),
+        "bound_sg": (4, 3),
+        "free_tc": (200, 600),
+    },
+    "large": {
+        "bound_tc": (600, 2000),
+        "bound_sg": (5, 3),
+        "free_tc": (400, 1400),
+    },
+}
+
+
+@dataclass(frozen=True)
+class OptimizerWorkload:
+    """One scenario: a program, an EDB, a query, and whether the
+    rewrite space is expected to beat straight-line evaluation."""
+
+    name: str
+    program: Program
+    edb: Database
+    query: Atom
+    #: True when a rewrite (magic) should win; False for controls where
+    #: the identity candidate should be chosen and the planners tie.
+    rewrite_matters: bool
+
+
+def _sg_database(depth: int, fanout: int) -> Database:
+    db = tree_edges(depth, fanout, pred="par")
+    people = sorted({value for row in db.facts("par") for value in row},
+                    key=str)
+    for person in people:
+        db.add_fact("person", person)
+    return db
+
+
+def build_workloads(scale: str = "default",
+                    seed: int = DEFAULT_SEED) -> list[OptimizerWorkload]:
+    """The benchmark scenarios at the given scale preset."""
+    try:
+        params = SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of "
+            f"{sorted(SCALES)}") from None
+    tc_program = parse_program(transitive_closure_program())
+    tc_nodes, tc_edges = params["bound_tc"]
+    depth, fanout = params["bound_sg"]
+    free_nodes, free_edges = params["free_tc"]
+    sg_db = _sg_database(depth, fanout)
+    # A leaf of the tree: the deepest, highest-numbered person.  Its
+    # generation cohort is small next to the full sg relation.
+    leaf = max((v for row in sg_db.facts("par") for v in row),
+               key=lambda v: int(str(v)[1:]))
+    return [
+        OptimizerWorkload(
+            name="bound_tc",
+            program=tc_program,
+            edb=random_digraph(tc_nodes, tc_edges,
+                               random.Random(seed + 16)),
+            query=Atom("reach", (Constant("n0"), Variable("Y"))),
+            rewrite_matters=True),
+        OptimizerWorkload(
+            name="bound_sg",
+            program=parse_program(SAME_GENERATION),
+            edb=sg_db,
+            query=Atom("sg", (Constant(leaf), Variable("Y"))),
+            rewrite_matters=True),
+        OptimizerWorkload(
+            name="free_tc",
+            program=tc_program,
+            edb=random_digraph(free_nodes, free_edges,
+                               random.Random(seed)),
+            query=Atom("reach", (Variable("X"), Variable("Y"))),
+            rewrite_matters=False),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+def _adaptive_answers(workload: OptimizerWorkload, result) -> frozenset:
+    rows = result.facts(workload.query.pred)
+    return _query_rows(rows, workload.query)
+
+
+def _cbo_answers_of(workload: OptimizerWorkload, result) -> frozenset:
+    if result.magic is not None:
+        rows = result.magic.answers(result.idb)
+    else:
+        rows = result.facts(workload.query.pred)
+    return _query_rows(rows, workload.query)
+
+
+def _choice_block(choice: ChosenPlan) -> dict:
+    return {
+        "label": choice.label,
+        "transforms": list(choice.transforms),
+        "fingerprint": choice.fingerprint,
+        "estimated_cost": None if choice.cost == float("inf")
+        else round(choice.cost, 1),
+        "groups": choice.groups,
+        "paths": choice.paths,
+    }
+
+
+def run_optimizer_benchmark(scale: str = "default", repeats: int = 3,
+                            timeout_s: float | None = 120.0,
+                            seed: int = DEFAULT_SEED) -> dict:
+    """Run the optimizer comparison and return the report dict."""
+    workloads = build_workloads(scale, seed=seed)
+    report: dict = {
+        "version": REPORT_VERSION,
+        "scale": scale,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": [],
+    }
+    for workload in workloads:
+        query = workload.query
+        has_bound = any(isinstance(arg, Constant) for arg in query.args)
+        cbo_query = query if has_bound else None
+
+        def run_adaptive():
+            return evaluate(workload.program, workload.edb,
+                            planner="adaptive")
+
+        def run_cbo():
+            return cbo_evaluate(workload.program, workload.edb,
+                                query=cbo_query)
+
+        # The plan decision itself, measured separately so the report
+        # can show enumeration cost next to the evaluation it saves.
+        choice = choose_plan(workload.program, workload.edb,
+                             query=cbo_query)
+        adaptive_seconds, adaptive_result = _timed(run_adaptive,
+                                                   repeats, timeout_s)
+        cbo_seconds, cbo_result = _timed(run_cbo, repeats, timeout_s)
+        speedup = _paired_ratio(run_adaptive, run_cbo, repeats,
+                                timeout_s)
+        entry: dict = {
+            "name": workload.name,
+            "query": str(query),
+            "rewrite_matters": workload.rewrite_matters,
+            "chosen": _choice_block(choice),
+            "enumeration_ms": round(
+                choice.enumeration_seconds * 1000.0, 3),
+            "adaptive": _entry(adaptive_seconds, adaptive_result),
+            "cbo": _entry(cbo_seconds, cbo_result),
+            "speedup": speedup,
+        }
+        answers_agree = None
+        if adaptive_result is not None and cbo_result is not None:
+            answers_agree = (
+                _adaptive_answers(workload, adaptive_result)
+                == _cbo_answers_of(workload, cbo_result))
+        entry["agreement"] = {"answers_agree": answers_agree}
+        report["workloads"].append(entry)
+    return report
+
+
+def write_optimizer_benchmark(report: dict,
+                              path: str = DEFAULT_REPORT_PATH) -> None:
+    """Write the report as ``BENCH_optimizer.json`` (stable key order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def regression_failures(report: dict,
+                        min_cbo_speedup: float | None = None,
+                        max_enumeration_ms: float = MAX_ENUMERATION_MS,
+                        min_repeats: int = MIN_GATE_REPEATS
+                        ) -> list[str]:
+    """Check the report against the CI gate; returns failure messages.
+
+    Always enforced: measured with at least ``min_repeats`` repeats,
+    every cell completed under budget, answers agree between the
+    adaptive baseline and the optimizer's chosen plan on every
+    workload, and plan enumeration stayed under ``max_enumeration_ms``
+    per workload.  With ``min_cbo_speedup`` set, additionally fails
+    unless at least one workload flagged ``rewrite_matters`` cleared
+    that paired speedup.
+    """
+    failures: list[str] = []
+    repeats = report.get("repeats", 0)
+    if repeats < min_repeats:
+        failures.append(
+            f"report measured with repeats={repeats}; gates need "
+            f">= {min_repeats} for stable best-of ratios")
+    best_rewrite_speedup: float | None = None
+    for entry in report.get("workloads", []):
+        name = entry.get("name", "?")
+        for side in ("adaptive", "cbo"):
+            cell = entry.get(side, {})
+            if "wall_ms" not in cell or cell.get("budget_exceeded"):
+                failures.append(
+                    f"{name}/{side}: cell missing or budget exceeded")
+        agree = entry.get("agreement", {}).get("answers_agree")
+        if agree is not True:
+            failures.append(
+                f"{name}: adaptive and cbo answers "
+                + ("not comparable (a run exhausted its budget)"
+                   if agree is None else "disagree"))
+        enumeration_ms = entry.get("enumeration_ms")
+        if enumeration_ms is None or enumeration_ms >= max_enumeration_ms:
+            failures.append(
+                f"{name}: plan enumeration took "
+                f"{enumeration_ms if enumeration_ms is not None else '?'}"
+                f" ms (budget < {max_enumeration_ms:.0f} ms)")
+        if entry.get("rewrite_matters") and entry.get("speedup") \
+                is not None:
+            speedup = entry["speedup"]
+            if best_rewrite_speedup is None \
+                    or speedup > best_rewrite_speedup:
+                best_rewrite_speedup = speedup
+    if min_cbo_speedup is not None:
+        if best_rewrite_speedup is None:
+            failures.append(
+                "no rewrite-matters workload produced a speedup ratio")
+        elif best_rewrite_speedup < min_cbo_speedup:
+            failures.append(
+                f"best cbo speedup {best_rewrite_speedup:.2f}x is below "
+                f"the {min_cbo_speedup:.2f}x floor on every workload "
+                "where rewrite choice matters")
+    return failures

@@ -115,9 +115,60 @@ def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
                         help="abort after N materialized facts")
 
 
+def _evaluate_cbo(args: argparse.Namespace, program, db: Database) -> int:
+    """``evaluate --planner cbo --query Q``: enumerate the rewrite space
+    (magic per adornment, residue pushing, linearization, fusion), run
+    the cheapest candidate, and answer the query from whatever shape the
+    chosen plan materialized.  ``--stats`` appends the candidate table.
+    """
+    from .datalog.atoms import Atom
+    from .datalog.parser import parse_query
+    from .engine.optimizer import cbo_evaluate
+    from .engine.seminaive import answers as solve_literals
+
+    literals = parse_query(args.query).literals
+    idb_preds = program.idb_predicates
+    idb_atoms = [lit for lit in literals
+                 if isinstance(lit, Atom) and lit.pred in idb_preds]
+    # Magic specializes exactly one IDB predicate; a query touching
+    # several keeps the identity/linearize/fuse space only.
+    seed = idb_atoms[0] if len(idb_atoms) == 1 else None
+    result = cbo_evaluate(program, db, query=seed,
+                          budget=_budget_from_args(args),
+                          executor=args.executor,
+                          interning=args.interning,
+                          shards=args.shards,
+                          parallel_mode=args.parallel_mode)
+    if result.magic is not None:
+        from .datalog.terms import Constant
+
+        assert seed is not None
+        filtered = [row for row in result.magic.answers(result.idb)
+                    if all(arg.value == value
+                           for value, arg in zip(row, seed.args)
+                           if isinstance(arg, Constant))]
+        overlay = Database()
+        overlay.ensure(seed.pred, seed.arity).add_all(filtered)
+        out_rows = solve_literals(literals, program, db, overlay,
+                                  result.stats)
+    else:
+        out_rows = result.query(literals)
+    _print_query_rows(out_rows)
+    if args.stats:
+        assert result.choice is not None
+        print(result.choice.describe(), file=sys.stderr)
+        for key, value in result.stats.as_dict().items():
+            print(f"# {key}: {value}", file=sys.stderr)
+        print(f"# elapsed: {result.elapsed_seconds * 1000:.2f}ms",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     program = _load_program(args)
     db = Database.from_text(_read(args.database))
+    if args.planner == "cbo" and args.query:
+        return _evaluate_cbo(args, program, db)
     result = evaluate(program, db, method=args.method,
                       planner=args.planner,
                       budget=_budget_from_args(args),
@@ -389,6 +440,38 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_optimizer(args: argparse.Namespace) -> int:
+    from .bench.optimizer_bench import (regression_failures,
+                                        run_optimizer_benchmark,
+                                        write_optimizer_benchmark)
+
+    report = run_optimizer_benchmark(scale=args.scale,
+                                     repeats=args.repeats,
+                                     timeout_s=args.timeout_s,
+                                     seed=args.seed)
+    write_optimizer_benchmark(report, args.out)
+    print(f"wrote {args.out} (scale={args.scale}, "
+          f"repeats={args.repeats}, seed={args.seed})")
+    for workload in report["workloads"]:
+        chosen = workload["chosen"]
+        speedup = workload.get("speedup")
+        agree = workload["agreement"]["answers_agree"]
+        print(f"  {workload['name']:12} chose {chosen['label']:24} "
+              f"enum {workload['enumeration_ms']:6.1f}ms  "
+              f"vs adaptive "
+              + (f"{speedup:.2f}x" if speedup is not None else "n/a")
+              + f"  agreement: {'ok' if agree else 'MISMATCH'}")
+    if args.check:
+        failures = regression_failures(
+            report, min_cbo_speedup=args.min_cbo_speedup)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate: ok")
+    return 0
+
+
 def _print_query_rows(rows) -> None:
     for row in sorted(rows, key=str):
         print("\t".join(str(v) for v in row))
@@ -639,10 +722,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--method", default="seminaive",
                         choices=["seminaive", "naive"])
     p_eval.add_argument("--planner", default="greedy",
-                        choices=["greedy", "adaptive", "source"],
+                        choices=["greedy", "adaptive", "source", "cbo"],
                         help="join order: boundness+size (greedy), "
                              "statistics-driven with replanning "
-                             "(adaptive), or rule order (source)")
+                             "(adaptive), rule order (source), or the "
+                             "cost-based enumerating optimizer (cbo; "
+                             "with --query it also enumerates magic/"
+                             "residue/linearization/fusion rewrites "
+                             "and runs the cheapest)")
     p_eval.add_argument("--executor", default="compiled",
                         choices=["compiled", "interpreted", "parallel",
                                  "vectorized"],
@@ -686,7 +773,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="facts file (optional; sizes read 0 "
                                 "without it)")
     p_explain.add_argument("--planner", default="greedy",
-                           choices=["greedy", "adaptive", "source"])
+                           choices=["greedy", "adaptive", "source",
+                                    "cbo"])
     p_explain.add_argument("--kernels", action="store_true",
                            help="show the compiled step programs "
                                 "instead of the planner view")
@@ -797,7 +885,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "statements) to apply; repeatable, the "
                               "query is re-answered after each")
     p_serve.add_argument("--planner", default="greedy",
-                         choices=["greedy", "adaptive", "source"])
+                         choices=["greedy", "adaptive", "source",
+                                  "cbo"])
     p_serve.add_argument("--executor", default="compiled",
                          choices=["compiled", "interpreted",
                                   "parallel", "vectorized"])
@@ -939,6 +1028,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="RNG seed for the generated EDBs "
                               "(default 7; fixed for reproducibility)")
     p_bench.set_defaults(func=cmd_bench_engine)
+
+    p_bopt = sub.add_parser(
+        "bench-optimizer",
+        help="cost-based optimizer vs adaptive planner: "
+             "BENCH_optimizer.json")
+    p_bopt.add_argument("--out", default="BENCH_optimizer.json",
+                        help="report path (default BENCH_optimizer.json)")
+    p_bopt.add_argument("--scale", default="default",
+                        choices=["smoke", "default", "large"])
+    p_bopt.add_argument("--repeats", type=int, default=3)
+    p_bopt.add_argument("--timeout-s", type=float, default=120.0,
+                        help="per-run deadline in seconds")
+    p_bopt.add_argument("--seed", type=int, default=7,
+                        help="RNG seed for the generated EDBs")
+    p_bopt.add_argument("--check", action="store_true",
+                        help="exit 1 when answers disagree, enumeration "
+                             "exceeds its per-workload budget, or the "
+                             "--min-cbo-speedup floor is missed")
+    p_bopt.add_argument("--min-cbo-speedup", type=float, default=None,
+                        metavar="X",
+                        help="with --check, require the optimizer's "
+                             "chosen plan to be at least X times faster "
+                             "than the adaptive planner (paired "
+                             "interleaved best-of) on at least one "
+                             "workload where rewrite choice matters")
+    p_bopt.set_defaults(func=cmd_bench_optimizer)
 
     p_shell = sub.add_parser("shell", help="interactive Datalog shell")
     p_shell.set_defaults(func=lambda args: __import__(

@@ -124,6 +124,11 @@ class SemanticOptimizer:
             (``_spot_check``); ``"parallel"`` shards those evaluations
             (see :mod:`repro.engine.parallel`).
         shards: shard count when ``executor="parallel"``.
+        planner: engine join planner used by the same verification
+            evaluations (``"cbo"`` runs them under the cost-based
+            optimizer's adaptive machinery; the semantic rewrites this
+            class applies are themselves enumerated as candidates by
+            :mod:`repro.engine.optimizer`).
     """
 
     def __init__(self, program: Program,
@@ -135,13 +140,16 @@ class SemanticOptimizer:
                  collapse: bool = True,
                  compilation: str = "periodic",
                  executor: str = "compiled",
-                 shards: int | None = None) -> None:
+                 shards: int | None = None,
+                 planner: str = "greedy") -> None:
         if compilation not in ("periodic", "automaton"):
             raise ValueError(
                 f"compilation must be 'periodic' or 'automaton', "
                 f"got {compilation!r}")
+        from ..engine.bindings import validate_planner
         from ..engine.compile import validate_executor
         validate_executor(executor)
+        validate_planner(planner)
         self.program = program
         self.ics = list(ics)
         self.guard: GuardMode = guard
@@ -151,6 +159,7 @@ class SemanticOptimizer:
         self.compilation = compilation
         self.executor = executor
         self.shards = shards
+        self.planner = planner
         self.pred = pred or self._single_recursive_pred(program)
 
     @staticmethod
@@ -639,10 +648,12 @@ class SemanticOptimizer:
             numeric_columns=numeric)
         for index, database in enumerate(databases):
             source = evaluate(self.program, database, budget=budget,
-                              executor=self.executor, shards=self.shards)
+                              executor=self.executor, shards=self.shards,
+                              planner=self.planner)
             candidate = evaluate(optimized, database, budget=budget,
                                  executor=self.executor,
-                                 shards=self.shards)
+                                 shards=self.shards,
+                                 planner=self.planner)
             for pred in sorted(self.program.idb_predicates):
                 left = source.facts(pred)
                 right = candidate.facts(pred)

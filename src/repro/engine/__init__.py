@@ -14,10 +14,13 @@ from .engine import (EvaluationResult, consistent_answers, evaluate,
                      evaluate_with_magic, magic_answers, query_answers)
 from .magic import MagicProgram, adornment_of, magic_rewrite
 from .naive import naive_evaluate
+from .optimizer import (ChosenPlan, KernelChoice, Memo, cbo_answers,
+                        cbo_evaluate, choose_plan, enumerate_candidates,
+                        kernel_chooser, predicted_frontier_width)
 from .seminaive import seminaive_evaluate
 from .stratify import stratify
 from .topdown import TabledEvaluator, TopDownResult, topdown_query
-from .explain import Derivation, Explainer, explain
+from .explain import Derivation, Explainer, explain, explain_answer
 from .plan import PlanStep, RulePlan, explain_kernels, explain_plan, \
     plan_rule
 
@@ -33,9 +36,12 @@ __all__ = [
     "EvaluationResult", "consistent_answers", "evaluate",
     "evaluate_with_magic", "magic_answers", "query_answers",
     "MagicProgram", "adornment_of", "magic_rewrite",
+    "ChosenPlan", "KernelChoice", "Memo", "cbo_answers",
+    "cbo_evaluate", "choose_plan", "enumerate_candidates",
+    "kernel_chooser", "predicted_frontier_width",
     "naive_evaluate", "seminaive_evaluate", "stratify",
     "TabledEvaluator", "TopDownResult", "topdown_query",
-    "Derivation", "Explainer", "explain",
+    "Derivation", "Explainer", "explain", "explain_answer",
     "PlanStep", "RulePlan", "explain_kernels", "explain_plan",
     "plan_rule",
 ]

@@ -36,8 +36,10 @@ Cost = Callable[[Atom, int, tuple[int, ...]], float]
 
 #: Known join planners: ``greedy`` orders by boundness then raw size,
 #: ``adaptive`` by statistics-estimated selectivity, ``source`` keeps
-#: database atoms in rule order.
-PLANNERS = ("greedy", "adaptive", "source")
+#: database atoms in rule order, ``cbo`` enumerates whole-program
+#: rewrites (:mod:`repro.engine.optimizer`) and executes the chosen
+#: candidate with the adaptive runtime machinery.
+PLANNERS = ("greedy", "adaptive", "source", "cbo")
 
 Binding = dict[Variable, ConstValue]
 

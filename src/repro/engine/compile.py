@@ -843,7 +843,8 @@ class KernelCache:
 
     __slots__ = ("keep_atom_order", "symbols", "adaptive",
                  "replan_threshold", "replan_floor", "max_replans",
-                 "replans", "fuse", "_kernels", "_replan_counts")
+                 "replans", "fuse", "on_replan", "_kernels",
+                 "_replan_counts")
 
     def __init__(self, keep_atom_order: bool = False,
                  symbols: SymbolTable | None = None,
@@ -851,7 +852,8 @@ class KernelCache:
                  replan_threshold: float = 4.0,
                  replan_floor: int = 16,
                  max_replans: int = 16,
-                 fuse: bool = True) -> None:
+                 fuse: bool = True,
+                 on_replan: Callable[[Rule], None] | None = None) -> None:
         self.keep_atom_order = keep_atom_order
         self.symbols = symbols
         #: False under the vectorized executor: batch-lowerable kernels
@@ -864,6 +866,11 @@ class KernelCache:
         self.max_replans = max_replans
         #: Total recompilations caused by drift, across all keys.
         self.replans = 0
+        #: Optional drift-replan observer (rule that drifted).  The
+        #: cost-based optimizer hooks this to re-enter its per-rule
+        #: enumeration (e.g. batch-vs-row kernel choice) against the
+        #: statistics that triggered the replan.
+        self.on_replan = on_replan
         self._kernels: dict[tuple[Rule, object],
                             tuple[CompiledKernel, tuple[int, ...]]] = {}
         self._replan_counts: dict[tuple[Rule, object], int] = {}
@@ -905,6 +912,8 @@ class KernelCache:
                 return kernel
             self._replan_counts[key] = self._replan_counts.get(key, 0) + 1
             self.replans += 1
+            if self.on_replan is not None:
+                self.on_replan(rule)
         kernel = CompiledKernel(
             rule, sizes, keep_atom_order=self.keep_atom_order,
             cost=cost, symbols=self.symbols, fuse=self.fuse)

@@ -44,6 +44,9 @@ class EvaluationResult:
     method: str = "seminaive"
     magic: Optional[MagicProgram] = field(default=None, repr=False)
     executor: str = "compiled"
+    #: :class:`repro.engine.optimizer.ChosenPlan` when the cost-based
+    #: enumerating optimizer picked the evaluated program.
+    choice: Optional[object] = field(default=None, repr=False)
 
     def facts(self, pred: str) -> frozenset[tuple]:
         """All derived tuples of an IDB predicate."""
@@ -89,7 +92,16 @@ def evaluate(program: Program, edb: Database, method: str = "seminaive",
             mid-fixpoint when delta sizes drift from the plan-time
             estimate; ``"source"`` keeps database atoms in rule order
             (the fixed join orders the paper's era assumed; used by
-            experiment E2).
+            experiment E2); ``"cbo"`` the cost-based enumerating
+            optimizer (:mod:`repro.engine.optimizer`) — for
+            whole-program evaluation its rewrite space degenerates to
+            the identity program (every result and counter stays
+            bit-identical to ``"adaptive"``) plus per-rule
+            batch-vs-row kernel choice under the vectorized executor;
+            the full space (magic per adornment, residue pushing,
+            linearization, fusion) engages at the query-bearing entry
+            points :func:`repro.engine.optimizer.cbo_evaluate` /
+            :func:`repro.engine.optimizer.cbo_answers`.
         budget: optional :class:`repro.runtime.Budget` bounding the run;
             exhaustion or cancellation raises the typed errors of
             :mod:`repro.errors` carrying the partial stats.

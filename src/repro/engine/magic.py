@@ -65,7 +65,8 @@ class MagicProgram:
 
 
 def magic_rewrite(program: Program, query: Atom,
-                  budget: Budget | None = None) -> MagicProgram:
+                  budget: Budget | None = None,
+                  adornment: Adornment | None = None) -> MagicProgram:
     """Rewrite ``program`` for the given query atom.
 
     The query must target an IDB predicate; its constant arguments define
@@ -73,6 +74,13 @@ def magic_rewrite(program: Program, query: Atom,
     paper's programs are negation-free).  ``budget`` bounds the adornment
     worklist (in the worst case one adorned copy per binding pattern —
     exponential in arity), checked once per worklist entry.
+
+    ``adornment``, when given, overrides the query's natural binding
+    pattern with a *weakening* of it: every position marked ``b`` must
+    hold a constant in ``query``, but constant positions may be marked
+    ``f`` to trade filter tightness for fewer adorned variants.  The
+    cost-based optimizer (:mod:`repro.engine.optimizer`) enumerates
+    these weakenings as separate candidates.
     """
     budget = resolve_budget(budget)
     chaos.checkpoint("magic_rewrite")
@@ -85,7 +93,23 @@ def magic_rewrite(program: Program, query: Atom,
             raise TransformError(
                 "magic rewriting does not support negation")
 
-    query_adornment = adornment_of(query)
+    natural = adornment_of(query)
+    if adornment is not None:
+        if len(adornment) != len(query.args) \
+                or any(a not in "bf" for a in adornment):
+            raise TransformError(
+                f"adornment {adornment!r} does not match "
+                f"{query.pred}/{len(query.args)}")
+        if any(a == "b" and n == "f"
+               for a, n in zip(adornment, natural)):
+            raise TransformError(
+                f"adornment {adornment!r} marks a non-constant query "
+                "argument bound")
+        if "b" not in adornment:
+            raise TransformError(
+                "all-free adornment passes no bindings; evaluate "
+                "without magic rewriting instead")
+    query_adornment = adornment if adornment is not None else natural
     out_rules: list[Rule] = []
     pending: list[tuple[str, Adornment]] = [(query.pred, query_adornment)]
     done: set[tuple[str, Adornment]] = set()

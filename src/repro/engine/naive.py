@@ -87,17 +87,26 @@ def naive_evaluate(program: Program, edb: Database,
         return relation.probe_estimate(bound_cols)
 
     keep_atom_order = planner == "source"
-    adaptive = planner == "adaptive"
+    # planner="cbo" reuses the adaptive cost path: rewrite enumeration
+    # happens before evaluation (:mod:`repro.engine.optimizer`).
+    adaptive = planner in ("adaptive", "cbo")
     kernels = None
     pool = None
     vec = VectorRunner(symbols=edb.symbols,
                        true_checks=dataflow.true_checks
                        if dataflow is not None else None) \
         if vectorized else None
+    if vec is not None and planner == "cbo":
+        from .optimizer import kernel_chooser
+        vec.kernel_choice = kernel_chooser(program, edb, idb=idb,
+                                           dataflow=dataflow)
     if executor != "interpreted":
         kernels = KernelCache(keep_atom_order=keep_atom_order,
                               symbols=edb.symbols, adaptive=adaptive,
-                              fuse=not vectorized)
+                              fuse=not vectorized,
+                              on_replan=vec.invalidate
+                              if vec is not None and planner == "cbo"
+                              else None)
     if executor == "parallel":
         validate_parallel_mode(parallel_mode)
         pool = ShardExecutor(shards if shards is not None

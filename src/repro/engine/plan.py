@@ -112,7 +112,7 @@ def plan_rule(rule: Rule, program: Program, edb: Database,
         return len(relation) if relation is not None else 0
 
     cost = None
-    if planner == "adaptive":
+    if planner in ("adaptive", "cbo"):
         def cost(atom: Atom, index: int,
                  bound_cols: tuple[int, ...]) -> float:
             relation = relation_for(atom, index)
@@ -242,7 +242,7 @@ def explain_kernels(program: Program, edb: Database,
         return len(relation) if relation is not None else 0
 
     cost = None
-    if planner == "adaptive":
+    if planner in ("adaptive", "cbo"):
         def cost(atom: Atom, index: int,
                  bound_cols: tuple[int, ...]) -> float:
             relation = relation_for(atom, index)
@@ -260,7 +260,8 @@ def explain_kernels(program: Program, edb: Database,
     if executor == "parallel":
         body += "\n\n" + _parallel_section(kernels, relation_for, shards)
     elif executor == "vectorized":
-        body += "\n\n" + _vectorized_section(kernels, edb)
+        body += "\n\n" + _vectorized_section(kernels, edb, program, idb,
+                                             planner, dataflow)
     if show_stats:
         body += "\n\n" + _stats_section(program, edb, idb)
     return body
@@ -290,9 +291,30 @@ def _parallel_section(kernels, relation_for, shards: int | None) -> str:
     return "\n".join(lines)
 
 
-def _vectorized_section(kernels, edb) -> str:
-    """Render the batch-lowering summary for ``explain_kernels``."""
+def _vectorized_section(kernels, edb, program=None, idb=None,
+                        planner: str = "greedy",
+                        dataflow: "DataflowResult | None" = None) -> str:
+    """Render the batch-lowering summary for ``explain_kernels``.
+
+    Every rule shows its predicted frontier width (the quantity the
+    cost-based optimizer prices batch kernels by); under
+    ``planner="cbo"`` each batch-lowerable rule additionally shows the
+    optimizer's batch-vs-row verdict with its rationale, next to the
+    existing fallback reasons.
+    """
+    from .optimizer import kernel_chooser, predicted_frontier_width
     from .vectorize import compile_batch
+
+    choose = kernel_chooser(program, edb, idb=idb, dataflow=dataflow) \
+        if planner == "cbo" and program is not None else None
+
+    def width_note(kernel) -> str:
+        if program is None:
+            return ""
+        width = predicted_frontier_width(kernel.rule, program, edb,
+                                         idb=idb, dataflow=dataflow)
+        shown = "inf" if width == float("inf") else f"{width:.0f}"
+        return f" (predicted frontier width ~{shown})"
 
     lines = ["vectorized execution: whole-frontier batch kernels"
              + ("" if edb.symbols is not None
@@ -302,12 +324,21 @@ def _vectorized_section(kernels, edb) -> str:
         plan = kernel.batch_plan
         if plan is None:
             lines.append(f"  {label}: falls back to the compiled "
-                         "kernel (body not batch-lowerable)")
+                         f"kernel (body not batch-lowerable)"
+                         + width_note(kernel))
             continue
         if compile_batch(kernel) is None:
             lines.append(f"  {label}: falls back to the compiled "
-                         "kernel (batch codegen declined)")
+                         f"kernel (batch codegen declined)"
+                         + width_note(kernel))
             continue
+        if choose is not None:
+            choice = choose(kernel)
+            if not choice.use_batch:
+                lines.append(f"  {label}: row-at-a-time compiled "
+                             f"kernel chosen by the optimizer "
+                             f"({choice.reason})")
+                continue
         steps = []
         for step in plan:
             kind = step[0]
@@ -322,7 +353,10 @@ def _vectorized_section(kernels, edb) -> str:
                 steps.append(f"check[{step[1]}]")
             elif kind == "bind":
                 steps.append("bind")
+        suffix = f"; one call per frontier ({choice.reason})" \
+            if choose is not None else "; one call per frontier"
         lines.append(f"  {label}: batch chain "
                      + " -> ".join(steps or ["copy"])
-                     + "; one call per frontier")
+                     + suffix + ("" if choose is not None
+                                 else width_note(kernel)))
     return "\n".join(lines)

@@ -92,7 +92,10 @@ def seminaive_evaluate(program: Program, edb: Database,
     relation size, ``"adaptive"`` by statistics-estimated selectivity
     with drift-triggered replanning (compiled executor; falls back to
     greedy order under the interpreter), ``"source"`` keeps atoms in
-    rule order.
+    rule order, ``"cbo"`` runs the adaptive machinery over the program
+    the enumerating optimizer chose (:mod:`repro.engine.optimizer`),
+    adding per-rule batch-vs-row kernel choice under the vectorized
+    executor.
 
     Storage follows the EDB: when ``edb`` is interned (carries a
     :class:`~repro.facts.symbols.SymbolTable`) the IDB and deltas share
@@ -119,10 +122,23 @@ def seminaive_evaluate(program: Program, edb: Database,
                        if dataflow is not None else None) \
         if vectorized else None
     if executor != "interpreted":
+        # planner="cbo" executes its chosen candidate with the adaptive
+        # runtime machinery (statistics-driven orders, drift replans):
+        # whole-program rewrites were decided before the fixpoint
+        # (:mod:`repro.engine.optimizer`), so counters stay
+        # bit-identical to planner="adaptive" on the same program.
         kernels = KernelCache(keep_atom_order=keep_atom_order,
                               symbols=edb.symbols,
-                              adaptive=planner == "adaptive",
+                              adaptive=planner in ("adaptive", "cbo"),
                               fuse=not vectorized)
+    if vec is not None and planner == "cbo":
+        # Per-rule kernel choice (batch vs row, costed by predicted
+        # frontier width); drift replans re-enter the choice.
+        from .optimizer import kernel_chooser
+        vec.kernel_choice = kernel_chooser(program, edb, idb=idb,
+                                           dataflow=dataflow)
+        if kernels is not None:
+            kernels.on_replan = vec.invalidate
     if executor == "parallel":
         validate_parallel_mode(parallel_mode)
         pool = ShardExecutor(shards if shards is not None

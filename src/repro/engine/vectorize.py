@@ -604,18 +604,30 @@ class VectorRunner:
     when it has one and no derivation hook is installed, and falls back
     to :meth:`CompiledKernel.execute` otherwise — both paths produce
     identical rows and statistics.
+
+    ``kernel_choice``, when set (``planner="cbo"``), is consulted once
+    per kernel identity: a ``row`` verdict pins the rule to the
+    compiled row-at-a-time kernel even though a batch lowering exists
+    (narrow predicted frontiers never amortize the batch setup).  The
+    verdict caches with the batch form, so an adaptive-drift replan —
+    a fresh kernel identity — re-enters the choice against current
+    statistics.
     """
 
-    __slots__ = ("symbols", "cache", "true_checks", "_compiled")
+    __slots__ = ("symbols", "cache", "true_checks", "kernel_choice",
+                 "_compiled")
 
     def __init__(self, symbols: SymbolTable | None = None,
                  true_checks: Mapping[Rule, frozenset[int]] | None = None,
-                 ) -> None:
+                 kernel_choice: Callable[[CompiledKernel], Any] | None
+                 = None) -> None:
         self.symbols = symbols
         self.cache = PredicateCache(symbols)
         #: rule -> body indexes of provably-true comparisons (from the
         #: dataflow analysis); kernels for those rules skip the checks.
         self.true_checks = true_checks or {}
+        #: optional CBO chooser: kernel -> KernelChoice (``use_batch``).
+        self.kernel_choice = kernel_choice
         # id(kernel) -> (kernel, batch | None); the strong kernel ref
         # keeps ids stable for the lifetime of this runner.
         self._compiled: dict[int, tuple[CompiledKernel,
@@ -625,9 +637,26 @@ class VectorRunner:
         entry = self._compiled.get(id(kernel))
         if entry is None or entry[0] is not kernel:
             skips = self.true_checks.get(kernel.rule, frozenset())
-            entry = (kernel, compile_batch(kernel, skips))
+            batch = compile_batch(kernel, skips)
+            if batch is not None and self.kernel_choice is not None \
+                    and not self.kernel_choice(kernel).use_batch:
+                # Row and batch kernels derive identical rows and
+                # counters, so the choice never changes results.
+                batch = None
+            entry = (kernel, batch)
             self._compiled[id(kernel)] = entry
         return entry[1]
+
+    def invalidate(self, rule: Rule) -> None:
+        """Drop cached batch forms (and choices) of ``rule``.
+
+        Called by the kernel cache on an adaptive-drift replan under
+        ``planner="cbo"`` so the batch-vs-row enumeration re-enters
+        with the statistics that triggered the replan.
+        """
+        self._compiled = {key: entry for key, entry
+                          in self._compiled.items()
+                          if entry[0].rule is not rule}
 
     def run(self, kernel: CompiledKernel, fetch: Fetch, stats: EvalStats,
             hook: Optional[Hook] = None,

@@ -40,7 +40,6 @@ adaptive join planner.
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING, Collection, Iterable, Iterator, Optional
 
 from ..datalog.terms import ConstValue
@@ -447,16 +446,3 @@ class Relation:
         else:
             out.add_all(row for row in self if row not in other)
         return out
-
-    def difference_update_into(self, other: "Relation") -> "Relation":
-        """Deprecated alias of :meth:`difference`.
-
-        The historical name suggested an in-place update; the method has
-        always returned a fresh relation.  Will be removed in a future
-        release.
-        """
-        warnings.warn(
-            "Relation.difference_update_into is deprecated (it never "
-            "updated in place); use Relation.difference",
-            DeprecationWarning, stacklevel=2)
-        return self.difference(other)

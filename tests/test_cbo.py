@@ -1,0 +1,366 @@
+"""The cost-based enumerating optimizer (``planner="cbo"``).
+
+Covers the bounded rewrite space (residue pushing per IC, magic sets
+per adornment weakening, left/right linearization, rule fusion), the
+memo's group-level deduplication, the unified cost model over dataflow
+size bounds, the per-rule batch-vs-row kernel choice under the
+vectorized executor, drift-replan re-entry, and the equivalence
+discipline: whole-program ``planner="cbo"`` runs stay bit-identical to
+the adaptive planner, and every chosen rewrite answers the query
+exactly like the unrewritten program.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.engine import (ChosenPlan, cbo_answers, cbo_evaluate,
+                          choose_plan, enumerate_candidates, evaluate,
+                          explain_answer, kernel_chooser, magic_answers,
+                          predicted_frontier_width)
+from repro.engine.compile import KernelCache
+from repro.engine.magic import magic_rewrite
+from repro.engine.optimizer import (MAX_CANDIDATES, MIN_BATCH_WIDTH,
+                                    Memo, PlanCandidate,
+                                    _adornment_choices, _linearizations,
+                                    estimate_program_cost)
+from repro.engine.plan import explain_kernels
+from repro.errors import TransformError
+from repro.facts import Database
+from repro.workloads import load
+from repro.workloads.generators import (random_digraph,
+                                        transitive_closure_program)
+
+TC = parse_program(transitive_closure_program())
+
+SG = parse_program("""
+    r0: sg(X, X) :- person(X).
+    r1: sg(X, Y) :- par(X, Xp), sg(Xp, Yp), par(Y, Yp).
+""")
+
+AUX = parse_program("""
+    a0: link(X, Y) :- edge(X, Y).
+    r0: tc2(X, Y) :- link(X, Y).
+    r1: tc2(X, Z) :- tc2(X, Y), link(Y, Z).
+""")
+
+
+def chain_db(n=30):
+    db = Database()
+    db.ensure("edge", 2)
+    for i in range(n):
+        db.add_fact("edge", f"n{i}", f"n{i + 1}")
+    return db
+
+
+def digraph(nodes=120, edges=360, seed=7):
+    return random_digraph(nodes, edges, random.Random(seed))
+
+
+BOUND = Atom("reach", (Constant("n0"), Variable("Y")))
+FREE = Atom("reach", (Variable("X"), Variable("Y")))
+
+
+def labels(memo):
+    return [group.candidate.label for group in memo]
+
+
+class TestEnumeration:
+    def test_identity_is_always_first(self):
+        memo = enumerate_candidates(TC, query=BOUND)
+        first = next(iter(memo))
+        assert first.candidate.transforms == ()
+        assert first.candidate.label == "identity"
+
+    def test_no_query_no_ics_degenerates_to_identity(self):
+        memo = enumerate_candidates(TC)
+        assert labels(memo) == ["identity"]
+
+    def test_bound_query_enumerates_magic_and_linearization(self):
+        memo = enumerate_candidates(TC, query=BOUND)
+        seen = labels(memo)
+        assert "magic[bf]" in seen
+        assert "linearize[reach:right]" in seen
+        assert "linearize[reach:right] + magic[bf]" in seen
+
+    def test_two_constants_enumerate_adornment_weakenings(self):
+        query = Atom("reach", (Constant("n0"), Constant("n5")))
+        assert _adornment_choices(query) == ["bb", "bf", "fb"]
+        seen = labels(enumerate_candidates(TC, query=query))
+        assert {"magic[bb]", "magic[bf]", "magic[fb]"} <= set(seen)
+
+    def test_ics_enumerate_residue_pushing(self):
+        example = load("example_4_3")
+        memo = enumerate_candidates(example.program, ics=example.ics)
+        assert any(label.startswith("residues[") for label in
+                   labels(memo))
+
+    def test_fusion_unfolds_edb_only_auxiliary(self):
+        query = Atom("tc2", (Constant("n0"), Variable("Y")))
+        memo = enumerate_candidates(AUX, query=query)
+        fused = [g for g in memo if "fuse" in g.candidate.transforms]
+        assert fused
+        assert "link" not in fused[0].candidate.program.idb_predicates
+
+    def test_memo_dedups_by_program_fingerprint(self):
+        memo = Memo()
+        a = memo.add(PlanCandidate(TC, ()))
+        b = memo.add(PlanCandidate(TC, ("some-other-path",)))
+        assert a is b
+        assert len(memo) == 1
+        assert memo.paths == 2
+        assert a.derivations == [(), ("some-other-path",)]
+
+    def test_candidate_cap_respected(self):
+        memo = enumerate_candidates(TC, query=BOUND, max_candidates=2)
+        assert len(memo) <= 2
+        assert len(memo) <= MAX_CANDIDATES
+
+
+class TestAdornmentValidation:
+    def test_explicit_adornment_must_match_arity(self):
+        with pytest.raises(TransformError):
+            magic_rewrite(TC, BOUND, adornment="b")
+
+    def test_bound_mark_needs_a_query_constant(self):
+        with pytest.raises(TransformError,
+                           match="non-constant query argument"):
+            magic_rewrite(TC, BOUND, adornment="bb")
+
+    def test_all_free_adornment_is_rejected(self):
+        with pytest.raises(TransformError):
+            magic_rewrite(TC, BOUND, adornment="ff")
+
+    def test_explicit_natural_adornment_matches_default(self):
+        db = chain_db(10)
+        explicit = magic_rewrite(TC, BOUND, adornment="bf")
+        assert explicit.query_pred == magic_rewrite(TC, BOUND).query_pred
+        rewritten = evaluate(explicit.program, db)
+        assert explicit.answers(rewritten.idb) \
+            == magic_answers(TC, db, BOUND)
+
+
+class TestLinearization:
+    def test_left_linear_tc_swaps_to_right(self):
+        variants = _linearizations(TC)
+        assert [label for _, label in variants] \
+            == ["linearize[reach:right]"]
+        swapped, _ = variants[0]
+        recursive = [r for r in swapped.rules_for("reach")
+                     if "reach" in r.body_predicates()][0]
+        assert recursive.body[0].pred == "edge"
+        assert recursive.body[1].pred == "reach"
+
+    def test_swap_preserves_the_closure(self):
+        db = digraph()
+        swapped, _ = _linearizations(TC)[0]
+        assert evaluate(swapped, db).facts("reach") \
+            == evaluate(TC, db).facts("reach")
+
+    def test_non_tc_shapes_are_left_alone(self):
+        assert _linearizations(SG) == []
+
+
+class TestCostModel:
+    def test_bound_query_prefers_magic_on_a_real_graph(self):
+        db = digraph(300, 900)
+        choice = choose_plan(TC, db, query=BOUND)
+        assert any(t.startswith("magic[") for t in choice.transforms)
+        by_label = {label: cost for _, label, cost in choice.table}
+        assert choice.cost < by_label["identity"]
+
+    def test_free_query_prefers_identity(self):
+        choice = choose_plan(TC, digraph(), query=None)
+        assert choice.transforms == ()
+
+    def test_choice_is_deterministic(self):
+        db = digraph()
+        first = choose_plan(TC, db, query=BOUND)
+        second = choose_plan(TC, db, query=BOUND)
+        assert first.fingerprint == second.fingerprint
+        assert first.label == second.label
+        assert first.cost == second.cost
+
+    def test_enumeration_stays_under_budget(self):
+        choice = choose_plan(TC, digraph(300, 900), query=BOUND)
+        assert choice.enumeration_seconds < 0.050
+
+    def test_estimate_skips_fact_rules(self):
+        program = parse_program("f0: p(a).\nr0: q(X) :- p(X).")
+        candidate = PlanCandidate(program, ())
+        cost, detail = estimate_program_cost(candidate, Database())
+        assert cost > 0.0
+        assert "r0" in detail
+
+    def test_describe_marks_the_winner(self):
+        choice = choose_plan(TC, digraph(), query=BOUND)
+        text = choice.describe()
+        assert "chosen:" in text
+        assert f"* {choice.label}: " in text or \
+            f"* {choice.label}:" in text
+
+
+class TestCboEvaluation:
+    def test_cbo_answers_match_magic_and_plain(self):
+        db = digraph(150, 450)
+        via_cbo = cbo_answers(TC, db, BOUND)
+        assert via_cbo == magic_answers(TC, db, BOUND)
+        plain = evaluate(TC, db).facts("reach")
+        assert via_cbo == frozenset(row for row in plain
+                                    if row[0] == "n0")
+
+    def test_result_carries_the_chosen_plan(self):
+        result = cbo_evaluate(TC, digraph(), query=BOUND)
+        assert isinstance(result.choice, ChosenPlan)
+        assert result.method == "seminaive+cbo"
+        if any(t.startswith("magic[") for t in result.choice.transforms):
+            assert result.magic is not None
+
+    def test_whole_program_cbo_is_bit_identical_to_adaptive(self):
+        db = digraph()
+        adaptive = evaluate(TC, db, planner="adaptive")
+        cbo = evaluate(TC, db, planner="cbo")
+        assert cbo.facts("reach") == adaptive.facts("reach")
+        assert cbo.stats.as_dict() == adaptive.stats.as_dict()
+
+    def test_vectorized_cbo_is_bit_identical_to_adaptive(self):
+        db = digraph()
+        kwargs = dict(executor="vectorized", interning="on")
+        adaptive = evaluate(TC, db, planner="adaptive", **kwargs)
+        cbo = evaluate(TC, db, planner="cbo", **kwargs)
+        assert cbo.facts("reach") == adaptive.facts("reach")
+        assert cbo.stats.as_dict() == adaptive.stats.as_dict()
+
+    def test_cbo_with_ics_enumerates_residues(self):
+        example = load("example_4_3")
+        choice = choose_plan(example.program, Database(),
+                             ics=example.ics)
+        assert isinstance(choice, ChosenPlan)
+        seen = [label for _, label, _ in choice.table]
+        assert any(label.startswith("residues[") for label in seen)
+
+    def test_explain_answer_follows_the_rewritten_program(self):
+        db = chain_db(8)
+        result = cbo_evaluate(TC, db, query=BOUND)
+        goal = Atom("reach", (Constant("n0"), Constant("n3")))
+        derivation = explain_answer(result, goal)
+        assert derivation is not None
+        assert derivation.depth() >= 2
+
+
+class TestKernelChoice:
+    def test_narrow_frontier_chooses_row(self):
+        db = chain_db(5)
+        cache = KernelCache(symbols=db.symbols)
+        kernel = cache.kernel(TC.rules[1], None, lambda a, i: 5)
+        choice = kernel_chooser(TC, db)(kernel)
+        assert choice.mode == "row"
+        assert not choice.use_batch
+        assert "row-at-a-time" in choice.reason
+
+    def test_wide_frontier_chooses_batch(self):
+        db = digraph(400, 1400)
+        cache = KernelCache(symbols=db.symbols)
+        kernel = cache.kernel(TC.rules[1], None, lambda a, i: 1400)
+        choice = kernel_chooser(TC, db)(kernel)
+        assert choice.mode == "batch"
+        assert choice.use_batch
+        assert choice.width >= MIN_BATCH_WIDTH
+
+    def test_predicted_width_uses_sqrt_of_largest_relation(self):
+        db = digraph(400, 1400)
+        width = predicted_frontier_width(TC.rules[1], TC, db)
+        assert 1.0 <= width <= 1400
+        assert width == pytest.approx(1400 ** 0.5, rel=0.01)
+
+    def test_explain_kernels_shows_the_rationale(self):
+        text = explain_kernels(TC, chain_db(5), planner="cbo",
+                               executor="vectorized")
+        assert "chosen by the optimizer" in text
+        assert "predicted frontier width" in text
+
+    def test_explain_kernels_other_planners_unchanged(self):
+        text = explain_kernels(TC, chain_db(5), planner="adaptive",
+                               executor="vectorized")
+        assert "chosen by the optimizer" not in text
+
+
+class TestVectorizedDriftReplans:
+    """Satellite: adaptive-drift replanning under the vectorized
+    executor — replans happen, stay bounded, and change no counter."""
+
+    def test_replans_surface_under_vectorized(self):
+        result = evaluate(TC, chain_db(40), planner="adaptive",
+                          executor="vectorized", interning="on")
+        assert result.stats.replans >= 1
+        assert result.stats.replans <= 16  # default max_replans cap
+
+    def test_vectorized_replans_match_compiled_exactly(self):
+        db = chain_db(40)
+        compiled = evaluate(TC, db, planner="adaptive")
+        vectorized = evaluate(TC, db, planner="adaptive",
+                              executor="vectorized", interning="on")
+        assert vectorized.facts("reach") == compiled.facts("reach")
+        assert vectorized.stats.as_dict() == compiled.stats.as_dict()
+
+    def test_cbo_replan_reenters_kernel_choice(self):
+        db = chain_db(40)
+        adaptive = evaluate(TC, db, planner="adaptive",
+                            executor="vectorized", interning="on")
+        cbo = evaluate(TC, db, planner="cbo",
+                       executor="vectorized", interning="on")
+        assert cbo.stats.replans == adaptive.stats.replans >= 1
+        assert cbo.stats.as_dict() == adaptive.stats.as_dict()
+        assert cbo.facts("reach") == adaptive.facts("reach")
+
+
+class TestOptimizerBenchGate:
+    def _report(self, **overrides):
+        entry = {
+            "name": "bound_tc",
+            "rewrite_matters": True,
+            "chosen": {"label": "magic[bf]"},
+            "enumeration_ms": 2.0,
+            "adaptive": {"wall_ms": 10.0},
+            "cbo": {"wall_ms": 4.0},
+            "speedup": 2.5,
+            "agreement": {"answers_agree": True},
+        }
+        entry.update(overrides)
+        return {"version": 1, "repeats": 3, "workloads": [entry]}
+
+    def test_clean_report_passes(self):
+        from repro.bench.optimizer_bench import regression_failures
+        assert regression_failures(self._report(),
+                                   min_cbo_speedup=1.1) == []
+
+    def test_too_few_repeats_fail(self):
+        from repro.bench.optimizer_bench import regression_failures
+        report = self._report()
+        report["repeats"] = 1
+        assert any("repeats" in f for f in regression_failures(report))
+
+    def test_disagreement_fails(self):
+        from repro.bench.optimizer_bench import regression_failures
+        report = self._report(agreement={"answers_agree": False})
+        assert any("disagree" in f for f in regression_failures(report))
+
+    def test_slow_enumeration_fails(self):
+        from repro.bench.optimizer_bench import regression_failures
+        report = self._report(enumeration_ms=75.0)
+        assert any("enumeration" in f
+                   for f in regression_failures(report))
+
+    def test_speedup_floor_fails_when_missed(self):
+        from repro.bench.optimizer_bench import regression_failures
+        report = self._report(speedup=1.01)
+        failures = regression_failures(report, min_cbo_speedup=1.1)
+        assert any("floor" in f for f in failures)
+
+    def test_unknown_scale_raises(self):
+        from repro.bench.optimizer_bench import build_workloads
+        with pytest.raises(ValueError, match="unknown scale"):
+            build_workloads("galactic")

@@ -28,11 +28,20 @@ from repro.workloads import random_linear_program
 #: kernels over columnar storage) and not (falls back to the compiled
 #: kernels), so the whole-frontier accounting is differentially checked
 #: against the row-at-a-time executors under each join order.
+#: The cbo combos pin the cost-based enumerating optimizer's
+#: whole-program degeneration: with no query in sight its rewrite
+#: space collapses to the identity program running on the adaptive
+#: machinery, so facts, counters, budget payloads and chaos ordinals
+#: must all be bit-identical to every other cell — including under the
+#: vectorized executor, where cbo additionally makes a per-rule
+#: batch-vs-row kernel choice (both verdicts are pinned to identical
+#: counters).
 COMBOS = [(executor, planner, interning, None)
           for executor in ("compiled", "interpreted", "vectorized")
-          for planner in ("greedy", "adaptive", "source")
+          for planner in ("greedy", "adaptive", "source", "cbo")
           for interning in ("off", "on")]
-COMBOS += [("parallel", "adaptive", interning, shards)
+COMBOS += [("parallel", planner, interning, shards)
+           for planner in ("adaptive", "cbo")
            for interning in ("off", "on")
            for shards in (1, 2, 4)]
 

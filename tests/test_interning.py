@@ -206,9 +206,11 @@ class TestDifferenceRename:
         right = Relation("r", 1, [("b",)])
         assert left.difference(right).rows() == frozenset({("a",)})
 
-    def test_deprecated_alias_warns_and_delegates(self):
+    def test_deprecated_alias_removed(self):
+        # ``difference_update_into`` (a misnamed alias that never
+        # updated in place) finished its deprecation cycle; the only
+        # spelling is ``difference``.
         left = Relation("l", 1, [("a",), ("b",)])
+        assert not hasattr(left, "difference_update_into")
         right = Relation("r", 1, [("b",)])
-        with pytest.warns(DeprecationWarning, match="difference"):
-            out = left.difference_update_into(right)
-        assert out.rows() == frozenset({("a",)})
+        assert left.difference(right).rows() == frozenset({("a",)})
